@@ -1,0 +1,40 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+from bench_common import show, warm
+
+
+def test_ablation_oim_formats(benchmark):
+    """Figure 12 stepwise compression: each format variant shrinks the OIM."""
+    warm("rocket-1")
+    rows = benchmark(ablations.ablation_oim_formats, "rocket-1")
+    sizes = [r["bytes"] for r in rows]
+    assert sizes[0] > sizes[1] and sizes[2] < sizes[0]
+    show(ablations.render_oim_formats("rocket-1"))
+
+
+def test_ablation_identity_elision(benchmark):
+    """Section 4.3: elision removes the dominant identity-op cost."""
+    warm("rocket-1")
+    rows = benchmark(ablations.ablation_identity_elision, "rocket-1")
+    by_mode = {r["mode"]: r["ops_per_cycle"] for r in rows}
+    assert by_mode["identities materialised"] > 4 * by_mode["identities elided"]
+    show(ablations.render_identity_elision("rocket-1"))
+
+
+def test_ablation_mux_fusion(benchmark):
+    """Appendix B operator fusion: fewer ops, shallower layers."""
+    rows = benchmark(ablations.ablation_mux_fusion, "rocket-1")
+    off, on = rows
+    assert on["layers"] < off["layers"]
+    show(ablations.render_mux_fusion("rocket-1"))
+
+
+def test_ablation_repcut(benchmark):
+    """Appendix C: replication overhead vs partition count."""
+    warm("rocket-1")
+    rows = benchmark(ablations.ablation_repcut, "rocket-1", (1, 2, 4))
+    assert rows[0]["replication_overhead"] == 0
+    assert rows[-1]["replication_overhead"] >= rows[1]["replication_overhead"]
+    show(ablations.render_repcut("rocket-1"))

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper table/figure has a bench that (a) regenerates the rows, (b)
+asserts the paper's qualitative shape, and (c) prints the rendered table
+(visible with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+
+def show(text: str) -> None:
+    print()
+    print(text)
+
+
+def warm(*design_names: str) -> None:
+    """Pre-compile designs so benches measure row generation, not parsing."""
+    from repro.designs.registry import compile_named_design
+
+    for name in design_names:
+        compile_named_design(name)

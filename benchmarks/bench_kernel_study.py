@@ -1,0 +1,55 @@
+"""Benches for the Section 7.2 kernel-configuration study (Tables 4-6,
+Figures 15-16)."""
+
+from repro.experiments import kernel_study
+from repro.experiments.common import KERNEL_NAMES
+
+from bench_common import show, warm
+
+
+def test_table4_binary_size(benchmark):
+    """Table 4: binary sizes across the unrolling spectrum."""
+    warm("rocket-8")
+    rows = benchmark(kernel_study.table4_binary_size)
+    sizes = {r["kernel"]: r["binary_mb"] for r in rows}
+    assert sizes["RU"] < 1.0 and sizes["SU"] > 3.0
+    show(kernel_study.render_table4())
+
+
+def test_table5_dyninst_ipc(benchmark):
+    """Table 5: dynamic instructions and IPC on the Intel Xeon."""
+    warm("rocket-8")
+    rows = benchmark(kernel_study.table5_dyninst_ipc)
+    table = {r["kernel"]: r for r in rows}
+    assert table["RU"]["dyn_instr_t"] > 20  # paper: 26.9T
+    assert table["TI"]["dyn_instr_t"] < 1   # paper: 0.476T
+    assert table["RU"]["ipc"] > table["SU"]["ipc"]
+    show(kernel_study.render_table5())
+
+
+def test_table6_cache_profile(benchmark):
+    """Table 6: I-cache/D-cache pressure shifts with unrolling."""
+    warm("rocket-8")
+    rows = benchmark(kernel_study.table6_cache)
+    table = {r["kernel"]: r for r in rows}
+    assert table["SU"]["l1i_miss_b"] > 10  # paper: 50.8B
+    assert table["RU"]["l1d_load_b"] > 1000  # paper: 8190B
+    show(kernel_study.render_table6())
+
+
+def test_fig15_kernel_compile(benchmark):
+    """Figure 15: kernel compile time/memory on all four machines."""
+    warm("rocket-8")
+    rows = benchmark(kernel_study.fig15_kernel_compile)
+    assert len(rows) == len(KERNEL_NAMES) * 4
+    show(kernel_study.render_fig15())
+
+
+def test_fig16_kernel_sim(benchmark):
+    """Figure 16: the PSU sweet spot (and TI on the Intel Core)."""
+    warm("rocket-8")
+    rows = benchmark(kernel_study.fig16_kernel_sim)
+    best = {r["machine"]: r["kernel"] for r in rows if r["best"]}
+    assert best["Intel Xeon Gold 5512U"] == "PSU"
+    assert best["Intel Core i9-13900K"] == "TI"
+    show(kernel_study.render_fig16())

@@ -1,0 +1,35 @@
+"""Benches for the Section 7.5 main evaluation (Figures 20-21)."""
+
+from repro.experiments import main_eval
+
+from bench_common import show, warm
+
+DESIGNS = (
+    "rocket-1", "rocket-4", "rocket-8",
+    "small-1", "small-4", "small-8",
+    "gemmini-8", "gemmini-16",
+    "sha3",
+)
+
+
+def test_fig20_speedup(benchmark):
+    """Figure 20: RTeAAL vs Verilator vs ESSENT across designs/machines."""
+    warm(*DESIGNS)
+    rows = benchmark(main_eval.fig20_speedup, DESIGNS)
+    for row in rows:
+        if row["design"] == "sha3":
+            assert row["rteaal_speedup"] < 1.25
+        else:
+            assert row["rteaal_speedup"] > 0.85
+    show(main_eval.render_fig20(DESIGNS))
+
+
+def test_fig21_llc_sweep(benchmark):
+    """Figure 21: LLC shrink stabilises RTeAAL, cripples ESSENT."""
+    warm("small-8")
+    rows = benchmark(main_eval.fig21_llc)
+    psu = [r["psu_time_s"] for r in rows]
+    assert max(psu) < 1.1 * min(psu)                      # RTeAAL stable
+    assert rows[-1]["essent_time_s"] > rows[0]["essent_time_s"]  # ESSENT degrades
+    assert rows[-1]["psu_time_s"] < rows[-1]["essent_time_s"]    # RTeAAL wins at 3.5MB
+    show(main_eval.render_fig21())

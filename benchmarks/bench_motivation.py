@@ -1,0 +1,45 @@
+"""Benches for the Section 3 motivation: Figures 7-8 and Table 1."""
+
+from repro.experiments import motivation
+
+from bench_common import show, warm
+
+DESIGNS = ("rocket-1", "rocket-4", "small-1", "small-4")
+
+
+def test_fig07_topdown(benchmark):
+    """Figure 7: Verilator vs ESSENT top-down breakdown on Graviton 4."""
+    warm(*DESIGNS)
+    rows = benchmark(motivation.fig07_topdown, DESIGNS)
+    by_key = {(r["design"], r["engine"]): r for r in rows}
+    for design in DESIGNS:
+        verilator = by_key[(design, "Verilator")]
+        essent = by_key[(design, "ESSENT")]
+        assert (
+            essent["frontend_pct"] + essent["bad_speculation_pct"]
+            <= verilator["frontend_pct"] + verilator["bad_speculation_pct"]
+        )
+    show(motivation.render_fig07(DESIGNS))
+
+
+def test_fig08_compile_cost(benchmark):
+    """Figure 8: compilation time and peak memory, Verilator vs ESSENT."""
+    warm(*DESIGNS)
+    rows = benchmark(motivation.fig08_compile_cost, DESIGNS)
+    by_key = {(r["design"], r["engine"]): r for r in rows}
+    for design in DESIGNS:
+        assert (
+            by_key[(design, "ESSENT")]["compile_time_s"]
+            > by_key[(design, "Verilator")]["compile_time_s"]
+        )
+    show(motivation.render_fig08(DESIGNS))
+
+
+def test_table1_identity_ops(benchmark):
+    """Table 1: identity operations dominate effectual operations."""
+    designs = ("rocket-1", "small-1", "rocket-8", "small-8")
+    warm(*designs)
+    rows = benchmark(motivation.table1_identity, designs)
+    for row in rows:
+        assert row["identity_ops"] > 4 * row["effectual_ops"]
+    show(motivation.render_table1(designs))

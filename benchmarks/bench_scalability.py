@@ -1,0 +1,53 @@
+"""Benches for the Sections 7.3-7.4 scalability studies (Figure 17-19,
+Table 7)."""
+
+from repro.experiments import scalability
+
+from bench_common import show, warm
+
+DESIGNS = ("rocket-1", "rocket-4", "rocket-8", "rocket-12")
+
+
+def test_fig17_kernel_scaling(benchmark):
+    """Figure 17: kernel sim time vs design size; TI loses from r4."""
+    warm(*DESIGNS)
+    rows = benchmark(scalability.fig17_kernel_scaling, DESIGNS)
+    table = {}
+    for row in rows:
+        table.setdefault(row["design"], {})[row["kernel"]] = row["sim_time_s"]
+    assert table["rocket-1"]["TI"] < table["rocket-1"]["PSU"]
+    assert table["rocket-4"]["PSU"] < table["rocket-4"]["TI"]
+    show(scalability.render_fig17(DESIGNS))
+
+
+def test_table7_compile_scaling(benchmark):
+    """Table 7: PSU constant; ESSENT super-linear compile costs."""
+    warm(*DESIGNS)
+    rows = benchmark(scalability.table7_compile_scaling, DESIGNS)
+    psu = [r["compile_time_s"] for r in rows if r["engine"] == "PSU"]
+    assert max(psu) < 1.2 * min(psu)
+    show(scalability.render_table7(DESIGNS))
+
+
+def test_fig18_sim_o3(benchmark):
+    """Figure 18: ESSENT < PSU < Verilator at clang -O3."""
+    warm(*DESIGNS)
+    rows = benchmark(scalability.fig18_sim_o3, DESIGNS)
+    table = {}
+    for row in rows:
+        table.setdefault(row["design"], {})[row["engine"]] = row["sim_time_s"]
+    for design in ("rocket-4", "rocket-8", "rocket-12"):
+        assert table[design]["ESSENT"] < table[design]["PSU"] < table[design]["Verilator"]
+    show(scalability.render_fig18(DESIGNS))
+
+
+def test_fig19_sim_o0(benchmark):
+    """Figure 19: ESSENT collapses at -O0; PSU ~ Verilator."""
+    warm(*DESIGNS)
+    rows = benchmark(scalability.fig19_sim_o0, DESIGNS)
+    table = {}
+    for row in rows:
+        table.setdefault(row["design"], {})[row["engine"]] = row["sim_time_s"]
+    for design in DESIGNS:
+        assert table[design]["ESSENT"] > 2 * table[design]["Verilator"]
+    show(scalability.render_fig19(DESIGNS))

@@ -1,0 +1,104 @@
+"""Raw-substrate benchmarks: compiler pipeline, kernels, cache simulator.
+
+These measure the repository's own machinery (in contrast to the
+figure-regeneration benches, which measure the modelled numbers).
+"""
+
+import random
+
+from repro.designs import get_design, library
+from repro.firrtl.elaborate import elaborate
+from repro.firrtl.parser import parse
+from repro.graph.build import build_dfg
+from repro.graph.optimize import optimize
+from repro.kernels.pykernels import make_kernel
+from repro.oim.builder import build_oim
+from repro.perf.cache import CacheHierarchy
+from repro.perf.machines import INTEL_XEON
+
+
+def _compile_pipeline(source: str):
+    graph, _ = optimize(build_dfg(elaborate(parse(source))))
+    return build_oim(graph)
+
+
+def test_bench_compile_pipeline(benchmark):
+    """FIRRTL -> elaborate -> DFG -> optimise -> OIM for a 1-core SoC."""
+    source = get_design("rocket-1")
+    bundle = benchmark(_compile_pipeline, source)
+    assert bundle.num_ops > 1000
+
+
+def test_bench_firrtl_parse(benchmark):
+    source = get_design("rocket-4")
+    circuit = benchmark(parse, source)
+    assert circuit.name == "RocketSoc"
+
+
+def _run_cycles(kernel, bundle, cycles=50):
+    values = bundle.initial_values()
+    for _ in range(cycles):
+        kernel.eval_comb(values)
+    return values
+
+
+def _kernel_bench(benchmark, name):
+    bundle = _compile_pipeline(get_design("gemmini-4"))
+    kernel = make_kernel(bundle, name)
+    values = benchmark(_run_cycles, kernel, bundle)
+    assert any(values)
+
+
+def test_bench_kernel_ru(benchmark):
+    """Rolled interpreter throughput (Algorithm 3)."""
+    _kernel_bench(benchmark, "RU")
+
+
+def test_bench_kernel_psu(benchmark):
+    """Swizzled per-op-type loops (Algorithm 4)."""
+    _kernel_bench(benchmark, "PSU")
+
+
+def test_bench_kernel_ti(benchmark):
+    """Generated straight-line code with tensor inlining."""
+    _kernel_bench(benchmark, "TI")
+
+
+def test_bench_cache_hierarchy(benchmark):
+    """Trace-driven cache simulator throughput."""
+    rng = random.Random(7)
+    trace = [rng.randrange(1 << 22) * 64 for _ in range(20_000)]
+
+    def run():
+        hierarchy = CacheHierarchy(INTEL_XEON, side="data")
+        for address in trace:
+            hierarchy.access(address)
+        return hierarchy.miss_counts()
+
+    misses = benchmark(run)
+    assert misses[0] > 0
+
+
+def test_bench_einsum_interpreter(benchmark):
+    """EDGE interpreter on a matrix-vector cascade."""
+    from repro.einsum import Einsum, MapSpec, ReduceSpec, TensorRef, evaluate
+    from repro.einsum.operators import ADD, INTERSECT, MUL
+    from repro.tensor import Tensor
+
+    rng = random.Random(3)
+    matrix = Tensor.from_points(
+        {
+            (rng.randrange(64), rng.randrange(64)): rng.randrange(1, 100)
+            for _ in range(500)
+        },
+        ["k", "m"], [64, 64],
+    )
+    vector = Tensor.from_dense([rng.randrange(1, 10) for _ in range(64)], ["k"])
+    einsum = Einsum(
+        TensorRef.parse("Z[m]"),
+        (TensorRef.parse("A[k, m]"), TensorRef.parse("B[k]")),
+        MapSpec(MUL, INTERSECT),
+        ReduceSpec(ADD),
+    )
+    result = benchmark(evaluate, einsum, {"A": matrix, "B": vector})
+    assert result.occupancy > 0

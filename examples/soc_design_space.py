@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Design-space exploration: which kernel should simulate your SoC?
+
+Reproduces the heart of the paper's evaluation for one design: compile a
+multi-core SoC, run the dhrystone workload functionally, then sweep the
+seven kernel configurations across the four host-machine models to find
+the per-machine sweet spot (Figure 16) and compare compile costs against
+Verilator- and ESSENT-style baselines (Table 7).
+
+Run:  python examples/soc_design_space.py [cores]
+"""
+
+import sys
+
+from repro import Simulator
+from repro.designs import get_design
+from repro.experiments.common import (
+    KERNEL_NAMES,
+    best_kernel,
+    compile_cost_for,
+    format_table,
+    perf_for,
+)
+from repro.perf.machines import ALL_MACHINES
+from repro.workloads import workload_for
+
+
+def main() -> None:
+    cores = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    design_name = f"rocket-{cores}"
+    print(f"=== {design_name}: functional smoke run (dhrystone) ===")
+    simulator = Simulator(get_design(design_name), kernel="PSU")
+    workload = workload_for(design_name)
+    for cycle in range(200):
+        workload.apply(simulator, cycle)
+        simulator.step()
+    print(f"ran 200 cycles; out = {simulator.peek('out'):#010x}\n")
+
+    print(f"=== modelled simulation time (paper cycle counts) ===")
+    rows = []
+    for machine in ALL_MACHINES:
+        times = {
+            kernel: perf_for(design_name, kernel, machine).sim_time_s
+            for kernel in KERNEL_NAMES
+        }
+        winner, _ = best_kernel(design_name, machine)
+        rows.append(
+            [machine.name] + [f"{times[k]:.0f}" for k in KERNEL_NAMES] + [winner]
+        )
+    print(format_table(["machine"] + list(KERNEL_NAMES) + ["best"], rows))
+
+    print(f"\n=== compile cost vs the baselines (Xeon, clang -O3) ===")
+    rows = []
+    for engine in ("PSU", "SU", "Verilator", "ESSENT"):
+        cost = compile_cost_for(design_name, engine, "intel-xeon")
+        rows.append([engine, f"{cost.seconds:.1f}", f"{cost.peak_memory_gb:.2f}"])
+    print(format_table(["engine", "compile time (s)", "peak memory (GB)"], rows))
+
+    print(f"\n=== who wins at simulation time? (Xeon) ===")
+    verilator = perf_for(design_name, "Verilator", "intel-xeon")
+    essent = perf_for(design_name, "ESSENT", "intel-xeon")
+    kernel, kernel_result = best_kernel(design_name, "intel-xeon")
+    print(f"Verilator: {verilator.sim_time_s:8.1f} s")
+    print(f"RTeAAL {kernel}: {kernel_result.sim_time_s:6.1f} s "
+          f"({verilator.sim_time_s / kernel_result.sim_time_s:.2f}x vs Verilator)")
+    print(f"ESSENT:    {essent.sim_time_s:8.1f} s "
+          f"({verilator.sim_time_s / essent.sim_time_s:.2f}x vs Verilator, "
+          "but mind Table 7's compile bill)")
+
+
+if __name__ == "__main__":
+    main()

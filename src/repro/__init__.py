@@ -1,0 +1,18 @@
+"""RTeAAL Sim reproduction: RTL simulation as sparse tensor algebra.
+
+This package reproduces "RTeAAL Sim: Using Tensor Algebra to Represent and
+Accelerate RTL Simulation" (ASPLOS 2026).  The quickest entry points::
+
+    from repro import Simulator            # full-cycle RTL simulator
+    from repro.designs import get_design   # paper's evaluation designs
+    from repro.experiments import main_eval  # regenerate paper figures
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .sim.simulator import Simulator, compile_design
+
+__version__ = "0.1.0"
+
+__all__ = ["Simulator", "compile_design", "__version__"]

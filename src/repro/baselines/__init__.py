@@ -1,0 +1,19 @@
+"""Baseline simulator backends: Verilator-like and ESSENT-like.
+
+Public API::
+
+    from repro.baselines import VerilatorBackend, EssentBackend
+    from repro.baselines import verilator_profile, essent_profile
+"""
+
+from .essent import EssentBackend, essent_cpp, essent_profile
+from .verilator import VerilatorBackend, verilator_cpp, verilator_profile
+
+__all__ = [
+    "EssentBackend",
+    "VerilatorBackend",
+    "essent_cpp",
+    "essent_profile",
+    "verilator_cpp",
+    "verilator_profile",
+]

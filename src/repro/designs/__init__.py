@@ -1,0 +1,39 @@
+"""RTL design generators: cores, Gemmini-like array, SHA3, small library.
+
+Public API::
+
+    from repro.designs import get_design, compile_named_design
+    from repro.designs import library
+"""
+
+from . import library
+from .cores import CoreParams, ROCKET, SMALLBOOM, rocket_soc, smallboom_soc
+from .emit import CircuitBuilder, ModuleBuilder
+from .gemmini import gemmini_soc
+from .registry import (
+    compile_named_design,
+    compiled_graph,
+    get_design,
+    parse_design_name,
+    standard_designs,
+)
+from .sha3 import keccak_f_reference, sha3_soc
+
+__all__ = [
+    "CircuitBuilder",
+    "CoreParams",
+    "ModuleBuilder",
+    "ROCKET",
+    "SMALLBOOM",
+    "compile_named_design",
+    "compiled_graph",
+    "get_design",
+    "gemmini_soc",
+    "keccak_f_reference",
+    "library",
+    "parse_design_name",
+    "rocket_soc",
+    "sha3_soc",
+    "smallboom_soc",
+    "standard_designs",
+]

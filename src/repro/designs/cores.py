@@ -1,0 +1,284 @@
+"""Synthetic RISC-V-style core generators: Rocket-like and SmallBOOM-like.
+
+The paper evaluates multi-core RocketChip and SonicBOOM SoCs from Chipyard.
+Those designs are not available offline, so these generators emit multi-core
+SoCs with the same *structural character*:
+
+* a fetch stage (PC register, increment, branch redirect);
+* a decoder slicing instruction fields with ``bits``;
+* a register file read through deep mux trees (the paper's mux-chain
+  fusion target) and written through per-register enable muxes;
+* one or more ALU "ways" (SmallBOOM is wider and deeper than Rocket);
+* datapath filler blocks whose long def-use distances generate the
+  identity-operation pressure of Table 1;
+* a shared uncore with a DMI attachment point (Section 6.2).
+
+Sizes are controlled by :class:`CoreParams`; the defaults target roughly
+1/32 of the paper's per-core effectual-op counts so experiments run in
+seconds (see DESIGN.md, "Scaling knobs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+
+from .emit import CircuitBuilder, ModuleBuilder
+
+XLEN = 32
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Structural parameters of one synthetic core."""
+
+    name: str
+    regfile_size: int = 16
+    ways: int = 2
+    filler_ops: int = 400
+    #: Depth multiplier of the filler blocks (BOOM-like cores are deeper).
+    filler_depth: int = 4
+    #: Early filler values consumed again near the end of the cycle, per
+    #: chain.  This is the knob for the identity-op ratio of Table 1: each
+    #: tap costs ~(design depth) identity operations.
+    late_taps_per_chain: int = 2
+
+    def scaled(self, factor: float) -> "CoreParams":
+        """Scale op-count-bearing parameters by ``factor`` (>= 1/64)."""
+        return replace(
+            self,
+            regfile_size=max(4, int(self.regfile_size * factor)),
+            filler_ops=max(16, int(self.filler_ops * factor)),
+        )
+
+
+#: Rocket-like in-order core (paper's rocket-N designs, scaled ~1/32).
+ROCKET = CoreParams(name="RocketCore", regfile_size=32, ways=2, filler_ops=1000,
+                    filler_depth=4, late_taps_per_chain=3)
+#: SmallBOOM-like out-of-order core: wider, deeper, bigger regfile.
+SMALLBOOM = CoreParams(name="SmallBoomCore", regfile_size=48, ways=4,
+                       filler_ops=1600, filler_depth=7, late_taps_per_chain=6)
+
+
+def _sel_width(count: int) -> int:
+    return max(1, (count - 1).bit_length())
+
+
+def _build_core(circuit: CircuitBuilder, params: CoreParams) -> None:
+    m = circuit.module(params.name)
+    m.clock()
+    m.input("reset", 1)
+    m.input("instr", XLEN)
+    m.input("dmem_rdata", XLEN)
+    m.output("dmem_addr", XLEN)
+    m.output("dmem_wdata", XLEN)
+    m.output("debug_out", XLEN)
+
+    # ------------------------------------------------------------------
+    # Fetch
+    # ------------------------------------------------------------------
+    m.regreset("pc", XLEN, "reset", 0)
+    m.node(f"tail(add(pc, UInt<{XLEN}>(4)), 1)", "pc_inc")
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    r = params.regfile_size
+    sw = _sel_width(r)
+    m.node("bits(instr, 6, 0)", "opcode")
+    m.node(f"bits(instr, {7 + sw - 1}, 7)", "rd_idx")
+    m.node(f"bits(instr, {15 + sw - 1}, 15)", "rs1_idx")
+    m.node(f"bits(instr, {20 + sw - 1}, 20)", "rs2_idx")
+    m.node("bits(instr, 31, 20)", "imm12")
+    m.node(f"pad(imm12, {XLEN})", "imm")
+
+    # ------------------------------------------------------------------
+    # Register file: r registers, two mux-tree read ports, decoded writes
+    # ------------------------------------------------------------------
+    regs = [m.regreset(f"rf{i}", XLEN, "reset", 0) for i in range(r)]
+    m.node(m.mux_tree("rs1_idx", regs, sw), "rs1_val")
+    m.node(m.mux_tree("rs2_idx", regs, sw), "rs2_val")
+
+    # ------------------------------------------------------------------
+    # Execute: `ways` parallel ALUs with different operand mixes
+    # ------------------------------------------------------------------
+    way_results = []
+    for w in range(params.ways):
+        a = "rs1_val" if w % 2 == 0 else "rs2_val"
+        b = "imm" if w % 2 == 0 else "rs1_val"
+        prefix = f"way{w}"
+        adds = m.node(f"tail(add({a}, {b}), 1)", f"{prefix}_add")
+        subs = m.node(f"tail(sub({a}, {b}), 1)", f"{prefix}_sub")
+        ands = m.node(f"and({a}, {b})", f"{prefix}_and")
+        ors = m.node(f"or({a}, {b})", f"{prefix}_or")
+        xors = m.node(f"xor({a}, {b})", f"{prefix}_xor")
+        slt = m.node(f"pad(lt({a}, {b}), {XLEN})", f"{prefix}_slt")
+        fn = m.node(f"bits(instr, {14 + 3}, 12)", f"{prefix}_fn")
+        result = m.mux_tree(f"{prefix}_fn", [adds, subs, ands, ors, xors, slt], 3)
+        way_results.append(m.node(f"or({result}, UInt<1>(0))", f"{prefix}_res"))
+
+    wb = way_results[0]
+    for w, other in enumerate(way_results[1:], start=1):
+        wb = m.node(f"xor({wb}, {other})", f"wb{w}")
+    m.node(f"or({wb}, UInt<1>(0))", "wb_val")
+
+    # ------------------------------------------------------------------
+    # Datapath filler: layered arithmetic with long def-use distances,
+    # which is what generates the paper's identity-op pressure (Table 1).
+    # ------------------------------------------------------------------
+    depth = params.filler_depth
+    bases = ["pc", "rs1_val", "rs2_val", "wb_val", "imm"]
+    chains = max(1, params.filler_ops // (depth * 3))
+    chain_outputs = []
+    early_taps = []
+    for chain in range(chains):
+        # Independent chains of bounded depth: early (layer-0) values are
+        # consumed at every chain layer, which is what generates identity
+        # pressure without making the whole design serially deep.
+        salt = (chain * 2654435761 + 0x9E3779B9) % (1 << XLEN)
+        value = m.node(
+            f"xor({bases[chain % len(bases)]}, {m.lit(salt, XLEN)})",
+            f"f{chain}_seed",
+        )
+        early = bases[(chain + 1) % len(bases)]
+        rotate = chain % 8 + 1
+        for d in range(depth):
+            mixed = m.node(
+                f"tail(add({value}, {early}), 1)", f"f{chain}_{d}_a"
+            )
+            rotated = m.node(
+                f"cat(bits({mixed}, {rotate - 1}, 0), bits({mixed}, {XLEN - 1}, {rotate}))",
+                f"f{chain}_{d}_r",
+            )
+            sel = m.node(f"bits({mixed}, {d % XLEN}, {d % XLEN})", f"f{chain}_{d}_s")
+            blended = m.node(
+                m.mux(sel, f"xor({rotated}, {early})", mixed), f"f{chain}_{d}_m"
+            )
+            value = m.node(
+                m.mux(f"bits({rotated}, 0, 0)", blended, rotated), f"f{chain}_{d}_x"
+            )
+            if d < params.late_taps_per_chain:
+                early_taps.append(mixed)
+                early_taps.append(rotated)
+        chain_outputs.append(value)
+
+    def xor_tree(values):
+        while len(values) > 1:
+            next_level = []
+            for index in range(0, len(values) - 1, 2):
+                next_level.append(
+                    m.node(f"xor({values[index]}, {values[index + 1]})")
+                )
+            if len(values) % 2:
+                next_level.append(values[-1])
+            values = next_level
+        return values[0]
+
+    combined = m.node(f"or({xor_tree(chain_outputs)}, UInt<1>(0))", "filler_mix")
+
+    # Late-consumption sweep: revisit early intermediate values after the
+    # deep combine, in several sequential waves so each wave's taps are
+    # consumed ever later in the cycle (long def-use distances -> identity
+    # pressure, Table 1).
+    mix = combined
+    waves = 4
+    if early_taps:
+        per_wave = max(1, (len(early_taps) + waves - 1) // waves)
+        for wave_start in range(0, len(early_taps), per_wave):
+            wave = early_taps[wave_start:wave_start + per_wave]
+            late = [m.node(f"xor({mix}, {tap})") for tap in wave]
+            mix = xor_tree(late)
+    m.node(f"or({mix}, UInt<1>(0))", "filler_val")
+
+    # ------------------------------------------------------------------
+    # Writeback: decoded register-file write
+    # ------------------------------------------------------------------
+    wen = m.node("neq(opcode, UInt<7>(0))", "wen")
+    wdata = m.node("xor(wb_val, filler_val)", "wdata")
+    for i in range(r):
+        hit = m.node(f"and(wen, eq(rd_idx, {m.lit(i, sw)}))", f"whit{i}")
+        m.connect(f"rf{i}", m.mux(f"whit{i}", "wdata", f"rf{i}"))
+
+    # ------------------------------------------------------------------
+    # Memory + branch + debug
+    # ------------------------------------------------------------------
+    m.node("tail(add(rs1_val, imm), 1)", "mem_addr")
+    m.regreset("load_buf", XLEN, "reset", 0)
+    m.connect("load_buf", "dmem_rdata")
+    taken = m.node("eq(bits(instr, 6, 0), UInt<7>(99))", "taken")
+    target = m.node("tail(add(pc, imm), 1)", "target")
+    m.connect("pc", m.mux("taken", "target", "pc_inc"))
+    m.connect("dmem_addr", "mem_addr")
+    m.connect("dmem_wdata", "rs2_val")
+    m.connect("debug_out", "xor(xor(pc, wdata), load_buf)")
+
+
+def _build_dmi_block(m: ModuleBuilder) -> str:
+    """A small DTM: 4 data registers addressed over the DMI (Section 6.2)."""
+    m.input("dmi_req_valid", 1)
+    m.input("dmi_req_write", 1)
+    m.input("dmi_req_addr", 8)
+    m.input("dmi_req_data", XLEN)
+    m.output("dmi_resp_valid", 1)
+    m.output("dmi_resp_data", XLEN)
+
+    for i in range(4):
+        m.regreset(f"dtm{i}", XLEN, "reset", 0)
+    m.node("bits(dmi_req_addr, 1, 0)", "dtm_sel")
+    for i in range(4):
+        hit = m.node(
+            f"and(and(dmi_req_valid, dmi_req_write), eq(dtm_sel, {m.lit(i, 2)}))",
+            f"dtm_hit{i}",
+        )
+        m.connect(f"dtm{i}", m.mux(f"dtm_hit{i}", "dmi_req_data", f"dtm{i}"))
+    read_value = m.mux_tree("dtm_sel", [f"dtm{i}" for i in range(4)], 2)
+    m.regreset("dmi_resp_valid_r", 1, "reset", 0)
+    m.regreset("dmi_resp_data_r", XLEN, "reset", 0)
+    m.connect("dmi_resp_valid_r", "dmi_req_valid")
+    m.connect("dmi_resp_data_r", read_value)
+    m.connect("dmi_resp_valid", "dmi_resp_valid_r")
+    m.connect("dmi_resp_data", "dmi_resp_data_r")
+    return "dtm0"
+
+
+def _build_soc(kind_name: str, params: CoreParams, cores: int) -> str:
+    circuit = CircuitBuilder(kind_name)
+    _build_core(circuit, params)
+
+    top = circuit.top()
+    top.clock()
+    top.input("reset", 1)
+    top.input("instr", XLEN)
+    top.input("mem_rdata", XLEN)
+    top.output("out", XLEN)
+    dtm0 = _build_dmi_block(top)
+
+    debug_signals = []
+    for c in range(cores):
+        top.instance(f"core{c}", params.name)
+        top.connect(f"core{c}.clock", "clock")
+        top.connect(f"core{c}.reset", "reset")
+        # Per-core distinct instruction/data streams (also defeats
+        # cross-instance CSE, as distinct cores would in a real SoC).
+        salt = top.node(f"xor(instr, {top.lit(c * 2654435761 % (1 << XLEN), XLEN)})")
+        top.connect(f"core{c}.instr", f"xor({salt}, {dtm0})")
+        top.connect(f"core{c}.dmem_rdata", f"xor(mem_rdata, {top.lit(c + 1, XLEN)})")
+        debug_signals.append(f"core{c}.debug_out")
+
+    combined = debug_signals[0]
+    for signal in debug_signals[1:]:
+        combined = top.node(f"xor({combined}, {signal})")
+    top.connect("out", f"or({combined}, UInt<1>(0))")
+    return circuit.render()
+
+
+@lru_cache(maxsize=64)
+def rocket_soc(cores: int = 1, scale: float = 1.0) -> str:
+    """FIRRTL for a Rocket-like multi-core SoC (paper's rocket-N)."""
+    return _build_soc("RocketSoc", ROCKET.scaled(scale), cores)
+
+
+@lru_cache(maxsize=64)
+def smallboom_soc(cores: int = 1, scale: float = 1.0) -> str:
+    """FIRRTL for a SmallBOOM-like multi-core SoC (paper's small-N)."""
+    return _build_soc("SmallBoomSoc", SMALLBOOM.scaled(scale), cores)

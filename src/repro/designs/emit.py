@@ -1,0 +1,114 @@
+"""A small builder for emitting FIRRTL source text.
+
+The design generators in this package produce *real FIRRTL* that round-trips
+through the frontend (parser -> elaboration -> DFG), exercising the same
+path a Chisel-generated design would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class ModuleBuilder:
+    """Accumulates the statements of one FIRRTL module."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._ports: List[str] = []
+        self._body: List[str] = []
+        self._temp_index = 0
+
+    # ------------------------------------------------------------------
+    def input(self, name: str, width: int) -> str:
+        self._ports.append(f"    input {name} : UInt<{width}>")
+        return name
+
+    def clock(self, name: str = "clock") -> str:
+        self._ports.append(f"    input {name} : Clock")
+        return name
+
+    def output(self, name: str, width: int) -> str:
+        self._ports.append(f"    output {name} : UInt<{width}>")
+        return name
+
+    def wire(self, name: str, width: int) -> str:
+        self._body.append(f"    wire {name} : UInt<{width}>")
+        return name
+
+    def reg(self, name: str, width: int, clock: str = "clock") -> str:
+        self._body.append(f"    reg {name} : UInt<{width}>, {clock}")
+        return name
+
+    def regreset(
+        self, name: str, width: int, reset: str = "reset",
+        init: int = 0, clock: str = "clock",
+    ) -> str:
+        self._body.append(
+            f"    regreset {name} : UInt<{width}>, {clock}, {reset}, "
+            f"UInt<{width}>({init})"
+        )
+        return name
+
+    def node(self, expr: str, name: Optional[str] = None) -> str:
+        if name is None:
+            name = f"_t{self._temp_index}"
+            self._temp_index += 1
+        self._body.append(f"    node {name} = {expr}")
+        return name
+
+    def connect(self, target: str, expr: str) -> None:
+        self._body.append(f"    {target} <= {expr}")
+
+    def instance(self, name: str, module: str) -> str:
+        self._body.append(f"    inst {name} of {module}")
+        return name
+
+    def comment(self, text: str) -> None:
+        self._body.append(f"    ; {text}")
+
+    # ------------------------------------------------------------------
+    # Expression helpers (pure string combinators)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def lit(value: int, width: int) -> str:
+        return f"UInt<{width}>({value})"
+
+    @staticmethod
+    def mux(sel: str, high: str, low: str) -> str:
+        return f"mux({sel}, {high}, {low})"
+
+    def mux_tree(self, selector: str, values: Sequence[str], sel_width: int) -> str:
+        """Select ``values[selector]`` via a chain of eq + mux nodes."""
+        expression = values[0]
+        for index in range(len(values) - 1, 0, -1):
+            condition = self.node(f"eq({selector}, {self.lit(index, sel_width)})")
+            expression = self.node(self.mux(condition, values[index], expression))
+        return expression
+
+    def render(self) -> str:
+        lines = [f"  module {self.name} :"]
+        lines.extend(self._ports)
+        lines.extend(self._body)
+        return "\n".join(lines)
+
+
+class CircuitBuilder:
+    """Accumulates modules into a circuit; the top module shares its name."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.modules: List[ModuleBuilder] = []
+
+    def module(self, name: str) -> ModuleBuilder:
+        builder = ModuleBuilder(name)
+        self.modules.append(builder)
+        return builder
+
+    def top(self) -> ModuleBuilder:
+        return self.module(self.name)
+
+    def render(self) -> str:
+        parts = [f"circuit {self.name} :"]
+        parts.extend(module.render() for module in self.modules)
+        return "\n".join(parts) + "\n"

@@ -1,0 +1,96 @@
+"""A Gemmini-like systolic array generator (paper's gemmini-8/16/32).
+
+An N x N weight-stationary systolic array: activations flow east, partial
+sums flow south, weights are preloaded.  A ``mode`` input switches the PEs
+between multiply-accumulate and element-wise add (the paper's
+``matrix_add-baremetal`` workload exercises the latter).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .emit import CircuitBuilder
+
+DATA_W = 8
+ACC_W = 32
+
+
+def _build_pe(circuit: CircuitBuilder) -> None:
+    m = circuit.module("Pe")
+    m.clock()
+    m.input("reset", 1)
+    m.input("a_in", DATA_W)
+    m.input("b_in", ACC_W)
+    m.input("w_in", DATA_W)
+    m.input("load_w", 1)
+    m.input("mode_add", 1)
+    m.output("a_out", DATA_W)
+    m.output("b_out", ACC_W)
+
+    m.regreset("weight", DATA_W, "reset", 0)
+    m.regreset("a_reg", DATA_W, "reset", 0)
+    m.regreset("b_reg", ACC_W, "reset", 0)
+
+    m.connect("weight", m.mux("load_w", "w_in", "weight"))
+    m.connect("a_reg", "a_in")
+
+    product = m.node("mul(a_in, weight)", "product")
+    mac = m.node(f"tail(add(b_in, pad(product, {ACC_W})), 1)", "mac")
+    added = m.node(f"tail(add(b_in, pad(a_in, {ACC_W})), 1)", "added")
+    m.connect("b_reg", m.mux("mode_add", "added", "mac"))
+    m.connect("a_out", "a_reg")
+    m.connect("b_out", "b_reg")
+
+
+@lru_cache(maxsize=16)
+def gemmini_soc(dim: int = 8) -> str:
+    """FIRRTL for a ``dim`` x ``dim`` systolic array with edge injectors."""
+    circuit = CircuitBuilder("GemminiSoc")
+    _build_pe(circuit)
+
+    top = circuit.top()
+    top.clock()
+    top.input("reset", 1)
+    top.input("act_in", DATA_W)
+    top.input("weight_in", DATA_W)
+    top.input("load_w", 1)
+    top.input("mode_add", 1)
+    top.output("result", ACC_W)
+
+    for row in range(dim):
+        for col in range(dim):
+            top.instance(f"pe_{row}_{col}", "Pe")
+            top.connect(f"pe_{row}_{col}.clock", "clock")
+            top.connect(f"pe_{row}_{col}.reset", "reset")
+            top.connect(f"pe_{row}_{col}.load_w", "load_w")
+            top.connect(f"pe_{row}_{col}.mode_add", "mode_add")
+            # Distinct weight per PE position (salted) so columns differ.
+            salt = (row * dim + col) * 37 % (1 << DATA_W)
+            top.connect(
+                f"pe_{row}_{col}.w_in",
+                f"xor(weight_in, {top.lit(salt, DATA_W)})",
+            )
+
+    # Activation injection on the west edge, with a per-row rotation.
+    for row in range(dim):
+        salt = (row * 73 + 11) % (1 << DATA_W)
+        top.connect(
+            f"pe_{row}_0.a_in", f"xor(act_in, {top.lit(salt, DATA_W)})"
+        )
+        top.connect(f"pe_0_{row}.b_in", top.lit(0, ACC_W))
+
+    # Systolic wiring: activations east, partial sums south.
+    for row in range(dim):
+        for col in range(1, dim):
+            top.connect(f"pe_{row}_{col}.a_in", f"pe_{row}_{col - 1}.a_out")
+    for row in range(1, dim):
+        for col in range(dim):
+            top.connect(f"pe_{row}_{col}.b_in", f"pe_{row - 1}_{col}.b_out")
+
+    # Fold the south-edge outputs into one result.
+    combined = f"pe_{dim - 1}_0.b_out"
+    for col in range(1, dim):
+        combined = top.node(f"xor({combined}, pe_{dim - 1}_{col}.b_out)")
+    top.connect("result", combined)
+    return circuit.render()

@@ -1,0 +1,152 @@
+"""Small library circuits: counters, ALUs, LFSRs, FIFOs, GCD.
+
+These are the unit-test and example workhorses: small enough to simulate
+against the reference interpreter for thousands of cycles, varied enough to
+exercise every primitive-op class and the optimiser.
+"""
+
+from __future__ import annotations
+
+from .emit import CircuitBuilder
+
+
+def counter(width: int = 8) -> str:
+    """A free-running counter with enable and synchronous reset."""
+    circuit = CircuitBuilder("Counter")
+    m = circuit.top()
+    m.clock()
+    m.input("reset", 1)
+    m.input("enable", 1)
+    m.output("count", width)
+    m.regreset("value", width, "reset", 0)
+    incremented = m.node(f"tail(add(value, UInt<{width}>(1)), 1)")
+    m.connect("value", m.mux("enable", incremented, "value"))
+    m.connect("count", "value")
+    return circuit.render()
+
+
+def accumulator(width: int = 16) -> str:
+    """Accumulates an input each cycle, saturating at the maximum value."""
+    circuit = CircuitBuilder("Accumulator")
+    m = circuit.top()
+    m.clock()
+    m.input("reset", 1)
+    m.input("in", width)
+    m.output("total", width)
+    m.output("saturated", 1)
+    m.regreset("acc", width, "reset", 0)
+    wide_sum = m.node("add(acc, in)", "wide_sum")
+    overflow = m.node(f"bits(wide_sum, {width}, {width})", "overflow")
+    max_value = m.lit((1 << width) - 1, width)
+    narrow = m.node("tail(wide_sum, 1)", "narrow")
+    m.connect("acc", m.mux("overflow", max_value, "narrow"))
+    m.connect("total", "acc")
+    m.connect("saturated", "overflow")
+    return circuit.render()
+
+
+def lfsr(width: int = 16, taps: tuple = (0, 2, 3, 5)) -> str:
+    """A Fibonacci LFSR; taps index bits XORed into the new MSB."""
+    circuit = CircuitBuilder("Lfsr")
+    m = circuit.top()
+    m.clock()
+    m.input("reset", 1)
+    m.output("value", width)
+    m.regreset("state", width, "reset", 1)
+    feedback = m.node(f"bits(state, {taps[0]}, {taps[0]})")
+    for tap in taps[1:]:
+        bit = m.node(f"bits(state, {tap}, {tap})")
+        feedback = m.node(f"xor({feedback}, {bit})")
+    shifted = m.node(f"bits(state, {width - 1}, 1)", "shifted")
+    m.connect("state", f"cat({feedback}, shifted)")
+    m.connect("value", "state")
+    return circuit.render()
+
+
+#: ALU operation selector values.
+ALU_OPS = ("add", "sub", "and", "or", "xor", "lt", "shl_1", "shr_1")
+
+
+def alu(width: int = 16) -> str:
+    """A combinational ALU with 8 operations and a registered output."""
+    circuit = CircuitBuilder("Alu")
+    m = circuit.top()
+    m.clock()
+    m.input("reset", 1)
+    m.input("a", width)
+    m.input("b", width)
+    m.input("op", 3)
+    m.output("result", width)
+    m.output("zero", 1)
+
+    results = [
+        m.node(f"tail(add(a, b), 1)", "r_add"),
+        m.node(f"tail(sub(a, b), 1)", "r_sub"),
+        m.node("and(a, b)", "r_and"),
+        m.node("or(a, b)", "r_or"),
+        m.node("xor(a, b)", "r_xor"),
+        m.node(f"pad(lt(a, b), {width})", "r_lt"),
+        m.node("tail(shl(a, 1), 1)", "r_shl"),
+        m.node("shr(a, 1)", "r_shr_raw"),
+    ]
+    # shr narrows; pad back to the ALU width.
+    results[7] = m.node(f"pad(r_shr_raw, {width})", "r_shr")
+    selected = m.mux_tree("op", results, 3)
+    m.regreset("out_reg", width, "reset", 0)
+    m.connect("out_reg", selected)
+    m.connect("result", "out_reg")
+    m.connect("zero", "eq(out_reg, " + m.lit(0, width) + ")")
+    return circuit.render()
+
+
+def shift_fifo(width: int = 8, depth: int = 4) -> str:
+    """A shift-register FIFO with valid tracking (no bypass)."""
+    circuit = CircuitBuilder("ShiftFifo")
+    m = circuit.top()
+    m.clock()
+    m.input("reset", 1)
+    m.input("push", 1)
+    m.input("data_in", width)
+    m.output("data_out", width)
+    m.output("valid_out", 1)
+    for stage in range(depth):
+        m.regreset(f"data{stage}", width, "reset", 0)
+        m.regreset(f"valid{stage}", 1, "reset", 0)
+    for stage in range(depth - 1, 0, -1):
+        previous = stage - 1
+        m.connect(
+            f"data{stage}",
+            m.mux("push", f"data{previous}", f"data{stage}"),
+        )
+        m.connect(
+            f"valid{stage}",
+            m.mux("push", f"valid{previous}", f"valid{stage}"),
+        )
+    m.connect("data0", m.mux("push", "data_in", "data0"))
+    m.connect("valid0", m.mux("push", m.lit(1, 1), "valid0"))
+    m.connect("data_out", f"data{depth - 1}")
+    m.connect("valid_out", f"valid{depth - 1}")
+    return circuit.render()
+
+
+def gcd(width: int = 16) -> str:
+    """The classic load/iterate GCD circuit (Chisel's hello-world)."""
+    circuit = CircuitBuilder("Gcd")
+    m = circuit.top()
+    m.clock()
+    m.input("reset", 1)
+    m.input("load", 1)
+    m.input("a", width)
+    m.input("b", width)
+    m.output("result", width)
+    m.output("done", 1)
+    m.regreset("x", width, "reset", 0)
+    m.regreset("y", width, "reset", 0)
+    x_bigger = m.node("gt(x, y)", "x_bigger")
+    x_minus_y = m.node("tail(sub(x, y), 1)", "x_minus_y")
+    y_minus_x = m.node("tail(sub(y, x), 1)", "y_minus_x")
+    m.connect("x", m.mux("load", "a", m.mux("x_bigger", "x_minus_y", "x")))
+    m.connect("y", m.mux("load", "b", m.mux("x_bigger", "y", "y_minus_x")))
+    m.connect("result", "x")
+    m.connect("done", "eq(y, " + m.lit(0, width) + ")")
+    return circuit.render()

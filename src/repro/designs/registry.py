@@ -1,0 +1,81 @@
+"""Design registry: the paper's evaluation designs by name.
+
+Names follow the paper's figures: ``rocket-N`` / ``r-N`` (RocketChip-like),
+``small-N`` / ``s-N`` (SmallBOOM-like), ``gemmini-8/16/32`` / ``g-D``, and
+``sha3``.  :func:`get_design` returns FIRRTL source;
+:func:`compile_named_design` returns a cached, fully compiled
+:class:`~repro.oim.builder.OimBundle`.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from ..firrtl.elaborate import elaborate
+from ..firrtl.parser import parse
+from ..graph.build import build_dfg
+from ..graph.dfg import DataflowGraph
+from ..graph.optimize import optimize
+from ..oim.builder import OimBundle, build_oim
+from .cores import rocket_soc, smallboom_soc
+from .gemmini import gemmini_soc
+from .sha3 import sha3_soc
+
+_NAME_RE = re.compile(r"^(rocket|r|small|s|gemmini|g|sha3)(?:-(\d+))?$")
+
+
+def parse_design_name(name: str) -> Tuple[str, int]:
+    """Normalise a design name to ``(family, parameter)``."""
+    match = _NAME_RE.match(name.strip().lower())
+    if not match:
+        raise KeyError(
+            f"unknown design {name!r}; expected rocket-N, small-N, "
+            "gemmini-8/16/32, or sha3"
+        )
+    family, parameter = match.groups()
+    family = {"r": "rocket", "s": "small", "g": "gemmini"}.get(family, family)
+    if family == "sha3":
+        return "sha3", int(parameter) if parameter else 64
+    if parameter is None:
+        raise KeyError(f"design {name!r} needs a size suffix (e.g. {name}-1)")
+    return family, int(parameter)
+
+
+def get_design(name: str, scale: float = 1.0) -> str:
+    """FIRRTL source for a named design."""
+    family, parameter = parse_design_name(name)
+    if family == "rocket":
+        return rocket_soc(parameter, scale)
+    if family == "small":
+        return smallboom_soc(parameter, scale)
+    if family == "gemmini":
+        return gemmini_soc(parameter)
+    return sha3_soc(parameter)
+
+
+@lru_cache(maxsize=128)
+def compile_named_design(name: str, scale: float = 1.0) -> OimBundle:
+    """Parse, elaborate, build, optimise and OIM-compile a named design."""
+    graph = compiled_graph(name, scale)
+    return build_oim(graph)
+
+
+@lru_cache(maxsize=128)
+def compiled_graph(name: str, scale: float = 1.0) -> DataflowGraph:
+    """The optimised dataflow graph of a named design (cached)."""
+    source = get_design(name, scale)
+    graph = build_dfg(elaborate(parse(source)))
+    optimized, _ = optimize(graph)
+    return optimized
+
+
+def standard_designs() -> List[str]:
+    """The design set of the paper's main evaluation (Figure 20)."""
+    return [
+        "rocket-1", "rocket-4", "rocket-8",
+        "small-1", "small-4", "small-8",
+        "gemmini-8", "gemmini-16", "gemmini-32",
+        "sha3",
+    ]

@@ -1,0 +1,37 @@
+"""Extended General Einsums (EDGE) for RTL simulation (Sections 2.3-2.4, 4).
+
+Public API::
+
+    from repro.einsum import Einsum, Cascade, TensorRef, Index
+    from repro.einsum import evaluate, run_cascade
+    from repro.einsum import operators
+"""
+
+from . import operators
+from .einsum import (
+    Cascade,
+    Einsum,
+    Index,
+    MapSpec,
+    PopulateSpec,
+    ReduceSpec,
+    TensorRef,
+)
+from .interpreter import EinsumError, evaluate, run_cascade
+from .notation import NotationError, parse_einsum
+
+__all__ = [
+    "Cascade",
+    "Einsum",
+    "EinsumError",
+    "Index",
+    "MapSpec",
+    "PopulateSpec",
+    "ReduceSpec",
+    "TensorRef",
+    "NotationError",
+    "evaluate",
+    "operators",
+    "parse_einsum",
+    "run_cascade",
+]

@@ -1,0 +1,227 @@
+"""Extended-Einsum intermediate representation (Sections 2.3, 2.4, 4).
+
+An :class:`Einsum` names an output tensor, input tensors, and the three EDGE
+actions (map, reduce, populate), each with its compute and coordinate
+operator.  A :class:`Cascade` is an ordered sequence of dependent Einsums,
+optionally with an iterative rank for loop-carried dependencies (e.g. the
+layer rank ``I`` in the paper's Cascade 1).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from .operators import (
+    COORD_LEFT,
+    COORD_RIGHT,
+    ComputeOp,
+    CoordOp,
+    PASS_THROUGH,
+    PopulateOp,
+)
+
+_INDEX_RE = re.compile(r"^([a-z][a-z0-9_]*)(\+1|\*)?$")
+
+
+@dataclass(frozen=True)
+class Index:
+    """A rank variable expression in a tensor subscript.
+
+    ``name`` is the lowercase index letter.  ``offset`` is 1 for iterative
+    outputs written at ``i+1`` (Einsum 5 / Cascade 1), and ``starred`` marks
+    fiber-level populate ranks like the ``o*`` in :math:`LO\\_sel` (Einsum 13
+    and Appendix A).
+    """
+
+    name: str
+    offset: int = 0
+    starred: bool = False
+
+    @classmethod
+    def parse(cls, text: str) -> "Index":
+        match = _INDEX_RE.match(text.strip())
+        if not match:
+            raise ValueError(f"bad index expression: {text!r}")
+        name, suffix = match.groups()
+        return cls(name, offset=1 if suffix == "+1" else 0, starred=suffix == "*")
+
+    def __str__(self) -> str:
+        if self.offset:
+            return f"{self.name}+{self.offset}"
+        if self.starred:
+            return f"{self.name}*"
+        return self.name
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    """A tensor name with its subscript, e.g. ``OIM[i, n, o, r, s]``."""
+
+    name: str
+    indices: Tuple[Index, ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "TensorRef":
+        text = text.strip()
+        if "[" not in text:
+            # A scalar output such as the dot product's Z.
+            return cls(text, ())
+        name, _, rest = text.partition("[")
+        if not rest.endswith("]"):
+            raise ValueError(f"bad tensor reference: {text!r}")
+        inner = rest[:-1].strip()
+        indices = tuple(Index.parse(part) for part in inner.split(",") if part.strip())
+        return cls(name.strip(), indices)
+
+    def index_names(self) -> Tuple[str, ...]:
+        return tuple(index.name for index in self.indices)
+
+    def __str__(self) -> str:
+        if not self.indices:
+            return self.name
+        return f"{self.name}[{', '.join(str(i) for i in self.indices)}]"
+
+
+@dataclass
+class MapSpec:
+    """The map action: compute + coordinate operator."""
+
+    compute: ComputeOp = PASS_THROUGH
+    coordinate: CoordOp = COORD_LEFT
+
+    def describe(self) -> str:
+        return f"map {self.compute.symbol}({self.coordinate.symbol})"
+
+
+@dataclass
+class ReduceSpec:
+    """The reduce action; ``None`` compute means "no reduction"."""
+
+    compute: Optional[ComputeOp] = None
+    coordinate: CoordOp = COORD_RIGHT
+
+    def describe(self) -> str:
+        if self.compute is None:
+            return ""
+        return f"reduce {self.compute.symbol}({self.coordinate.symbol})"
+
+
+@dataclass
+class PopulateSpec:
+    """The populate action; ``None`` operator means pass-through.
+
+    ``carried`` names output indices that ride along with each element of
+    the starred fiber rather than keying the groups handed to the populate
+    coordinate operator.  In Einsum 13, ``r`` is carried: each ``o`` entry
+    of a select operation names a different input operand ``r``.
+    """
+
+    compute: ComputeOp = PASS_THROUGH
+    coordinate: Optional[PopulateOp] = None
+    carried: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.coordinate is None:
+            return ""
+        return f"populate {self.compute.symbol}({self.coordinate.name})"
+
+
+@dataclass
+class Einsum:
+    """One extended Einsum: ``output = f(inputs) :: actions [, condition]``.
+
+    ``condition`` optionally restricts the Einsum to a region of the
+    iteration space, like Cascade 1's ``n ∉ n_sel`` guards.  It is a
+    predicate over the coordinate bindings (a dict index-name -> coord).
+    """
+
+    output: TensorRef
+    inputs: Tuple[TensorRef, ...]
+    map_spec: MapSpec = field(default_factory=MapSpec)
+    reduce_spec: ReduceSpec = field(default_factory=ReduceSpec)
+    populate_spec: PopulateSpec = field(default_factory=PopulateSpec)
+    condition: Optional[Callable[[Dict[str, int]], bool]] = None
+    condition_text: str = ""
+
+    def __post_init__(self) -> None:
+        self.inputs = tuple(self.inputs)
+        if len(self.inputs) not in (1, 2):
+            raise ValueError("Einsums with one or two input tensors are supported")
+
+    # ------------------------------------------------------------------
+    # Derived index sets
+    # ------------------------------------------------------------------
+    def input_index_names(self) -> Tuple[str, ...]:
+        seen: list[str] = []
+        for ref in self.inputs:
+            for name in ref.index_names():
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+    def output_index_names(self) -> Tuple[str, ...]:
+        return self.output.index_names()
+
+    def reduced_index_names(self) -> Tuple[str, ...]:
+        """Indices contracted away by the reduce action."""
+        kept = set(self.output_index_names())
+        return tuple(n for n in self.input_index_names() if n not in kept)
+
+    def starred_index(self) -> Optional[str]:
+        for index in self.output.indices:
+            if index.starred:
+                return index.name
+        return None
+
+    def describe(self) -> str:
+        rhs = " . ".join(str(ref) for ref in self.inputs)
+        actions = " ".join(
+            part
+            for part in (
+                self.map_spec.describe(),
+                self.reduce_spec.describe(),
+                self.populate_spec.describe(),
+            )
+            if part
+        )
+        text = f"{self.output} = {rhs} :: {actions}"
+        if self.condition_text:
+            text += f", {self.condition_text}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"Einsum({self.describe()})"
+
+
+@dataclass
+class Cascade:
+    """A sequence of dependent Einsums, optionally with an iterative rank.
+
+    ``iterative_rank`` names the rank looped over with loop-carried
+    dependencies (Cascade 1's ``⋄ : i ≡ I``).  Einsums that write
+    ``X[i+1, ...]`` feed the next iteration's reads of ``X[i, ...]``.
+    """
+
+    einsums: Sequence[Einsum]
+    iterative_rank: Optional[str] = None
+
+    def describe(self) -> str:
+        lines = [einsum.describe() for einsum in self.einsums]
+        if self.iterative_rank:
+            lines.append(f"<> : {self.iterative_rank} iterative")
+        return "\n".join(lines)
+
+    def tensor_names(self) -> set[str]:
+        names: set[str] = set()
+        for einsum in self.einsums:
+            names.add(einsum.output.name)
+            names.update(ref.name for ref in einsum.inputs)
+        return names
+
+    def __iter__(self):
+        return iter(self.einsums)
+
+    def __len__(self) -> int:
+        return len(self.einsums)

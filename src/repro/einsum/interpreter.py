@@ -1,0 +1,410 @@
+"""A reference interpreter for extended Einsums.
+
+This module executes :class:`~repro.einsum.einsum.Einsum` objects over
+:class:`~repro.tensor.tensor.Tensor` fibertrees.  It is the *golden model*
+used to validate the paper's RTL cascade (Cascade 1) against direct dataflow
+graph evaluation on small circuits; performance is irrelevant here, fidelity
+to the EDGE semantics of Section 2.4 is the point.
+
+Supported semantics:
+
+* one- and two-input map actions with intersection, union, take-left and
+  take-right coordinate operators;
+* reduce actions folding map temporaries in ascending coordinate order of the
+  contracted ranks (the paper's ordering constraint on the ``O`` rank);
+* point-wise populate, and fiber-level populate coordinate operators with a
+  starred output rank (Appendix A);
+* iterative ranks with loop-carried ``i -> i+1`` dependencies (Cascade 1);
+* per-Einsum conditions such as ``n ∈ n_sel``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..tensor.tensor import Tensor
+from .einsum import Cascade, Einsum, Index, TensorRef
+from .operators import ComputeOp, TAKE_LEFT, TAKE_RIGHT
+
+
+class EinsumError(ValueError):
+    """Raised when an Einsum cannot be evaluated by this interpreter."""
+
+
+def _apply_compute(op: ComputeOp, bindings: Dict[str, int], *values: Any) -> Any:
+    if getattr(op, "contextual", False):
+        return op.fn(bindings, *values)
+    return op(*values)
+
+
+def _project(ref: TensorRef, bindings: Dict[str, int]) -> Tuple[int, ...]:
+    """Coordinates of ``ref`` under the given index bindings.
+
+    A subscript-free reference addresses the single point of a scalar
+    tensor, which is stored at coordinate ``(0,)``.
+    """
+    if not ref.indices:
+        return (0,)
+    coords = []
+    for index in ref.indices:
+        coord = bindings[index.name] + index.offset
+        coords.append(coord)
+    return tuple(coords)
+
+
+def _iterate_candidates(
+    einsum: Einsum, tensors: Dict[str, Tensor]
+) -> List[Tuple[Dict[str, int], Tuple[Any, ...]]]:
+    """Enumerate map-action points as ``(bindings, operand values)``.
+
+    The input whose subscript covers the union of all input indices drives
+    the iteration; the other input is probed at the shared coordinates.  The
+    map coordinate operator decides which points survive.
+    """
+    mode = einsum.map_spec.coordinate.mode
+    refs = einsum.inputs
+    all_names = einsum.input_index_names()
+
+    # Pick the driving input: its indices must cover every input index.
+    driver_pos = None
+    for pos, ref in enumerate(refs):
+        if set(ref.index_names()) == set(all_names):
+            driver_pos = pos
+            break
+    if driver_pos is None:
+        raise EinsumError(
+            f"no input of {einsum.describe()!r} covers the full index set "
+            f"{all_names}; this interpreter requires one superset input"
+        )
+
+    driver = refs[driver_pos]
+    driver_tensor = tensors[driver.name]
+    candidates: List[Tuple[Dict[str, int], Tuple[Any, ...]]] = []
+
+    for coords, value in driver_tensor.points():
+        bindings = dict(zip(driver.index_names(), coords))
+        values: List[Any] = [None] * len(refs)
+        values[driver_pos] = value
+        present = [False] * len(refs)
+        present[driver_pos] = True
+        for pos, ref in enumerate(refs):
+            if pos == driver_pos:
+                continue
+            probe = tensors[ref.name].get(_project(ref, bindings))
+            values[pos] = probe
+            present[pos] = probe is not None
+        if _point_selected(mode, present, driver_pos, len(refs)):
+            candidates.append((bindings, tuple(values)))
+    return candidates
+
+
+def _point_selected(mode: str, present: List[bool], driver_pos: int, n_inputs: int) -> bool:
+    if mode == "intersect":
+        return all(present)
+    if mode == "union":
+        return any(present)
+    if mode == "left":
+        return present[0]
+    if mode == "right":
+        return present[-1]
+    if mode == "all":
+        # Dense iteration over the full iteration space is only reachable via
+        # the driving tensor here, so "all" degrades to the driver's points.
+        return True
+    raise EinsumError(f"unknown coordinate operator mode {mode!r}")
+
+
+def _map_value(einsum: Einsum, bindings: Dict[str, int], values: Tuple[Any, ...]) -> Any:
+    op = einsum.map_spec.compute
+    # Take-left / take-right compute with a missing side yields no value.
+    if op is TAKE_LEFT and values[0] is None:
+        return None
+    if op is TAKE_RIGHT and values[-1] is None:
+        return None
+    if op.name == "pass_through":
+        live = [v for v in values if v is not None]
+        if len(live) != 1:
+            raise EinsumError(
+                "pass-through map compute needs exactly one live operand; "
+                f"got {values} in {einsum.describe()!r}"
+            )
+        return live[0]
+    return _apply_compute(op, bindings, *values)
+
+
+def evaluate(
+    einsum: Einsum,
+    tensors: Dict[str, Tensor],
+    shapes: Optional[Dict[str, Optional[int]]] = None,
+    into: Optional[Tensor] = None,
+) -> Tensor:
+    """Evaluate one Einsum, returning (or merging into) the output tensor."""
+    shapes = shapes or {}
+    candidates = _iterate_candidates(einsum, tensors)
+
+    # --- map action -----------------------------------------------------
+    map_temporaries: List[Tuple[Dict[str, int], Any]] = []
+    for bindings, values in candidates:
+        if einsum.condition is not None and not einsum.condition(bindings):
+            continue
+        result = _map_value(einsum, bindings, values)
+        if result is None:
+            continue
+        map_temporaries.append((bindings, result))
+
+    # --- reduce action ---------------------------------------------------
+    out_names = [i.name for i in einsum.output.indices]
+    reduced = einsum.reduced_index_names()
+    star = einsum.starred_index()
+    carried = tuple(einsum.populate_spec.carried or ())
+
+    # Group map temporaries by the output indices (excluding star/carried for
+    # fiber-level populate, which groups one level higher).
+    group_names = [n for n in out_names if n not in reduced]
+    if star is not None:
+        group_names = [n for n in group_names if n != star and n not in carried]
+
+    groups: Dict[Tuple[int, ...], List[Tuple[Dict[str, int], Any]]] = {}
+    order: List[Tuple[int, ...]] = []
+    for bindings, value in map_temporaries:
+        key = tuple(bindings[n] for n in group_names)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((bindings, value))
+
+    # Sort members of each group by the contracted coordinates, in subscript
+    # appearance order -- this realises the paper's ascending-O ordering
+    # constraint for non-commutative reduce operators.
+    sort_names = [n for n in einsum.input_index_names() if n in reduced]
+    if star is not None:
+        sort_names = [star] + [n for n in sort_names if n != star]
+
+    def member_sort_key(member: Tuple[Dict[str, int], Any]) -> Tuple[int, ...]:
+        bindings, _ = member
+        return tuple(bindings.get(n, 0) for n in sort_names)
+
+    # --- build output ----------------------------------------------------
+    if into is not None:
+        output = into
+    else:
+        out_shape = [
+            _infer_shape(einsum, tensors, shapes, index) for index in einsum.output.indices
+        ]
+        output = Tensor(
+            [i.name for i in einsum.output.indices] or ("scalar",),
+            out_shape or [1],
+        )
+
+    for key in order:
+        members = sorted(groups[key], key=member_sort_key)
+        if star is None:
+            value = _reduce_members(einsum, members)
+            bindings = members[0][0]
+            final = _apply_populate_compute(einsum, bindings, value)
+            _write_point(einsum, output, bindings, final)
+        else:
+            _populate_fiber(einsum, output, members, star)
+    return output
+
+
+def _infer_shape(
+    einsum: Einsum,
+    tensors: Dict[str, Tensor],
+    shapes: Dict[str, Optional[int]],
+    index: Index,
+) -> Optional[int]:
+    """Shape for an output rank: explicit, else inherited from an input."""
+    explicit = shapes.get(index.name)
+    if explicit is not None:
+        return explicit
+    for ref in einsum.inputs:
+        for pos, ref_index in enumerate(ref.indices):
+            if ref_index.name == index.name:
+                shape = tensors[ref.name].shape[pos]
+                if shape is not None:
+                    return shape + index.offset
+    return None
+
+
+def _reduce_members(
+    einsum: Einsum, members: List[Tuple[Dict[str, int], Any]]
+) -> Any:
+    op = einsum.reduce_spec.compute
+    if op is None:
+        if len(members) != 1:
+            raise EinsumError(
+                f"{einsum.describe()!r} has no reduce operator but "
+                f"{len(members)} map temporaries share an output point"
+            )
+        return members[0][1]
+    # Copy-first semantics: "If no current reduce temporary exists, the map
+    # temporary is copied into the reduce temporary" (Section 2.4).
+    bindings0, accumulator = members[0]
+    for bindings, value in members[1:]:
+        accumulator = _apply_compute(op, bindings, accumulator, value)
+    return accumulator
+
+
+def _apply_populate_compute(einsum: Einsum, bindings: Dict[str, int], value: Any) -> Any:
+    op = einsum.populate_spec.compute
+    if op.name == "pass_through":
+        return value
+    return _apply_compute(op, bindings, value)
+
+
+def _write_point(
+    einsum: Einsum, output: Tensor, bindings: Dict[str, int], value: Any
+) -> None:
+    if not einsum.output.indices:
+        output.set((0,), value)
+        return
+    output.set(_project(einsum.output, bindings), value)
+
+
+def _populate_fiber(
+    einsum: Einsum,
+    output: Tensor,
+    members: List[Tuple[Dict[str, int], Any]],
+    star: str,
+) -> None:
+    """Fiber-level populate: hand the whole starred fiber to the operator."""
+    populate_op = einsum.populate_spec.coordinate
+    if populate_op is None:
+        raise EinsumError(
+            f"starred rank {star!r} requires a populate coordinate operator"
+        )
+    pairs = [(bindings[star], value) for bindings, value in members]
+    bindings_by_star: Dict[int, Dict[str, int]] = {
+        bindings[star]: bindings for bindings, _ in members
+    }
+    group_bindings = members[0][0]
+    if getattr(populate_op, "contextual", False):
+        kept = populate_op.fn(group_bindings, pairs)
+    else:
+        kept = populate_op(pairs)
+    for star_coord, value in kept:
+        bindings = bindings_by_star.get(star_coord)
+        if bindings is None:
+            # The operator synthesised a new coordinate; bind only the star.
+            bindings = dict(group_bindings)
+            bindings[star] = star_coord
+        final = _apply_populate_compute(einsum, bindings, value)
+        _write_point(einsum, output, bindings, final)
+
+
+# ----------------------------------------------------------------------
+# Cascade execution
+# ----------------------------------------------------------------------
+def _slice_rank(tensor: Tensor, rank: str, coord: int) -> Tensor:
+    """Drop ``rank`` from ``tensor`` by fixing it at ``coord``."""
+    pos = tensor.rank_index(rank)
+    remaining = [n for i, n in enumerate(tensor.rank_names) if i != pos]
+    shape = [s for i, s in enumerate(tensor.shape) if i != pos]
+    result = Tensor(remaining or ("scalar",), shape or [1])
+    for coords, value in tensor.points():
+        if coords[pos] != coord:
+            continue
+        rest = tuple(c for i, c in enumerate(coords) if i != pos)
+        result.set(rest or (0,), value)
+    return result
+
+
+def _merge_slice(target: Tensor, rank: str, coord: int, piece: Tensor) -> None:
+    """Insert ``piece`` into ``target`` at ``rank = coord``."""
+    pos = target.rank_index(rank)
+    scalar_piece = piece.rank_names == ("scalar",)
+    for coords, value in piece.points():
+        full = [] if scalar_piece else list(coords)
+        full.insert(pos, coord)
+        target.set(tuple(full), value)
+
+
+def run_cascade(
+    cascade: Cascade,
+    tensors: Dict[str, Tensor],
+    shapes: Optional[Dict[str, Optional[int]]] = None,
+    iterations: Optional[int] = None,
+) -> Dict[str, Tensor]:
+    """Execute a cascade, returning the final tensor environment.
+
+    For an iterative cascade, ``iterations`` (or the shape of the iterative
+    rank) bounds the loop; tensors carrying the iterative rank are sliced at
+    the current iteration for reads and written back at ``i`` or ``i+1``.
+    """
+    shapes = dict(shapes or {})
+    env = dict(tensors)
+
+    if cascade.iterative_rank is None:
+        for einsum in cascade:
+            into = env.get(einsum.output.name)
+            env[einsum.output.name] = evaluate(einsum, env, shapes, into=into)
+        return env
+
+    rank = cascade.iterative_rank
+    index_name = rank.lower()
+    if iterations is None:
+        iterations = shapes.get(index_name)
+    if iterations is None:
+        raise EinsumError(
+            f"iterative cascade needs an iteration count for rank {rank!r}"
+        )
+
+    for i in range(iterations):
+        step_env: Dict[str, Tensor] = {}
+        for einsum in cascade:
+            inner_inputs = []
+            for ref in einsum.inputs:
+                if index_name in ref.index_names():
+                    sliced_ref = TensorRef(
+                        ref.name,
+                        tuple(ix for ix in ref.indices if ix.name != index_name),
+                    )
+                    source = step_env.get(ref.name)
+                    if source is None:
+                        source = _slice_rank(env[ref.name], index_name, i)
+                        step_env[ref.name] = source
+                    inner_inputs.append(sliced_ref)
+                else:
+                    step_env.setdefault(ref.name, env[ref.name])
+                    inner_inputs.append(ref)
+
+            out_ref = einsum.output
+            out_offset = 0
+            if index_name in out_ref.index_names():
+                out_offset = next(
+                    ix.offset for ix in out_ref.indices if ix.name == index_name
+                )
+                out_ref = TensorRef(
+                    out_ref.name,
+                    tuple(ix for ix in out_ref.indices if ix.name != index_name),
+                )
+
+            inner = Einsum(
+                output=out_ref,
+                inputs=tuple(inner_inputs),
+                map_spec=einsum.map_spec,
+                reduce_spec=einsum.reduce_spec,
+                populate_spec=einsum.populate_spec,
+                condition=einsum.condition,
+                condition_text=einsum.condition_text,
+            )
+            name = einsum.output.name
+            if index_name in einsum.output.index_names():
+                # Evaluate the slice, then merge into the full tensor.
+                piece = evaluate(inner, step_env, shapes)
+                if name not in env:
+                    full_ranks = [ix.name for ix in einsum.output.indices]
+                    env[name] = Tensor(
+                        full_ranks, [shapes.get(r) for r in full_ranks]
+                    )
+                _merge_slice(env[name], index_name, i + out_offset, piece)
+                # Refresh any same-iteration view of this tensor.
+                if out_offset == 0:
+                    step_env[name] = _slice_rank(env[name], index_name, i)
+            else:
+                into = step_env.get(name, env.get(name))
+                result = evaluate(inner, step_env, shapes, into=into)
+                step_env[name] = result
+                env[name] = result
+    return env

@@ -1,0 +1,131 @@
+"""A small parser for extended-Einsum notation strings.
+
+Lets Einsums be written the way the paper writes them (ASCII-fied)::
+
+    parse_einsum("Z[m] = A[k, m] . B[k] :: map *(^) reduce +(v)")
+    parse_einsum("OI[i,n,o,r,s] = LI[i,r] . OIM[i,n,o,r,s] :: map <-(->)")
+    parse_einsum("S[i+1] = S[i] . A[i] :: map +(v)")
+
+Operator spellings:
+
+========  =====================  =========================
+spelling  meaning                paper notation
+========  =====================  =========================
+``*``     multiply               ×
+``+``     add                    \\+
+``-``     subtract               −
+``<-``    take-left              ←
+``->``    take-right             →
+``1``     pass-through           1
+``^``     intersection           ∩
+``v``     union                  ∪
+``ANY``   any (first non-empty)  ANY
+========  =====================  =========================
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+from .einsum import Einsum, MapSpec, ReduceSpec, TensorRef
+from .operators import (
+    ADD,
+    ANY,
+    COORD_ALL,
+    COORD_LEFT,
+    COORD_RIGHT,
+    ComputeOp,
+    CoordOp,
+    INTERSECT,
+    MAX,
+    MIN,
+    MUL,
+    PASS_THROUGH,
+    SUB,
+    TAKE_LEFT,
+    TAKE_RIGHT,
+    UNION,
+)
+
+_COMPUTE_OPS: Dict[str, ComputeOp] = {
+    "*": MUL,
+    "x": MUL,
+    "+": ADD,
+    "-": SUB,
+    "max": MAX,
+    "min": MIN,
+    "<-": TAKE_LEFT,
+    "->": TAKE_RIGHT,
+    "1": PASS_THROUGH,
+    "ANY": ANY,
+}
+
+_COORD_OPS: Dict[str, CoordOp] = {
+    "^": INTERSECT,
+    "v": UNION,
+    "<-": COORD_LEFT,
+    "->": COORD_RIGHT,
+    "1": COORD_ALL,
+}
+
+_ACTION_RE = re.compile(
+    r"(map|reduce)\s+(?P<compute>[^\s(]+)\s*\(\s*(?P<coord>[^\s)]+)\s*\)"
+)
+
+
+class NotationError(ValueError):
+    """Raised for unparseable Einsum notation."""
+
+
+def _lookup(table: Dict, spelling: str, kind: str):
+    try:
+        return table[spelling]
+    except KeyError:
+        raise NotationError(
+            f"unknown {kind} operator {spelling!r}; "
+            f"choose from {sorted(table)}"
+        ) from None
+
+
+def parse_einsum(text: str) -> Einsum:
+    """Parse one extended Einsum from its notation string."""
+    if "::" in text:
+        equation, _, actions_text = text.partition("::")
+    else:
+        equation, actions_text = text, ""
+    if "=" not in equation:
+        raise NotationError(f"missing '=' in {text!r}")
+    lhs, _, rhs = equation.partition("=")
+    output = TensorRef.parse(lhs)
+    input_refs = tuple(
+        TensorRef.parse(part) for part in rhs.split(".") if part.strip()
+    )
+    if not input_refs:
+        raise NotationError(f"no input tensors in {text!r}")
+
+    map_spec: Optional[MapSpec] = None
+    reduce_spec = ReduceSpec()
+    for match in _ACTION_RE.finditer(actions_text):
+        action = match.group(1)
+        compute = _lookup(_COMPUTE_OPS, match.group("compute"), "compute")
+        coordinate = _lookup(_COORD_OPS, match.group("coord"), "coordinate")
+        if action == "map":
+            map_spec = MapSpec(compute, coordinate)
+        else:
+            reduce_spec = ReduceSpec(compute, coordinate)
+
+    if map_spec is None:
+        # Sensible defaults mirroring traditional Einsums: two inputs
+        # intersect-multiply; one input take-left pass-through.
+        if len(input_refs) == 2:
+            map_spec = MapSpec(MUL, INTERSECT)
+        else:
+            map_spec = MapSpec(PASS_THROUGH, COORD_LEFT)
+
+    # Traditional-Einsum convenience: if indices are contracted but no
+    # reduce action was written, reduce with addition.
+    einsum = Einsum(output, input_refs, map_spec, reduce_spec)
+    if einsum.reduced_index_names() and reduce_spec.compute is None:
+        einsum = Einsum(output, input_refs, map_spec, ReduceSpec(ADD))
+    return einsum

@@ -1,0 +1,160 @@
+"""Compute and coordinate operators for extended Einsums (Section 2.4).
+
+EDGE pairs every action (map, reduce, populate) with a *compute operator*,
+which combines data values, and a *coordinate operator*, which selects the
+region of the iteration space where the computation is evaluated.  This
+module defines the common operators used in the paper:
+
+* compute: ``×``, ``+``, pass-through (``1``), take-left (``<-``),
+  take-right (``->``), and user-defined custom operators such as the
+  paper's ``op_r[n]`` / ``op_u[n]`` / ``op_s[n]``;
+* coordinate: intersection (``∩``), union (``∪``), take-left, take-right,
+  and pass-through.
+
+Operators are small named wrappers around callables so that Einsums can be
+pretty-printed in something close to the paper's notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class ComputeOp:
+    """A compute operator: combines data values.
+
+    ``fn`` receives the operand values.  For map actions it is called with
+    one value per input tensor; for reduce actions it is called as
+    ``fn(current_reduce_temporary, new_map_temporary)`` -- the paper's
+    convention that "the left operator is the current reduce temporary and
+    the right operator is the new map temporary".
+    """
+
+    name: str
+    symbol: str
+    fn: Callable[..., Any]
+    #: Contextual operators receive the coordinate bindings as their first
+    #: argument -- this is how the paper's ``op_r[n]`` family reads the ``n``
+    #: coordinate to select the operation to perform (Algorithm 2).
+    contextual: bool = False
+
+    def __call__(self, *args: Any) -> Any:
+        return self.fn(*args)
+
+    def __repr__(self) -> str:
+        return f"ComputeOp({self.symbol})"
+
+
+@dataclass(frozen=True)
+class CoordOp:
+    """A coordinate operator: selects points of the iteration space.
+
+    ``mode`` is interpreted by the Einsum interpreter:
+
+    * ``"intersect"``: evaluate where *all* inputs are non-empty;
+    * ``"union"``: evaluate where *any* input is non-empty;
+    * ``"left"`` / ``"right"``: evaluate where that input is non-empty;
+    * ``"all"``: evaluate at every point of the (shaped) iteration space.
+    """
+
+    name: str
+    symbol: str
+    mode: str
+
+    def __repr__(self) -> str:
+        return f"CoordOp({self.symbol})"
+
+
+# ----------------------------------------------------------------------
+# Standard compute operators
+# ----------------------------------------------------------------------
+def _take_left(*args: Any) -> Any:
+    return args[0]
+
+
+def _take_right(*args: Any) -> Any:
+    return args[-1]
+
+
+def _pass_through(*args: Any) -> Any:
+    if len(args) != 1:
+        raise ValueError(
+            "pass-through compute operator expects exactly one operand; "
+            "use an explicit operator to combine multiple inputs"
+        )
+    return args[0]
+
+
+ADD = ComputeOp("add", "+", lambda a, b: a + b)
+SUB = ComputeOp("sub", "-", lambda a, b: a - b)
+MUL = ComputeOp("mul", "x", lambda a, b: a * b)
+MAX = ComputeOp("max", "max", lambda a, b: a if a >= b else b)
+MIN = ComputeOp("min", "min", lambda a, b: a if a <= b else b)
+ANY = ComputeOp("any", "ANY", lambda a, b: a if a is not None else b)
+TAKE_LEFT = ComputeOp("take_left", "<-", _take_left)
+TAKE_RIGHT = ComputeOp("take_right", "->", _take_right)
+PASS_THROUGH = ComputeOp("pass_through", "1", _pass_through)
+
+# ----------------------------------------------------------------------
+# Standard coordinate operators
+# ----------------------------------------------------------------------
+INTERSECT = CoordOp("intersect", "^", "intersect")
+UNION = CoordOp("union", "v", "union")
+COORD_LEFT = CoordOp("take_left", "<-", "left")
+COORD_RIGHT = CoordOp("take_right", "->", "right")
+COORD_ALL = CoordOp("pass_through", "1", "all")
+
+
+def custom_compute(name: str, fn: Callable[..., Any], symbol: Optional[str] = None) -> ComputeOp:
+    """Define a user-defined compute operator (e.g. ``op_r[n]``)."""
+    return ComputeOp(name, symbol or name, fn)
+
+
+def contextual_compute(
+    name: str, fn: Callable[..., Any], symbol: Optional[str] = None
+) -> ComputeOp:
+    """Define a compute operator that also reads the coordinate bindings.
+
+    ``fn(bindings, *values)`` is called with the index-name -> coordinate
+    dict, enabling operators like ``op_r[n]`` whose behaviour depends on the
+    ``n`` coordinate (Algorithm 2 in the paper).
+    """
+    return ComputeOp(name, symbol or name, fn, contextual=True)
+
+
+@dataclass(frozen=True)
+class PopulateOp:
+    """A populate *coordinate* operator acting on an entire output fiber.
+
+    Unlike point-wise operators, the populate coordinate operator receives
+    the whole fiber of reduce temporaries along the starred rank (Appendix A)
+    and returns the fiber to write into the output.  ``fn`` takes a list of
+    ``(coordinate, value)`` pairs and returns a list of the same form.
+    """
+
+    name: str
+    fn: Callable[[list[tuple[int, Any]]], list[tuple[int, Any]]]
+    #: Contextual populate operators receive the group's coordinate bindings
+    #: as their first argument (needed by ``op_s[n]``, which must read ``n``).
+    contextual: bool = False
+
+    def __call__(self, pairs: list[tuple[int, Any]]) -> list[tuple[int, Any]]:
+        return self.fn(pairs)
+
+    def __repr__(self) -> str:
+        return f"PopulateOp({self.name})"
+
+
+def max_n_populate(n: int) -> PopulateOp:
+    """Appendix A's ``max2``-style operator: keep the ``n`` largest values."""
+
+    def keep(pairs: list[tuple[int, Any]]) -> list[tuple[int, Any]]:
+        ranked = sorted(pairs, key=lambda cv: cv[1], reverse=True)[:n]
+        return sorted(ranked)
+
+    return PopulateOp(f"max{n}", keep)
+
+
+POPULATE_ALL = PopulateOp("1", lambda pairs: pairs)

@@ -1,0 +1,18 @@
+"""Experiment harness: one module per paper table/figure.
+
+Public API::
+
+    from repro.experiments import common, motivation, kernel_study
+    from repro.experiments import scalability, main_eval, ablations
+"""
+
+from . import ablations, common, kernel_study, main_eval, motivation, scalability
+
+__all__ = [
+    "ablations",
+    "common",
+    "kernel_study",
+    "main_eval",
+    "motivation",
+    "scalability",
+]

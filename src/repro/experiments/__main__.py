@@ -1,0 +1,62 @@
+"""CLI entry point: regenerate any (or all) of the paper's tables/figures.
+
+Usage::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments fig20      # one experiment
+    rteaal table5 fig16                    # via the console script
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from . import ablations, kernel_study, main_eval, motivation, scalability
+
+RENDERERS: Dict[str, Callable[[], str]] = {
+    "fig7": motivation.render_fig07,
+    "fig8": motivation.render_fig08,
+    "table1": motivation.render_table1,
+    "table4": kernel_study.render_table4,
+    "table5": kernel_study.render_table5,
+    "table6": kernel_study.render_table6,
+    "fig15": kernel_study.render_fig15,
+    "fig16": kernel_study.render_fig16,
+    "fig17": scalability.render_fig17,
+    "table7": scalability.render_table7,
+    "fig18": scalability.render_fig18,
+    "fig19": scalability.render_fig19,
+    "fig20": main_eval.render_fig20,
+    "fig21": main_eval.render_fig21,
+    "ablation-formats": ablations.render_oim_formats,
+    "ablation-identity": ablations.render_identity_elision,
+    "ablation-fusion": ablations.render_mux_fusion,
+    "ablation-repcut": ablations.render_repcut,
+}
+
+
+def _normalise(name: str) -> str:
+    return name.strip().lower().replace("figure", "fig").replace("_", "-")
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv in (["-h"], ["--help"]):
+        print(__doc__)
+        print("available:", ", ".join(sorted(RENDERERS)))
+        return 0
+    targets = [_normalise(a) for a in argv] or sorted(RENDERERS)
+    unknown = [t for t in targets if t not in RENDERERS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        print("available:", ", ".join(sorted(RENDERERS)))
+        return 1
+    for target in targets:
+        print(RENDERERS[target]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Design-choice ablations beyond the paper's figures.
+
+These quantify the individual optimisations DESIGN.md calls out:
+
+* OIM format compression (Figure 12a vs 12b vs 12c storage);
+* identity elision on/off (operation counts and per-cycle work);
+* mux-chain operator fusion on/off;
+* RepCut partition-count sweep (replication overhead, Appendix C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..designs.registry import compiled_graph
+from ..graph.build import build_dfg
+from ..graph.levelize import levelize
+from ..graph.optimize import optimize
+from ..oim.builder import build_oim
+from ..oim.formats import VARIANTS, oim_storage_bytes
+from .common import format_table
+
+
+def ablation_oim_formats(design: str = "rocket-1") -> List[Dict]:
+    """Storage of each OIM format variant (Figure 12 stepwise compression)."""
+    bundle = build_oim(compiled_graph(design))
+    rows = []
+    baseline = None
+    for variant in VARIANTS:
+        size = oim_storage_bytes(bundle, variant)
+        if baseline is None:
+            baseline = size
+        rows.append({
+            "variant": variant,
+            "bytes": size,
+            "relative": size / baseline,
+        })
+    return rows
+
+
+def render_oim_formats(design: str = "rocket-1") -> str:
+    rows = ablation_oim_formats(design)
+    return format_table(
+        ["format variant", "OIM bytes", "vs unoptimized"],
+        [(r["variant"], r["bytes"], r["relative"]) for r in rows],
+        title=f"Ablation: OIM format compression ({design})",
+    )
+
+
+def ablation_identity_elision(design: str = "rocket-1") -> List[Dict]:
+    """Operation counts with and without identity elision (Section 4.3)."""
+    graph = compiled_graph(design)
+    elided = build_oim(graph, include_identities=False)
+    materialised = build_oim(graph, include_identities=True)
+    return [
+        {"mode": "identities materialised", "ops_per_cycle": materialised.num_ops},
+        {"mode": "identities elided", "ops_per_cycle": elided.num_ops},
+        {
+            "mode": "elision saving",
+            "ops_per_cycle": materialised.num_ops - elided.num_ops,
+        },
+    ]
+
+
+def render_identity_elision(design: str = "rocket-1") -> str:
+    rows = ablation_identity_elision(design)
+    return format_table(
+        ["mode", "ops per simulated cycle"],
+        [(r["mode"], r["ops_per_cycle"]) for r in rows],
+        title=f"Ablation: identity elision ({design})",
+    )
+
+
+def ablation_mux_fusion(design: str = "rocket-1") -> List[Dict]:
+    """Operator fusion on/off: op count, layers, OIM size."""
+    from ..designs.registry import get_design
+    from ..firrtl.elaborate import elaborate
+    from ..firrtl.parser import parse
+
+    raw = build_dfg(elaborate(parse(get_design(design))))
+    rows = []
+    for fused in (False, True):
+        graph, _ = optimize(raw, fuse_chains=fused)
+        lv = levelize(graph)
+        bundle = build_oim(graph)
+        rows.append({
+            "fusion": "on" if fused else "off",
+            "ops": graph.num_ops,
+            "layers": lv.num_layers,
+            "oim_bytes": oim_storage_bytes(bundle, "swizzled"),
+        })
+    return rows
+
+
+def render_mux_fusion(design: str = "rocket-1") -> str:
+    rows = ablation_mux_fusion(design)
+    return format_table(
+        ["operator fusion", "effectual ops", "layers", "OIM bytes (swizzled)"],
+        [(r["fusion"], r["ops"], r["layers"], r["oim_bytes"]) for r in rows],
+        title=f"Ablation: mux/logic chain fusion ({design})",
+    )
+
+
+def ablation_repcut(design: str = "rocket-4", partition_counts=(1, 2, 4, 8)) -> List[Dict]:
+    """RepCut partitioning: replication overhead vs partition count."""
+    from ..repcut.partition import partition_graph
+
+    graph = compiled_graph(design)
+    rows = []
+    base_ops = graph.num_ops
+    for count in partition_counts:
+        result = partition_graph(graph, count)
+        total_ops = sum(p.num_ops for p in result.partitions)
+        rows.append({
+            "partitions": count,
+            "total_ops": total_ops,
+            "replication_overhead": total_ops / base_ops - 1.0,
+            "max_partition_ops": max(p.num_ops for p in result.partitions),
+            "balance": (
+                max(p.num_ops for p in result.partitions)
+                / (total_ops / count)
+            ),
+        })
+    return rows
+
+
+def render_repcut(design: str = "rocket-4") -> str:
+    rows = ablation_repcut(design)
+    return format_table(
+        ["partitions", "total ops", "replication overhead", "max partition",
+         "imbalance"],
+        [
+            (r["partitions"], r["total_ops"], r["replication_overhead"],
+             r["max_partition_ops"], r["balance"])
+            for r in rows
+        ],
+        title=f"Ablation: RepCut-style partitioning ({design})",
+    )

@@ -1,0 +1,224 @@
+"""Shared experiment infrastructure: engines, scaling, table formatting.
+
+The design generators build ~1/18-scale designs (DESIGN.md "Scaling
+knobs"); :data:`EXTRAPOLATION` scales profiles back up to paper-size
+footprints so the modelled numbers are directly comparable to the paper's
+tables, and the estimator is driven with the paper's full Table 3 cycle
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..baselines.essent import EssentBackend, essent_cpp, essent_profile
+from ..baselines.verilator import VerilatorBackend, verilator_cpp, verilator_profile
+from ..designs.registry import compile_named_design
+from ..kernels.codegen_cpp import CppSource, generate_cpp
+from ..kernels.config import ALL_KERNELS
+from ..kernels.profile import KernelProfile, kernel_profile
+from ..perf.compile_model import CompileCost, source_compile_cost
+from ..perf.estimator import PerfResult, estimate
+from ..perf.machines import ALL_MACHINES, MachineSpec, get_machine
+from ..workloads.stimulus import PAPER_SIM_CYCLES_K
+
+#: Fallback design-size extrapolation to paper scale (measured: paper
+#: rocket-1 has ~60K effectual ops, our generator ~3.3K).
+EXTRAPOLATION = 18.0
+
+#: Paper effectual-op counts (Table 1) fit to power laws in core count:
+#: rocket-8 is only 2.3x rocket-1 (shared uncore and clang-level sharing),
+#: so a per-design factor is needed for paper-comparable footprints.
+import math
+
+
+def paper_ops(design_name: str) -> Optional[float]:
+    family, _, suffix = design_name.partition("-")
+    if family in ("rocket", "r"):
+        n = int(suffix or 1)
+        return 60_000.0 * n ** 0.404
+    if family in ("small", "s"):
+        n = int(suffix or 1)
+        return 94_000.0 * n ** 0.527
+    if family == "sha3":
+        # "SHA3 is a relatively small design" (Section 7.5): a full
+        # Keccak-f[1600] round datapath is ~6x our default lane model.
+        return None if suffix else None
+    return None
+
+
+#: SHA3 is the paper's small design; its extrapolation is fixed rather
+#: than op-derived (Section 7.5 relies on it being cache-resident).
+SHA3_EXTRAPOLATION = 15.0
+
+
+@lru_cache(maxsize=256)
+def linear_extrapolation_for(design_name: str) -> float:
+    """Per-instance (linear-in-cores) scale factor.
+
+    Generated *source* of the baselines grows with every instance --
+    Verilator and ESSENT do not deduplicate across cores -- which is what
+    Table 7's ESSENT memory blow-up (234 GB at r24) reflects.  RTeAAL's
+    OIM tracks the deduplicated effectual ops instead.
+    """
+    family, _, suffix = design_name.partition("-")
+    base = paper_ops(f"{family}-1")
+    if base is None:
+        return extrapolation_for(design_name)
+    n = int(suffix or 1)
+    bundle = compile_named_design(design_name)
+    return base * n / max(bundle.num_ops, 1)
+
+
+@lru_cache(maxsize=256)
+def extrapolation_for(design_name: str) -> float:
+    """Scale factor from our generated design to the paper's op counts."""
+    if design_name.split("-")[0] == "sha3":
+        return SHA3_EXTRAPOLATION
+    target = paper_ops(design_name)
+    if target is None:
+        return EXTRAPOLATION
+    bundle = compile_named_design(design_name)
+    return target / max(bundle.num_ops, 1)
+
+KERNEL_NAMES: Tuple[str, ...] = tuple(k.name for k in ALL_KERNELS)
+ENGINE_NAMES: Tuple[str, ...] = KERNEL_NAMES + ("Verilator", "ESSENT")
+
+
+def paper_cycles(design_name: str) -> int:
+    """Paper Table 3 simulated cycle counts (full scale)."""
+    family = design_name.split("-")[0]
+    for key in (design_name, family):
+        if key in PAPER_SIM_CYCLES_K:
+            return PAPER_SIM_CYCLES_K[key] * 1000
+    return PAPER_SIM_CYCLES_K["rocket"] * 1000
+
+
+@lru_cache(maxsize=512)
+def profile_for(
+    design_name: str, engine: str, opt_level: str = "O3"
+) -> KernelProfile:
+    """Cached per-cycle profile of an engine on a named design."""
+    bundle = compile_named_design(design_name)
+    factor = extrapolation_for(design_name)
+    if engine == "Verilator":
+        return verilator_profile(bundle, opt_level, factor)
+    if engine == "ESSENT":
+        return essent_profile(bundle, opt_level, factor)
+    profile = kernel_profile(bundle, engine, factor)
+    if opt_level == "O0":
+        # -O0 multiplies the dynamic instruction count (Section 7.4: 3.8x
+        # for PSU); unoptimised code is also dependence-heavy (spills), so
+        # sustainable ILP halves; footprints roughly double.
+        profile.dyn_instr *= 3.8
+        profile.loads *= 3.8
+        profile.code_bytes *= 2.2
+        profile.hot_code_bytes *= 2.2
+        profile.ilp *= 0.5
+    return profile
+
+
+@lru_cache(maxsize=512)
+def cpp_source_for(design_name: str, engine: str) -> CppSource:
+    """Cached generated C++ for an engine on a named design."""
+    bundle = compile_named_design(design_name)
+    if engine == "Verilator":
+        return verilator_cpp(bundle)
+    if engine == "ESSENT":
+        return essent_cpp(bundle)
+    return generate_cpp(bundle, engine)
+
+
+def perf_for(
+    design_name: str,
+    engine: str,
+    machine: MachineSpec | str = "intel-xeon",
+    opt_level: str = "O3",
+    cycles: Optional[int] = None,
+) -> PerfResult:
+    """Modelled performance of one engine/design/machine combination."""
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    profile = profile_for(design_name, engine, opt_level)
+    return estimate(profile, machine, cycles or paper_cycles(design_name))
+
+
+def compile_cost_for(
+    design_name: str,
+    engine: str,
+    machine: MachineSpec | str = "intel-xeon",
+    opt_level: str = "O3",
+) -> CompileCost:
+    """Modelled compile cost of one engine on a design."""
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    source = cpp_source_for(design_name, engine)
+    if engine in ("Verilator", "ESSENT"):
+        # Baseline source grows with every instance (no dedup): Table 7.
+        factor = linear_extrapolation_for(design_name)
+    elif engine in ("IU", "SU", "TI"):
+        # Unrolled kernels embed the (deduplicated) OIM in code.
+        factor = extrapolation_for(design_name)
+    else:
+        # Rolled kernels: design-independent interpreter source.
+        factor = 1.0
+    return source_compile_cost(
+        source, opt_level=opt_level, machine=machine, extrapolation=factor,
+    )
+
+
+def best_kernel(
+    design_name: str,
+    machine: MachineSpec | str = "intel-xeon",
+    opt_level: str = "O3",
+) -> Tuple[str, PerfResult]:
+    """The fastest RTeAAL kernel for a design on a machine (Section 7.5)."""
+    results = {
+        name: perf_for(design_name, name, machine, opt_level)
+        for name in KERNEL_NAMES
+    }
+    winner = min(results, key=lambda name: results[name].sim_time_s)
+    return winner, results[winner]
+
+
+# ----------------------------------------------------------------------
+# Plain-text table rendering (the benches print paper-style rows)
+# ----------------------------------------------------------------------
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def human_bytes(value: float) -> str:
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024:
+            return f"{value:.2f} {unit}"
+        value /= 1024
+    return f"{value:.2f} PB"

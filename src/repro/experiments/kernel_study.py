@@ -1,0 +1,146 @@
+"""Section 7.2 ablation: kernel configurations (Tables 4-6, Figures 15-16).
+
+All experiments run 8-core RocketChip under dhrystone, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..perf.machines import ALL_MACHINES
+from .common import (
+    KERNEL_NAMES,
+    compile_cost_for,
+    cpp_source_for,
+    extrapolation_for,
+    format_table,
+    perf_for,
+    profile_for,
+)
+
+STUDY_DESIGN = "rocket-8"
+
+
+def table4_binary_size(design=STUDY_DESIGN) -> List[Dict]:
+    """Table 4: binary size of each kernel (Intel Xeon)."""
+    factor = extrapolation_for(design)
+    rows = []
+    for kernel in KERNEL_NAMES:
+        source = cpp_source_for(design, kernel)
+        rows.append({
+            "kernel": kernel,
+            "binary_mb": source.binary_code_bytes(factor) / 1e6,
+        })
+    return rows
+
+
+def render_table4(design=STUDY_DESIGN) -> str:
+    rows = table4_binary_size(design)
+    return format_table(
+        ["kernel", "binary size (MB)"],
+        [(r["kernel"], r["binary_mb"]) for r in rows],
+        title=f"Table 4: kernel binary sizes ({design})",
+    )
+
+
+def table5_dyninst_ipc(design=STUDY_DESIGN, machine="intel-xeon") -> List[Dict]:
+    """Table 5: dynamic instructions (T) and IPC per kernel."""
+    rows = []
+    for kernel in KERNEL_NAMES:
+        result = perf_for(design, kernel, machine)
+        rows.append({
+            "kernel": kernel,
+            "dyn_instr_t": result.dyn_instr / 1e12,
+            "ipc": result.ipc,
+        })
+    return rows
+
+
+def render_table5(design=STUDY_DESIGN) -> str:
+    rows = table5_dyninst_ipc(design)
+    return format_table(
+        ["kernel", "dyn. inst (T)", "IPC"],
+        [(r["kernel"], r["dyn_instr_t"], r["ipc"]) for r in rows],
+        title=f"Table 5: dynamic instructions and IPC ({design}, Intel Xeon)",
+    )
+
+
+def table6_cache(design=STUDY_DESIGN, machine="intel-xeon") -> List[Dict]:
+    """Table 6: L1I misses, L1D loads, L1D misses (billions) per kernel."""
+    rows = []
+    for kernel in KERNEL_NAMES:
+        result = perf_for(design, kernel, machine)
+        rows.append({
+            "kernel": kernel,
+            "l1i_miss_b": result.l1i_misses / 1e9,
+            "l1d_load_b": result.l1d_loads / 1e9,
+            "l1d_miss_b": result.l1d_misses / 1e9,
+        })
+    return rows
+
+
+def render_table6(design=STUDY_DESIGN) -> str:
+    rows = table6_cache(design)
+    return format_table(
+        ["kernel", "L1I miss (B)", "L1D load (B)", "L1D miss (B)"],
+        [(r["kernel"], r["l1i_miss_b"], r["l1d_load_b"], r["l1d_miss_b"])
+         for r in rows],
+        title=f"Table 6: cache profile ({design}, Intel Xeon)",
+    )
+
+
+def fig15_kernel_compile(design=STUDY_DESIGN) -> List[Dict]:
+    """Figure 15: compile time and peak memory per kernel, four machines."""
+    rows = []
+    for kernel in KERNEL_NAMES:
+        for machine in ALL_MACHINES:
+            cost = compile_cost_for(design, kernel, machine)
+            rows.append({
+                "kernel": kernel,
+                "machine": machine.name,
+                "compile_time_s": cost.seconds,
+                "peak_memory_mb": cost.peak_memory_mb,
+            })
+    return rows
+
+
+def render_fig15(design=STUDY_DESIGN) -> str:
+    rows = fig15_kernel_compile(design)
+    return format_table(
+        ["kernel", "machine", "compile time (s)", "peak memory (MB)"],
+        [(r["kernel"], r["machine"], r["compile_time_s"], r["peak_memory_mb"])
+         for r in rows],
+        title=f"Figure 15: kernel compilation costs ({design})",
+    )
+
+
+def fig16_kernel_sim(design=STUDY_DESIGN) -> List[Dict]:
+    """Figure 16: simulation time per kernel on four machines."""
+    rows = []
+    for machine in ALL_MACHINES:
+        times = {
+            kernel: perf_for(design, kernel, machine).sim_time_s
+            for kernel in KERNEL_NAMES
+        }
+        best = min(times, key=lambda name: times[name])
+        for kernel in KERNEL_NAMES:
+            rows.append({
+                "machine": machine.name,
+                "kernel": kernel,
+                "sim_time_s": times[kernel],
+                "best": kernel == best,
+            })
+    return rows
+
+
+def render_fig16(design=STUDY_DESIGN) -> str:
+    rows = fig16_kernel_sim(design)
+    return format_table(
+        ["machine", "kernel", "sim time (s)", "best?"],
+        [
+            (r["machine"], r["kernel"], r["sim_time_s"],
+             "*" if r["best"] else "")
+            for r in rows
+        ],
+        title=f"Figure 16: kernel simulation time ({design})",
+    )

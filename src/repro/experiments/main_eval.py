@@ -1,0 +1,91 @@
+"""Section 7.5 main evaluation: Figures 20 and 21.
+
+* Figure 20: best-RTeAAL-kernel and ESSENT speedup over Verilator for all
+  designs on all four machines.
+* Figure 21: the small-8 LLC-capacity sweep (Intel CAT: 10.5/7/3.5 MB).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..perf.estimator import estimate
+from ..perf.machines import ALL_MACHINES, get_machine, with_llc_capacity
+from .common import best_kernel, format_table, paper_cycles, perf_for, profile_for
+
+MAIN_DESIGNS = (
+    "rocket-1", "rocket-4", "rocket-8",
+    "small-1", "small-4", "small-8",
+    "gemmini-8", "gemmini-16", "gemmini-32",
+    "sha3",
+)
+
+
+def fig20_speedup(designs=MAIN_DESIGNS) -> List[Dict]:
+    """Figure 20: speedup over Verilator for RTeAAL (best kernel) + ESSENT."""
+    rows = []
+    for machine in ALL_MACHINES:
+        for design in designs:
+            verilator = perf_for(design, "Verilator", machine)
+            kernel_name, kernel_result = best_kernel(design, machine)
+            essent = perf_for(design, "ESSENT", machine)
+            rows.append({
+                "machine": machine.name,
+                "design": design,
+                "best_kernel": kernel_name,
+                "rteaal_speedup": verilator.sim_time_s / kernel_result.sim_time_s,
+                "essent_speedup": verilator.sim_time_s / essent.sim_time_s,
+                "verilator_time_s": verilator.sim_time_s,
+            })
+    return rows
+
+
+def render_fig20(designs=MAIN_DESIGNS) -> str:
+    rows = fig20_speedup(designs)
+    return format_table(
+        ["machine", "design", "best kernel", "RTeAAL speedup", "ESSENT speedup"],
+        [
+            (r["machine"], r["design"], r["best_kernel"],
+             r["rteaal_speedup"], r["essent_speedup"])
+            for r in rows
+        ],
+        title="Figure 20: simulation speedup relative to Verilator",
+    )
+
+
+LLC_POINTS_MB = (10.5, 7.0, 3.5)
+
+
+def fig21_llc(design: str = "small-8", points_mb=LLC_POINTS_MB) -> List[Dict]:
+    """Figure 21: speedup over Verilator as the Xeon LLC shrinks."""
+    xeon = get_machine("intel-xeon")
+    cycles = paper_cycles(design)
+    rows = []
+    for mb in points_mb:
+        machine = with_llc_capacity(xeon, int(mb * 1024 * 1024))
+        verilator = estimate(profile_for(design, "Verilator"), machine, cycles)
+        psu = estimate(profile_for(design, "PSU"), machine, cycles)
+        essent = estimate(profile_for(design, "ESSENT"), machine, cycles)
+        rows.append({
+            "llc_mb": mb,
+            "rteaal_speedup": verilator.sim_time_s / psu.sim_time_s,
+            "essent_speedup": verilator.sim_time_s / essent.sim_time_s,
+            "psu_time_s": psu.sim_time_s,
+            "essent_time_s": essent.sim_time_s,
+            "verilator_time_s": verilator.sim_time_s,
+        })
+    return rows
+
+
+def render_fig21(design: str = "small-8") -> str:
+    rows = fig21_llc(design)
+    return format_table(
+        ["LLC (MB)", "RTeAAL speedup", "ESSENT speedup", "PSU (s)",
+         "ESSENT (s)", "Verilator (s)"],
+        [
+            (r["llc_mb"], r["rteaal_speedup"], r["essent_speedup"],
+             r["psu_time_s"], r["essent_time_s"], r["verilator_time_s"])
+            for r in rows
+        ],
+        title=f"Figure 21: LLC capacity sweep ({design}, Intel Xeon + CAT)",
+    )

@@ -1,0 +1,112 @@
+"""Section 3 motivation experiments: Figures 7 and 8, Table 1.
+
+* Figure 7: top-down breakdown of Verilator vs ESSENT (activity-oblivious
+  -O2) on the AWS Graviton 4 across 1-12-core RocketChip/SmallBOOM designs.
+* Figure 8: compilation time and peak memory for Verilator and ESSENT.
+* Table 1: identity vs effectual operation counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..designs.registry import compiled_graph
+from ..graph.levelize import levelize
+from .common import (
+    compile_cost_for,
+    extrapolation_for,
+    format_table,
+    perf_for,
+)
+
+MOTIVATION_DESIGNS = (
+    "rocket-1", "rocket-4", "rocket-8", "rocket-12",
+    "small-1", "small-4", "small-8", "small-12",
+)
+
+
+def fig07_topdown(designs=MOTIVATION_DESIGNS) -> List[Dict]:
+    """Figure 7: frontend-bound / bad-speculation / others breakdown."""
+    rows: List[Dict] = []
+    for design in designs:
+        for engine, opt in (("Verilator", "O3"), ("ESSENT", "O2")):
+            result = perf_for(design, engine, "aws", opt)
+            topdown = result.topdown
+            rows.append({
+                "design": design,
+                "engine": engine,
+                "frontend_pct": 100 * topdown["frontend"],
+                "bad_speculation_pct": 100 * topdown["bad_speculation"],
+                "others_pct": 100 * (topdown["backend"] + topdown["retiring"]),
+                "l1i_mpki": result.l1i_mpki,
+            })
+    return rows
+
+
+def render_fig07(designs=MOTIVATION_DESIGNS) -> str:
+    rows = fig07_topdown(designs)
+    return format_table(
+        ["design", "engine", "frontend%", "bad-spec%", "others%", "L1I MPKI"],
+        [
+            (r["design"], r["engine"], r["frontend_pct"],
+             r["bad_speculation_pct"], r["others_pct"], r["l1i_mpki"])
+            for r in rows
+        ],
+        title="Figure 7: top-down breakdown (AWS Graviton 4, dhrystone)",
+    )
+
+
+def fig08_compile_cost(designs=MOTIVATION_DESIGNS) -> List[Dict]:
+    """Figure 8: compile time (s) and peak memory (MB), log-scale in paper."""
+    rows: List[Dict] = []
+    for design in designs:
+        for engine in ("Verilator", "ESSENT"):
+            cost = compile_cost_for(design, engine, "aws")
+            rows.append({
+                "design": design,
+                "engine": engine,
+                "compile_time_s": cost.seconds,
+                "peak_memory_mb": cost.peak_memory_mb,
+            })
+    return rows
+
+
+def render_fig08(designs=MOTIVATION_DESIGNS) -> str:
+    rows = fig08_compile_cost(designs)
+    return format_table(
+        ["design", "engine", "compile time (s)", "peak memory (MB)"],
+        [
+            (r["design"], r["engine"], r["compile_time_s"], r["peak_memory_mb"])
+            for r in rows
+        ],
+        title="Figure 8: compilation costs (clang -O3)",
+    )
+
+
+TABLE1_DESIGNS = ("rocket-1", "small-1", "rocket-8", "small-8")
+
+
+def table1_identity(designs=TABLE1_DESIGNS) -> List[Dict]:
+    """Table 1: effectual vs (elided) identity operation counts."""
+    rows: List[Dict] = []
+    for design in designs:
+        graph = compiled_graph(design)
+        lv = levelize(graph)
+        factor = extrapolation_for(design)
+        rows.append({
+            "design": design,
+            "effectual_ops": int(lv.effectual_ops * factor),
+            "identity_ops": int(lv.identity_ops * factor),
+            "ratio": lv.identity_ratio,
+        })
+    return rows
+
+
+def render_table1(designs=TABLE1_DESIGNS) -> str:
+    rows = table1_identity(designs)
+    return format_table(
+        ["design", "effectual ops", "identity ops", "identity/effectual"],
+        [(r["design"], r["effectual_ops"], r["identity_ops"], r["ratio"])
+         for r in rows],
+        title="Table 1: required identity operations (paper-scale)",
+    )

@@ -1,0 +1,132 @@
+"""Sections 7.3-7.4: scalability and compiler-effect studies.
+
+* Figure 17: kernel simulation time for 1-24-core RocketChips (Xeon).
+* Table 7: compile time/memory for Verilator, ESSENT, PSU at r1-r24.
+* Figure 18: simulation time of the three simulators, clang -O3.
+* Figure 19: the same with clang -O0 (ESSENT collapses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .common import KERNEL_NAMES, compile_cost_for, format_table, perf_for
+
+SCALING_DESIGNS = (
+    "rocket-1", "rocket-4", "rocket-8", "rocket-12",
+    "rocket-16", "rocket-20", "rocket-24",
+)
+
+
+def fig17_kernel_scaling(designs=SCALING_DESIGNS, machine="intel-xeon") -> List[Dict]:
+    """Figure 17: per-kernel simulation time across design sizes."""
+    rows = []
+    for design in designs:
+        for kernel in KERNEL_NAMES:
+            result = perf_for(design, kernel, machine)
+            rows.append({
+                "design": design,
+                "kernel": kernel,
+                "sim_time_s": result.sim_time_s,
+                "frontend_pct": 100 * result.topdown["frontend"],
+            })
+    return rows
+
+
+def render_fig17(designs=SCALING_DESIGNS) -> str:
+    rows = fig17_kernel_scaling(designs)
+    by_design: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        by_design.setdefault(row["design"], {})[row["kernel"]] = row["sim_time_s"]
+    return format_table(
+        ["design"] + list(KERNEL_NAMES),
+        [
+            tuple([design] + [by_design[design][k] for k in KERNEL_NAMES])
+            for design in designs
+        ],
+        title="Figure 17: kernel simulation time, 1-24-core RocketChip (Xeon, s)",
+    )
+
+
+def table7_compile_scaling(designs=SCALING_DESIGNS) -> List[Dict]:
+    """Table 7: compile time (s) and peak memory (GB) at r1-r24."""
+    rows = []
+    for design in designs:
+        for engine in ("Verilator", "ESSENT", "PSU"):
+            cost = compile_cost_for(design, engine, "intel-xeon")
+            rows.append({
+                "design": design,
+                "engine": engine,
+                "compile_time_s": cost.seconds,
+                "peak_memory_gb": cost.peak_memory_gb,
+            })
+    return rows
+
+
+def render_table7(designs=SCALING_DESIGNS) -> str:
+    rows = table7_compile_scaling(designs)
+    return format_table(
+        ["design", "engine", "compile time (s)", "peak memory (GB)"],
+        [(r["design"], r["engine"], r["compile_time_s"], r["peak_memory_gb"])
+         for r in rows],
+        title="Table 7: compilation scaling (Xeon, clang -O3)",
+    )
+
+
+def fig18_sim_o3(designs=SCALING_DESIGNS, machine="intel-xeon") -> List[Dict]:
+    """Figure 18: Verilator vs PSU vs ESSENT simulation time, -O3."""
+    rows = []
+    for design in designs:
+        for engine in ("Verilator", "PSU", "ESSENT"):
+            result = perf_for(design, engine, machine, "O3")
+            rows.append({
+                "design": design,
+                "engine": engine,
+                "sim_time_s": result.sim_time_s,
+            })
+    return rows
+
+
+def fig19_sim_o0(designs=SCALING_DESIGNS, machine="intel-xeon") -> List[Dict]:
+    """Figure 19: the same comparison compiled with -O0."""
+    rows = []
+    for design in designs:
+        for engine in ("Verilator", "PSU", "ESSENT"):
+            result = perf_for(design, engine, machine, "O0")
+            rows.append({
+                "design": design,
+                "engine": engine,
+                "sim_time_s": result.sim_time_s,
+            })
+    return rows
+
+
+def _render_sim(rows: List[Dict], title: str, designs) -> str:
+    by_design: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        by_design.setdefault(row["design"], {})[row["engine"]] = row["sim_time_s"]
+    engines = ("Verilator", "PSU", "ESSENT")
+    return format_table(
+        ["design"] + list(engines),
+        [
+            tuple([design] + [by_design[design][e] for e in engines])
+            for design in designs
+        ],
+        title=title,
+    )
+
+
+def render_fig18(designs=SCALING_DESIGNS) -> str:
+    return _render_sim(
+        fig18_sim_o3(designs),
+        "Figure 18: simulation time, clang -O3 (Xeon, s)",
+        designs,
+    )
+
+
+def render_fig19(designs=SCALING_DESIGNS) -> str:
+    return _render_sim(
+        fig19_sim_o0(designs),
+        "Figure 19: simulation time, clang -O0 (Xeon, s)",
+        designs,
+    )

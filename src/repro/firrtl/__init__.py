@@ -1,0 +1,26 @@
+"""FIRRTL frontend: parser, elaboration, primitive ops, reference simulator.
+
+Public API::
+
+    from repro.firrtl import parse, elaborate, ReferenceSimulator
+    design = elaborate(parse(firrtl_text))
+"""
+
+from . import ast, primops
+from .elaborate import ElaborationError, FlatDesign, FlatRegister, elaborate
+from .parser import FirrtlSyntaxError, parse, parse_expr_text
+from .reference import ReferenceSimulator, run_reference
+
+__all__ = [
+    "ElaborationError",
+    "FirrtlSyntaxError",
+    "FlatDesign",
+    "FlatRegister",
+    "ReferenceSimulator",
+    "ast",
+    "elaborate",
+    "parse",
+    "parse_expr_text",
+    "primops",
+    "run_reference",
+]

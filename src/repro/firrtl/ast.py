@@ -1,0 +1,193 @@
+"""Abstract syntax for the FIRRTL subset accepted by the frontend.
+
+The subset covers what the paper's toolchain consumes after lowering:
+ground-typed (``UInt<w>``/``Clock``) ports, wires, registers (with optional
+synchronous reset), nodes, connects, module instances, and expressions built
+from references, literals, primitive operations, ``mux`` and ``validif``.
+Aggregate types and ``when`` blocks are out of scope -- modern HDL flows
+lower both away before the stage our compiler consumes (lowered FIRRTL),
+as the paper notes for XMR in Section 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for FIRRTL expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """A reference to a port, wire, register, or node.
+
+    Instance ports appear as dotted references (``adder.out``) until
+    elaboration flattens them.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """An unsigned literal with an explicit width: ``UInt<8>(42)``."""
+
+    value: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"literal width must be positive: {self.width}")
+        if not 0 <= self.value < (1 << self.width):
+            raise ValueError(
+                f"literal {self.value} does not fit in UInt<{self.width}>"
+            )
+
+    def __str__(self) -> str:
+        return f'UInt<{self.width}>({self.value})'
+
+
+@dataclass(frozen=True)
+class PrimExpr(Expr):
+    """A primitive operation: ``add(a, b)``, ``bits(x, 7, 0)`` ..."""
+
+    op: str
+    args: Tuple[Expr, ...]
+    params: Tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        parts = [str(a) for a in self.args] + [str(p) for p in self.params]
+        return f"{self.op}({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class Mux(Expr):
+    """Conditional select: ``mux(sel, high, low)`` (a select operation)."""
+
+    sel: Expr
+    high: Expr
+    low: Expr
+
+    def __str__(self) -> str:
+        return f"mux({self.sel}, {self.high}, {self.low})"
+
+
+@dataclass(frozen=True)
+class ValidIf(Expr):
+    """``validif(cond, value)``; our two-state semantics pass the value."""
+
+    cond: Expr
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"validif({self.cond}, {self.value})"
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Port:
+    name: str
+    direction: str  # "input" | "output"
+    width: int  # 0 encodes Clock / Reset-as-clock-like 1-bit specials
+    is_clock: bool = False
+
+    def __str__(self) -> str:
+        kind = "Clock" if self.is_clock else f"UInt<{self.width}>"
+        return f"{self.direction} {self.name} : {kind}"
+
+
+@dataclass
+class Wire:
+    name: str
+    width: int
+
+
+@dataclass
+class Reg:
+    """A register; ``reset`` and ``init`` are optional (synchronous reset)."""
+
+    name: str
+    width: int
+    clock: str
+    reset: Optional[str] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Node:
+    name: str
+    expr: Expr
+
+
+@dataclass
+class Connect:
+    target: str
+    expr: Expr
+
+
+@dataclass
+class Instance:
+    name: str
+    module: str
+
+
+Statement = Union[Wire, Reg, Node, Connect, Instance]
+
+
+@dataclass
+class Module:
+    name: str
+    ports: List[Port] = field(default_factory=list)
+    statements: List[Statement] = field(default_factory=list)
+
+    def port(self, name: str) -> Port:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"module {self.name} has no port {name!r}")
+
+    def port_names(self) -> List[str]:
+        return [p.name for p in self.ports]
+
+
+@dataclass
+class Circuit:
+    name: str
+    modules: List[Module] = field(default_factory=list)
+
+    def module(self, name: str) -> Module:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(f"circuit {self.name} has no module {name!r}")
+
+    @property
+    def top(self) -> Module:
+        return self.module(self.name)
+
+
+def walk_exprs(expr: Expr):
+    """Yield ``expr`` and all sub-expressions, depth first."""
+    yield expr
+    if isinstance(expr, PrimExpr):
+        for arg in expr.args:
+            yield from walk_exprs(arg)
+    elif isinstance(expr, Mux):
+        yield from walk_exprs(expr.sel)
+        yield from walk_exprs(expr.high)
+        yield from walk_exprs(expr.low)
+    elif isinstance(expr, ValidIf):
+        yield from walk_exprs(expr.cond)
+        yield from walk_exprs(expr.value)

@@ -1,0 +1,330 @@
+"""Elaboration: instance flattening and width inference.
+
+Turns a parsed :class:`~repro.firrtl.ast.Circuit` into a :class:`FlatDesign`,
+the single-module netlist the dataflow-graph builder consumes:
+
+* module instances are inlined recursively, with child signals renamed to
+  ``instance.signal`` (matching how lowered FIRRTL flattens hierarchies);
+* wires and instance ports are resolved to their single driving expression;
+* every signal gets an inferred width, per the FIRRTL width rules;
+* connects implicitly truncate or zero-extend to the target's width, which
+  is realised by masking at evaluation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .ast import (
+    Circuit,
+    Connect,
+    Expr,
+    Instance,
+    Literal,
+    Module,
+    Mux,
+    Node,
+    Port,
+    PrimExpr,
+    Ref,
+    Reg,
+    ValidIf,
+    Wire,
+)
+from .primops import get_op
+
+
+class ElaborationError(ValueError):
+    """Raised for undriven wires, unknown references, width errors, etc."""
+
+
+@dataclass
+class FlatRegister:
+    """A state element of the flattened design."""
+
+    name: str
+    width: int
+    clock: str
+    reset: Optional[str] = None
+    init_value: int = 0
+    #: The expression computing the next state (the register's sole connect).
+    next_expr: Optional[Expr] = None
+
+
+@dataclass
+class FlatDesign:
+    """A flattened, width-inferred netlist.
+
+    ``definitions`` maps every combinational signal (node, wire, output,
+    instance port) to its driving expression over :class:`Ref` leaves that
+    name inputs, registers, or other defined signals.
+    """
+
+    name: str
+    inputs: Dict[str, int] = field(default_factory=dict)
+    clocks: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    registers: Dict[str, FlatRegister] = field(default_factory=dict)
+    definitions: Dict[str, Expr] = field(default_factory=dict)
+    widths: Dict[str, int] = field(default_factory=dict)
+
+    def width_of(self, name: str) -> int:
+        try:
+            return self.widths[name]
+        except KeyError:
+            raise ElaborationError(f"unknown signal {name!r}") from None
+
+    def signal_names(self) -> List[str]:
+        """All value-carrying signals: inputs, registers, then definitions."""
+        names = list(self.inputs)
+        names.extend(self.registers)
+        names.extend(self.definitions)
+        return names
+
+    def topo_definitions(self) -> List[str]:
+        """Defined signals in dependency order (iterative DFS).
+
+        Consumers resolve signals in this order so that per-signal work
+        recurses only into one expression tree at a time -- deep def-use
+        chains in large designs would otherwise exhaust Python's stack.
+        """
+        from .ast import Ref, walk_exprs
+
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: Dict[str, int] = {}
+        order: List[str] = []
+
+        def deps(name: str) -> List[str]:
+            return [
+                sub.name
+                for sub in walk_exprs(self.definitions[name])
+                if isinstance(sub, Ref) and sub.name in self.definitions
+            ]
+
+        for root in self.definitions:
+            if color.get(root, WHITE) == BLACK:
+                continue
+            color[root] = GREY
+            stack: List[Tuple[str, iter]] = [(root, iter(deps(root)))]
+            while stack:
+                name, iterator = stack[-1]
+                advanced = False
+                for dep in iterator:
+                    state = color.get(dep, WHITE)
+                    if state == GREY:
+                        raise ElaborationError(
+                            f"combinational cycle through {dep!r}"
+                        )
+                    if state == WHITE:
+                        color[dep] = GREY
+                        stack.append((dep, iter(deps(dep))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[name] = BLACK
+                    order.append(name)
+                    stack.pop()
+        return order
+
+    @property
+    def num_state_bits(self) -> int:
+        return sum(reg.width for reg in self.registers.values())
+
+
+def _prefix_expr(expr: Expr, prefix: str) -> Expr:
+    if isinstance(expr, Ref):
+        return Ref(prefix + expr.name)
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, PrimExpr):
+        return PrimExpr(
+            expr.op, tuple(_prefix_expr(a, prefix) for a in expr.args), expr.params
+        )
+    if isinstance(expr, Mux):
+        return Mux(
+            _prefix_expr(expr.sel, prefix),
+            _prefix_expr(expr.high, prefix),
+            _prefix_expr(expr.low, prefix),
+        )
+    if isinstance(expr, ValidIf):
+        return ValidIf(_prefix_expr(expr.cond, prefix), _prefix_expr(expr.value, prefix))
+    raise ElaborationError(f"unknown expression node {expr!r}")
+
+
+@dataclass
+class _Flattened:
+    """Intermediate flattening state before wire/width resolution."""
+
+    wires: Dict[str, int] = field(default_factory=dict)
+    regs: Dict[str, FlatRegister] = field(default_factory=dict)
+    nodes: List[Tuple[str, Expr]] = field(default_factory=list)
+    connects: Dict[str, Expr] = field(default_factory=dict)
+
+
+def _flatten(
+    circuit: Circuit,
+    module: Module,
+    prefix: str,
+    out: _Flattened,
+    depth: int = 0,
+) -> None:
+    if depth > 32:
+        raise ElaborationError(
+            f"instance nesting deeper than 32 in {module.name}; recursive design?"
+        )
+    for statement in module.statements:
+        if isinstance(statement, Wire):
+            out.wires[prefix + statement.name] = statement.width
+        elif isinstance(statement, Reg):
+            init_value = 0
+            if statement.init is not None:
+                if not isinstance(statement.init, Literal):
+                    raise ElaborationError(
+                        f"regreset init for {statement.name!r} must be a literal"
+                    )
+                init_value = statement.init.value
+            out.regs[prefix + statement.name] = FlatRegister(
+                name=prefix + statement.name,
+                width=statement.width,
+                clock=prefix + statement.clock if prefix else statement.clock,
+                reset=(prefix + statement.reset) if statement.reset else None,
+                init_value=init_value,
+            )
+        elif isinstance(statement, Node):
+            out.nodes.append(
+                (prefix + statement.name, _prefix_expr(statement.expr, prefix))
+            )
+        elif isinstance(statement, Connect):
+            out.connects[prefix + statement.target] = _prefix_expr(
+                statement.expr, prefix
+            )
+        elif isinstance(statement, Instance):
+            child = circuit.module(statement.module)
+            child_prefix = f"{prefix}{statement.name}."
+            # Child ports become wires at the flattened level.
+            for port in child.ports:
+                out.wires[child_prefix + port.name] = port.width
+            _flatten(circuit, child, child_prefix, out, depth + 1)
+        else:  # pragma: no cover - parser only emits the above
+            raise ElaborationError(f"unknown statement {statement!r}")
+
+
+def elaborate(circuit: Circuit, top: Optional[str] = None) -> FlatDesign:
+    """Flatten ``circuit`` (from its ``top`` module) into a :class:`FlatDesign`."""
+    top_module = circuit.module(top) if top else circuit.top
+    flattened = _Flattened()
+    _flatten(circuit, top_module, "", flattened)
+
+    design = FlatDesign(name=circuit.name)
+    for port in top_module.ports:
+        if port.direction == "input":
+            if port.is_clock:
+                design.clocks.append(port.name)
+            else:
+                design.inputs[port.name] = port.width
+                design.widths[port.name] = port.width
+        else:
+            design.outputs.append(port.name)
+            design.widths[port.name] = port.width
+
+    for name, register in flattened.regs.items():
+        design.registers[name] = register
+        design.widths[name] = register.width
+
+    # Wires (including flattened instance ports) and outputs take their
+    # definitions from connects; registers take their next expression.
+    for name, width in flattened.wires.items():
+        design.widths[name] = width
+
+    clock_names = set(design.clocks)
+    clock_aliases: Dict[str, str] = {}
+    # Clock-distribution connects (``child.clock <= clock``) may appear in
+    # any order, so collect aliases to a fixpoint before resolving.
+    pending = dict(flattened.connects)
+    changed = True
+    while changed:
+        changed = False
+        for target, expr in list(pending.items()):
+            if (
+                isinstance(expr, Ref)
+                and expr.name in clock_names
+                and target not in design.registers
+                and target not in design.outputs
+            ):
+                clock_names.add(target)
+                clock_aliases[target] = clock_aliases.get(expr.name, expr.name)
+                del pending[target]
+                changed = True
+
+    for target, expr in pending.items():
+        if target in design.registers:
+            design.registers[target].next_expr = expr
+        elif target in flattened.wires or target in design.outputs:
+            design.definitions[target] = expr
+        else:
+            raise ElaborationError(f"connect to undeclared target {target!r}")
+
+    # Resolve register clock names through the alias chain to the top-level
+    # clock port, so multi-clock domain grouping sees canonical names.
+    for register in design.registers.values():
+        clock = register.clock
+        while clock in clock_aliases:
+            clock = clock_aliases[clock]
+        register.clock = clock
+
+    for name, expr in flattened.nodes:
+        if name in design.definitions:
+            raise ElaborationError(f"node {name!r} redefines a connected signal")
+        design.definitions[name] = expr
+
+    # Every register must be driven; every wire/output must be driven.
+    for name, register in design.registers.items():
+        if register.next_expr is None:
+            raise ElaborationError(f"register {name!r} has no next-state connect")
+    for name in flattened.wires:
+        if name not in design.definitions and name not in clock_names:
+            raise ElaborationError(f"wire {name!r} is never driven")
+    for name in design.outputs:
+        if name not in design.definitions:
+            raise ElaborationError(f"output {name!r} is never driven")
+
+    _infer_widths(design)
+    return design
+
+
+def _infer_widths(design: FlatDesign) -> None:
+    """Fill ``design.widths`` for nodes via the FIRRTL width rules."""
+    in_progress: set = set()
+
+    def width_of_signal(name: str) -> int:
+        if name in design.widths:
+            return design.widths[name]
+        if name in in_progress:
+            raise ElaborationError(f"combinational width cycle through {name!r}")
+        if name not in design.definitions:
+            raise ElaborationError(f"reference to undefined signal {name!r}")
+        in_progress.add(name)
+        width = width_of_expr(design.definitions[name])
+        in_progress.discard(name)
+        design.widths[name] = width
+        return width
+
+    def width_of_expr(expr: Expr) -> int:
+        if isinstance(expr, Ref):
+            return width_of_signal(expr.name)
+        if isinstance(expr, Literal):
+            return expr.width
+        if isinstance(expr, PrimExpr):
+            op = get_op(expr.op)
+            arg_widths = [width_of_expr(a) for a in expr.args]
+            return op.width_rule(arg_widths, expr.params)
+        if isinstance(expr, Mux):
+            return max(width_of_expr(expr.high), width_of_expr(expr.low))
+        if isinstance(expr, ValidIf):
+            return width_of_expr(expr.value)
+        raise ElaborationError(f"unknown expression node {expr!r}")
+
+    # Topological order keeps recursion bounded by expression depth.
+    for name in design.topo_definitions():
+        width_of_signal(name)

@@ -1,0 +1,340 @@
+"""A line-oriented parser for the FIRRTL subset.
+
+FIRRTL is indentation structured, but the lowered subset we accept has a
+flat statement list per module, so the parser is line-based: ``circuit`` and
+``module`` headers open sections and every other non-blank line is a single
+statement.  Comments run from ``;`` to end of line.
+
+Grammar (one statement per line)::
+
+    circuit <Name> :
+      module <Name> :
+        input  <name> : UInt<w> | Clock
+        output <name> : UInt<w>
+        wire   <name> : UInt<w>
+        reg    <name> : UInt<w>, <clock>
+        regreset <name> : UInt<w>, <clock>, <reset>, <init-expr>
+        node   <name> = <expr>
+        inst   <name> of <Module>
+        <target> <= <expr>
+        skip
+
+    expr := UInt<w>(value) | mux(e, e, e) | validif(e, e)
+          | <primop>(e, ..., const, ...) | <id> | <id>.<id>
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .ast import (
+    Circuit,
+    Connect,
+    Expr,
+    Instance,
+    Literal,
+    Module,
+    Mux,
+    Node,
+    Port,
+    PrimExpr,
+    Ref,
+    Reg,
+    ValidIf,
+    Wire,
+)
+from .primops import PRIM_OPS
+
+
+class FirrtlSyntaxError(SyntaxError):
+    """Raised with a line number when the input is not in the subset."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<id>[A-Za-z_][A-Za-z0-9_$]*)|(?P<sym><=|=>|[()<>,.=:]))"
+)
+
+
+class _TokenStream:
+    """Token cursor over one expression string."""
+
+    def __init__(self, text: str, line_no: int) -> None:
+        self.text = text
+        self.line_no = line_no
+        self.tokens: List[Tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if not match or match.end() == pos:
+                remaining = text[pos:].strip()
+                if not remaining:
+                    break
+                raise FirrtlSyntaxError(
+                    f"cannot tokenise {remaining!r}", line_no, text
+                )
+            pos = match.end()
+            for kind in ("num", "id", "sym"):
+                value = match.group(kind)
+                if value is not None:
+                    self.tokens.append((kind, value))
+                    break
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise FirrtlSyntaxError("unexpected end of expression", self.line_no, self.text)
+        self.index += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, text = self.next()
+        if text != value:
+            raise FirrtlSyntaxError(
+                f"expected {value!r}, found {text!r}", self.line_no, self.text
+            )
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def parse_expr_text(text: str, line_no: int = 0) -> Expr:
+    """Parse a stand-alone expression string."""
+    stream = _TokenStream(text, line_no)
+    expr = _parse_expr(stream)
+    if not stream.at_end():
+        kind, tok = stream.next()
+        raise FirrtlSyntaxError(f"trailing token {tok!r}", line_no, text)
+    return expr
+
+
+def _parse_expr(stream: _TokenStream) -> Expr:
+    kind, token = stream.next()
+    if kind == "num":
+        raise FirrtlSyntaxError(
+            f"bare integer {token} is not an expression (use UInt<w>({token}))",
+            stream.line_no,
+            stream.text,
+        )
+    if kind != "id":
+        raise FirrtlSyntaxError(
+            f"expected expression, found {token!r}", stream.line_no, stream.text
+        )
+
+    if token == "UInt":
+        stream.expect("<")
+        width = int(stream.next()[1])
+        stream.expect(">")
+        stream.expect("(")
+        value = int(stream.next()[1])
+        stream.expect(")")
+        return Literal(value, width)
+
+    if token == "mux":
+        stream.expect("(")
+        sel = _parse_expr(stream)
+        stream.expect(",")
+        high = _parse_expr(stream)
+        stream.expect(",")
+        low = _parse_expr(stream)
+        stream.expect(")")
+        return Mux(sel, high, low)
+
+    if token == "validif":
+        stream.expect("(")
+        cond = _parse_expr(stream)
+        stream.expect(",")
+        value = _parse_expr(stream)
+        stream.expect(")")
+        return ValidIf(cond, value)
+
+    if token in PRIM_OPS and stream.peek() == ("sym", "("):
+        op = PRIM_OPS[token]
+        stream.expect("(")
+        args: List[Expr] = []
+        params: List[int] = []
+        while True:
+            next_token = stream.peek()
+            if next_token is None:
+                raise FirrtlSyntaxError(
+                    "unterminated primop argument list", stream.line_no, stream.text
+                )
+            if next_token == ("sym", ")"):
+                stream.next()
+                break
+            if next_token[0] == "num":
+                params.append(int(stream.next()[1]))
+            else:
+                args.append(_parse_expr(stream))
+            if stream.peek() == ("sym", ","):
+                stream.next()
+        if len(args) != op.num_args or len(params) != op.num_params:
+            raise FirrtlSyntaxError(
+                f"{op.name} expects {op.num_args} args and {op.num_params} "
+                f"params, found {len(args)} and {len(params)}",
+                stream.line_no,
+                stream.text,
+            )
+        return PrimExpr(op.name, tuple(args), tuple(params))
+
+    # Plain or dotted reference.
+    name = token
+    while stream.peek() == ("sym", "."):
+        stream.next()
+        field_kind, field = stream.next()
+        if field_kind != "id":
+            raise FirrtlSyntaxError(
+                f"bad field name {field!r}", stream.line_no, stream.text
+            )
+        name = f"{name}.{field}"
+    return Ref(name)
+
+
+_TYPE_RE = re.compile(r"^\s*(UInt\s*<\s*(\d+)\s*>|Clock|Reset|AsyncReset)\s*$")
+
+
+def _parse_type(text: str, line_no: int, line: str) -> Tuple[int, bool]:
+    """Return ``(width, is_clock)`` for a ground type."""
+    match = _TYPE_RE.match(text)
+    if not match:
+        raise FirrtlSyntaxError(f"unsupported type {text.strip()!r}", line_no, line)
+    if match.group(2) is not None:
+        return int(match.group(2)), False
+    if match.group(1) == "Clock":
+        return 1, True
+    return 1, False  # Reset / AsyncReset behave as 1-bit signals here.
+
+
+def parse(text: str) -> Circuit:
+    """Parse FIRRTL source text into a :class:`Circuit`."""
+    circuit: Optional[Circuit] = None
+    module: Optional[Module] = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].rstrip()
+        stripped = line.strip()
+        if not stripped:
+            continue
+
+        head = stripped.split(None, 1)[0]
+
+        if head == "circuit":
+            name = _section_name(stripped, "circuit", line_no, line)
+            circuit = Circuit(name)
+            continue
+
+        if circuit is None:
+            raise FirrtlSyntaxError("statement before circuit header", line_no, line)
+
+        if head == "module":
+            name = _section_name(stripped, "module", line_no, line)
+            module = Module(name)
+            circuit.modules.append(module)
+            continue
+
+        if module is None:
+            raise FirrtlSyntaxError("statement before module header", line_no, line)
+
+        _parse_statement(stripped, module, line_no, line)
+
+    if circuit is None:
+        raise FirrtlSyntaxError("no circuit header found", 0, text[:40])
+    # Validate the top module exists.
+    circuit.top
+    return circuit
+
+
+def _section_name(stripped: str, keyword: str, line_no: int, line: str) -> str:
+    body = stripped[len(keyword):].strip()
+    if body.endswith(":"):
+        body = body[:-1].strip()
+    if not body or not re.match(r"^[A-Za-z_][A-Za-z0-9_$]*$", body):
+        raise FirrtlSyntaxError(f"bad {keyword} name", line_no, line)
+    return body
+
+
+def _parse_statement(stripped: str, module: Module, line_no: int, line: str) -> None:
+    head = stripped.split(None, 1)[0]
+
+    if head in ("input", "output"):
+        rest = stripped[len(head):].strip()
+        name, _, type_text = rest.partition(":")
+        name = name.strip()
+        width, is_clock = _parse_type(type_text, line_no, line)
+        module.ports.append(Port(name, head, width, is_clock))
+        return
+
+    if head == "wire":
+        rest = stripped[len(head):].strip()
+        name, _, type_text = rest.partition(":")
+        width, _ = _parse_type(type_text, line_no, line)
+        module.statements.append(Wire(name.strip(), width))
+        return
+
+    if head == "reg":
+        rest = stripped[len(head):].strip()
+        name, _, remainder = rest.partition(":")
+        parts = [p.strip() for p in remainder.split(",")]
+        if len(parts) != 2:
+            raise FirrtlSyntaxError(
+                "reg expects ': UInt<w>, <clock>'", line_no, line
+            )
+        width, _ = _parse_type(parts[0], line_no, line)
+        module.statements.append(Reg(name.strip(), width, clock=parts[1]))
+        return
+
+    if head == "regreset":
+        rest = stripped[len(head):].strip()
+        name, _, remainder = rest.partition(":")
+        parts = [p.strip() for p in remainder.split(",", 3)]
+        if len(parts) != 4:
+            raise FirrtlSyntaxError(
+                "regreset expects ': UInt<w>, <clock>, <reset>, <init>'",
+                line_no,
+                line,
+            )
+        width, _ = _parse_type(parts[0], line_no, line)
+        init = parse_expr_text(parts[3], line_no)
+        module.statements.append(
+            Reg(name.strip(), width, clock=parts[1], reset=parts[2], init=init)
+        )
+        return
+
+    if head == "node":
+        rest = stripped[len(head):].strip()
+        name, _, expr_text = rest.partition("=")
+        if not expr_text:
+            raise FirrtlSyntaxError("node expects '= <expr>'", line_no, line)
+        module.statements.append(
+            Node(name.strip(), parse_expr_text(expr_text, line_no))
+        )
+        return
+
+    if head == "inst":
+        match = re.match(r"^inst\s+(\w+)\s+of\s+(\w+)$", stripped)
+        if not match:
+            raise FirrtlSyntaxError("inst expects 'inst <name> of <Module>'", line_no, line)
+        module.statements.append(Instance(match.group(1), match.group(2)))
+        return
+
+    if head == "skip":
+        return
+
+    if "<=" in stripped:
+        target, _, expr_text = stripped.partition("<=")
+        module.statements.append(
+            Connect(target.strip(), parse_expr_text(expr_text, line_no))
+        )
+        return
+
+    raise FirrtlSyntaxError(f"unrecognised statement", line_no, line)

@@ -1,0 +1,177 @@
+"""A direct-execution reference simulator for flattened designs.
+
+This interpreter walks the expression trees of a
+:class:`~repro.firrtl.elaborate.FlatDesign` every cycle.  It is slow and
+simple by design: it is the golden model that every RTeAAL kernel, the
+Verilator-like backend and the ESSENT-like backend are validated against in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .ast import Expr, Literal, Mux, PrimExpr, Ref, ValidIf
+from .elaborate import ElaborationError, FlatDesign
+from .primops import get_op, mask
+
+
+class ReferenceSimulator:
+    """Cycle-accurate interpreter over the flattened netlist.
+
+    The public interface (``poke``/``peek``/``step``/``reset``) matches the
+    higher-level :class:`repro.sim.Simulator` so backends are interchangeable
+    in tests.
+    """
+
+    def __init__(self, design: FlatDesign) -> None:
+        self.design = design
+        self.cycle = 0
+        self._inputs: Dict[str, int] = {name: 0 for name in design.inputs}
+        self._state: Dict[str, int] = {
+            name: register.init_value for name, register in design.registers.items()
+        }
+        self._values: Dict[str, int] = {}
+        # Evaluate in dependency order so recursion depth is bounded by
+        # single-expression depth, not def-use chain length.
+        self._topo_order = design.topo_definitions()
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+    def poke(self, name: str, value: int) -> None:
+        """Drive a top-level input for subsequent cycles."""
+        if name not in self._inputs:
+            raise KeyError(f"{name!r} is not an input of {self.design.name}")
+        self._inputs[name] = mask(value, self.design.inputs[name])
+
+    def peek(self, name: str) -> int:
+        """Read any signal's value as of the last evaluation."""
+        if name in self._state:
+            return self._state[name]
+        if name in self._inputs:
+            return self._inputs[name]
+        self._ensure_evaluated()
+        if name in self._values:
+            return self._values[name]
+        raise KeyError(f"unknown signal {name!r}")
+
+    def reset(self) -> None:
+        """Reset all registers to their init values."""
+        for name, register in self.design.registers.items():
+            self._state[name] = register.init_value
+        self._values = {}
+        self.cycle = 0
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the design by ``cycles`` clock edges."""
+        for _ in range(cycles):
+            self._ensure_evaluated()
+            next_state: Dict[str, int] = {}
+            for name, register in self.design.registers.items():
+                if register.reset is not None and self._read(register.reset):
+                    next_state[name] = register.init_value
+                else:
+                    value = self._eval(register.next_expr)
+                    next_state[name] = mask(value, register.width)
+            self._state = next_state
+            self._values = {}
+            self.cycle += 1
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _ensure_evaluated(self) -> None:
+        if self._values:
+            return
+        self._values = {}
+        for name in self._topo_order:
+            self._read(name)
+
+    def _read(self, name: str) -> int:
+        if name in self._state:
+            return self._state[name]
+        if name in self._inputs:
+            return self._inputs[name]
+        if name in self._values:
+            return self._values[name]
+        expr = self.design.definitions.get(name)
+        if expr is None:
+            raise ElaborationError(f"reference to undefined signal {name!r}")
+        # Mark in-flight to catch combinational cycles.
+        self._values[name] = _IN_FLIGHT
+        value = mask(self._eval(expr), self.design.width_of(name))
+        self._values[name] = value
+        return value
+
+    def _eval(self, expr: Expr) -> int:
+        if isinstance(expr, Ref):
+            value = self._read(expr.name)
+            if value is _IN_FLIGHT:
+                raise ElaborationError(
+                    f"combinational cycle through {expr.name!r}"
+                )
+            return value
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, PrimExpr):
+            op = get_op(expr.op)
+            args = [self._eval(a) for a in expr.args]
+            widths = [self._width(a) for a in expr.args]
+            out_width = op.width_rule(widths, expr.params)
+            return op.evaluate(args, widths, expr.params, out_width)
+        if isinstance(expr, Mux):
+            return self._eval(expr.high) if self._eval(expr.sel) else self._eval(expr.low)
+        if isinstance(expr, ValidIf):
+            return self._eval(expr.value)
+        raise ElaborationError(f"unknown expression node {expr!r}")
+
+    def _width(self, expr: Expr) -> int:
+        if isinstance(expr, Ref):
+            return self.design.width_of(expr.name)
+        if isinstance(expr, Literal):
+            return expr.width
+        if isinstance(expr, PrimExpr):
+            op = get_op(expr.op)
+            widths = [self._width(a) for a in expr.args]
+            return op.width_rule(widths, expr.params)
+        if isinstance(expr, Mux):
+            return max(self._width(expr.high), self._width(expr.low))
+        if isinstance(expr, ValidIf):
+            return self._width(expr.value)
+        raise ElaborationError(f"unknown expression node {expr!r}")
+
+
+class _InFlight(int):
+    """Sentinel marking a signal currently being evaluated."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<in-flight>"
+
+
+_IN_FLIGHT = _InFlight(-1)
+
+
+def run_reference(
+    design: FlatDesign,
+    stimulus: Optional[Dict[str, list]] = None,
+    cycles: int = 1,
+    watch: Optional[list] = None,
+) -> Dict[str, list]:
+    """Convenience driver: apply per-cycle stimulus, record watched signals.
+
+    ``stimulus[name][c]`` is poked before cycle ``c``; ``watch`` defaults to
+    the design outputs.  Returns ``{signal: [value per cycle]}``.
+    """
+    simulator = ReferenceSimulator(design)
+    watch = list(watch) if watch is not None else list(design.outputs)
+    trace: Dict[str, list] = {name: [] for name in watch}
+    stimulus = stimulus or {}
+    for cycle in range(cycles):
+        for name, values in stimulus.items():
+            if cycle < len(values):
+                simulator.poke(name, values[cycle])
+        for name in watch:
+            trace[name].append(simulator.peek(name))
+        simulator.step()
+    return trace

@@ -1,0 +1,47 @@
+"""Dataflow-graph substrate: build, optimise, levelize, evaluate.
+
+Public API::
+
+    from repro.graph import build_dfg, optimize, levelize, GraphSimulator
+"""
+
+from .build import BuildError, build_dfg
+from .dfg import DataflowGraph, DfgNode, RegisterInfo
+from .evaluate import GraphSimulator
+from .levelize import Levelization, levelize
+from .opsem import (
+    MAX_CHAIN,
+    REDUCE,
+    SELECT,
+    UNARY,
+    OpSemantics,
+    all_op_names,
+    evaluate_node,
+    get_semantics,
+    has_semantics,
+)
+from .optimize import OptStats, eliminate_dead_code, fuse_operator_chains, optimize
+
+__all__ = [
+    "BuildError",
+    "DataflowGraph",
+    "DfgNode",
+    "GraphSimulator",
+    "Levelization",
+    "MAX_CHAIN",
+    "OpSemantics",
+    "OptStats",
+    "REDUCE",
+    "RegisterInfo",
+    "SELECT",
+    "UNARY",
+    "all_op_names",
+    "build_dfg",
+    "eliminate_dead_code",
+    "evaluate_node",
+    "fuse_operator_chains",
+    "get_semantics",
+    "has_semantics",
+    "levelize",
+    "optimize",
+]

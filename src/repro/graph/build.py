@@ -1,0 +1,123 @@
+"""Dataflow-graph construction from a flattened FIRRTL design.
+
+This is the "Dataflow Graph Construction" stage of Figure 14.  Expression
+trees become interned DFG nodes; FIRRTL static parameters become constant
+operand nodes (see :mod:`repro.graph.opsem`); connects that change width get
+explicit ``bits``/``pad`` adapters; registers with a reset gain a ``mux``
+guarding their next value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..firrtl.ast import Expr, Literal, Mux, PrimExpr, Ref, ValidIf
+from ..firrtl.elaborate import FlatDesign
+from ..firrtl.primops import get_op
+from .dfg import DataflowGraph
+
+
+class BuildError(ValueError):
+    """Raised when a flattened design cannot be lowered to a DFG."""
+
+
+def _const_width(value: int) -> int:
+    return max(1, value.bit_length())
+
+
+class _Builder:
+    def __init__(self, design: FlatDesign) -> None:
+        self.design = design
+        self.graph = DataflowGraph(design.name)
+        self._signal_nid: Dict[str, int] = {}
+
+    def build(self) -> DataflowGraph:
+        design = self.design
+        graph = self.graph
+        for name, width in design.inputs.items():
+            self._signal_nid[name] = graph.add_input(name, width)
+        for name, register in design.registers.items():
+            self._signal_nid[name] = graph.add_register(
+                name, register.width, register.init_value, register.reset,
+                clock=register.clock,
+            )
+        # Resolve definitions in dependency order so recursion stays bounded
+        # by single-expression depth even for very deep def-use chains.
+        for name in design.topo_definitions():
+            self._resolve(name)
+        for name, register in design.registers.items():
+            next_nid = self._lower_expr(register.next_expr)
+            next_nid = self._adapt_width(next_nid, register.width)
+            if register.reset is not None:
+                reset_nid = self._resolve(register.reset)
+                init_nid = graph.add_const(register.init_value, register.width)
+                next_nid = graph.add_op(
+                    "mux", (reset_nid, init_nid, next_nid), register.width
+                )
+            graph.set_register_next(name, next_nid)
+        for name in design.outputs:
+            nid = self._resolve(name)
+            graph.set_output(name, self._adapt_width(nid, design.width_of(name)))
+        graph.validate()
+        return graph
+
+    # ------------------------------------------------------------------
+    def _resolve(self, name: str) -> int:
+        if name in self._signal_nid:
+            return self._signal_nid[name]
+        expr = self.design.definitions.get(name)
+        if expr is None:
+            raise BuildError(f"reference to undefined signal {name!r}")
+        # Mark to catch combinational cycles.
+        self._signal_nid[name] = -1
+        nid = self._lower_expr(expr)
+        nid = self._adapt_width(nid, self.design.width_of(name))
+        self._signal_nid[name] = nid
+        self.graph.signal_map[name] = nid
+        return nid
+
+    def _lower_expr(self, expr: Expr) -> int:
+        graph = self.graph
+        if isinstance(expr, Ref):
+            nid = self._resolve(expr.name)
+            if nid < 0:
+                raise BuildError(f"combinational cycle through {expr.name!r}")
+            return nid
+        if isinstance(expr, Literal):
+            return graph.add_const(expr.value, expr.width)
+        if isinstance(expr, ValidIf):
+            return self._lower_expr(expr.value)
+        if isinstance(expr, Mux):
+            sel = self._lower_expr(expr.sel)
+            high = self._lower_expr(expr.high)
+            low = self._lower_expr(expr.low)
+            width = max(graph.node(high).width, graph.node(low).width)
+            return graph.add_op("mux", (sel, high, low), width)
+        if isinstance(expr, PrimExpr):
+            op = get_op(expr.op)
+            arg_nids = [self._lower_expr(a) for a in expr.args]
+            arg_widths = [graph.node(n).width for n in arg_nids]
+            out_width = op.width_rule(arg_widths, expr.params)
+            param_nids = [
+                graph.add_const(p, _const_width(p)) for p in expr.params
+            ]
+            return graph.add_op(expr.op, arg_nids + param_nids, out_width)
+        raise BuildError(f"unknown expression node {expr!r}")
+
+    def _adapt_width(self, nid: int, target_width: int) -> int:
+        """Insert an explicit truncation/extension to match a declared width."""
+        graph = self.graph
+        width = graph.node(nid).width
+        if width == target_width:
+            return nid
+        if width > target_width:
+            hi = graph.add_const(target_width - 1, _const_width(target_width - 1))
+            lo = graph.add_const(0, 1)
+            return graph.add_op("bits", (nid, hi, lo), target_width)
+        pad_to = graph.add_const(target_width, _const_width(target_width))
+        return graph.add_op("pad", (nid, pad_to), target_width)
+
+
+def build_dfg(design: FlatDesign) -> DataflowGraph:
+    """Lower a flattened FIRRTL design to a dataflow graph."""
+    return _Builder(design).build()

@@ -1,0 +1,211 @@
+"""The RTL dataflow graph (Figure 1, middle).
+
+Nodes represent primitive operations; edges represent data flow.  Leaves are
+top-level inputs, register state reads, and constants.  Static parameters of
+FIRRTL primops (e.g. the ``hi``/``lo`` of ``bits``) are modelled as constant
+operand nodes so that every operation type has a *fixed arity* -- the
+property the paper's compressed OIM format relies on ("the operation type
+(N) determines the number of input operands", Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Leaf node kinds (they carry values but perform no computation).
+LEAF_OPS = ("input", "const", "reg")
+
+
+@dataclass(frozen=True)
+class DfgNode:
+    """One node of the dataflow graph.
+
+    ``op`` is a leaf kind (``input``/``const``/``reg``) or an operation name
+    (a FIRRTL primop, ``mux``, or a fused op such as ``muxchain4``).
+    ``operands`` are node ids in operand order -- the order the paper's
+    ``O`` rank preserves for non-commutative operations.
+    """
+
+    nid: int
+    op: str
+    operands: Tuple[int, ...]
+    width: int
+    #: Constant value for ``const`` nodes.
+    value: int = 0
+    #: Source signal name, if this node drives a named signal.
+    name: Optional[str] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.op in LEAF_OPS
+
+    @property
+    def is_op(self) -> bool:
+        return not self.is_leaf
+
+
+@dataclass
+class RegisterInfo:
+    """Register bookkeeping: state node, next-value node, reset behaviour."""
+
+    name: str
+    width: int
+    state_nid: int
+    next_nid: int
+    init_value: int = 0
+    reset_input: Optional[str] = None
+    #: Clock domain name (multi-clock support, Section 6.2).
+    clock: str = "clock"
+
+
+class DataflowGraph:
+    """A mutable dataflow graph with interned (hash-consed) nodes.
+
+    Structural interning gives common-subexpression elimination for free
+    during construction; optimisation passes rebuild graphs through the same
+    interning constructor.
+    """
+
+    def __init__(self, name: str = "design") -> None:
+        self.name = name
+        self.nodes: List[DfgNode] = []
+        self.inputs: Dict[str, int] = {}
+        self.outputs: Dict[str, int] = {}
+        self.registers: Dict[str, RegisterInfo] = {}
+        self._intern: Dict[Tuple, int] = {}
+        #: Named signals (for waveforms / peek); name -> nid.
+        self.signal_map: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Node creation
+    # ------------------------------------------------------------------
+    def _new_node(self, op: str, operands: Tuple[int, ...], width: int,
+                  value: int = 0, name: Optional[str] = None) -> int:
+        nid = len(self.nodes)
+        self.nodes.append(DfgNode(nid, op, operands, width, value, name))
+        return nid
+
+    def add_input(self, name: str, width: int) -> int:
+        if name in self.inputs:
+            raise ValueError(f"duplicate input {name!r}")
+        nid = self._new_node("input", (), width, name=name)
+        self.inputs[name] = nid
+        self.signal_map[name] = nid
+        return nid
+
+    def add_const(self, value: int, width: int) -> int:
+        key = ("const", value, width)
+        if key in self._intern:
+            return self._intern[key]
+        nid = self._new_node("const", (), width, value=value)
+        self._intern[key] = nid
+        return nid
+
+    def add_register(self, name: str, width: int, init_value: int = 0,
+                     reset_input: Optional[str] = None,
+                     clock: str = "clock") -> int:
+        if name in self.registers:
+            raise ValueError(f"duplicate register {name!r}")
+        nid = self._new_node("reg", (), width, name=name)
+        self.registers[name] = RegisterInfo(
+            name=name, width=width, state_nid=nid, next_nid=-1,
+            init_value=init_value, reset_input=reset_input, clock=clock,
+        )
+        self.signal_map[name] = nid
+        return nid
+
+    def add_op(self, op: str, operands: Iterable[int], width: int,
+               name: Optional[str] = None) -> int:
+        operands = tuple(operands)
+        for operand in operands:
+            if not 0 <= operand < len(self.nodes):
+                raise ValueError(f"operand {operand} is not a node id")
+        key = (op, operands, width)
+        if key in self._intern:
+            nid = self._intern[key]
+            if name is not None:
+                self.signal_map[name] = nid
+            return nid
+        nid = self._new_node(op, operands, width, name=name)
+        self._intern[key] = nid
+        if name is not None:
+            self.signal_map[name] = nid
+        return nid
+
+    def set_register_next(self, name: str, next_nid: int) -> None:
+        self.registers[name].next_nid = next_nid
+
+    def set_output(self, name: str, nid: int) -> None:
+        self.outputs[name] = nid
+        self.signal_map[name] = nid
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node(self, nid: int) -> DfgNode:
+        return self.nodes[nid]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def op_nodes(self) -> Iterator[DfgNode]:
+        return (n for n in self.nodes if n.is_op)
+
+    @property
+    def num_ops(self) -> int:
+        return sum(1 for _ in self.op_nodes())
+
+    def roots(self) -> List[int]:
+        """Node ids the simulation must compute: outputs + register nexts."""
+        roots = list(self.outputs.values())
+        roots.extend(reg.next_nid for reg in self.registers.values())
+        return roots
+
+    def consumers(self) -> Dict[int, List[int]]:
+        """Map nid -> list of consuming node ids."""
+        result: Dict[int, List[int]] = {n.nid: [] for n in self.nodes}
+        for node in self.nodes:
+            for operand in node.operands:
+                result[operand].append(node.nid)
+        return result
+
+    def live_nodes(self) -> List[int]:
+        """Node ids reachable from the roots (outputs + register nexts)."""
+        seen: set = set()
+        stack = [nid for nid in self.roots() if nid >= 0]
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            stack.extend(self.nodes[nid].operands)
+        # Keep leaves live unconditionally: inputs and register state are
+        # externally visible even when combinationally unused.
+        for nid in self.inputs.values():
+            seen.add(nid)
+        for reg in self.registers.values():
+            seen.add(reg.state_nid)
+        return sorted(seen)
+
+    def op_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for node in self.op_nodes():
+            histogram[node.op] = histogram.get(node.op, 0) + 1
+        return histogram
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ``ValueError`` on violation."""
+        for node in self.nodes:
+            for operand in node.operands:
+                if not 0 <= operand < len(self.nodes):
+                    raise ValueError(f"node {node.nid} has bad operand {operand}")
+                if operand >= node.nid and self.nodes[operand].is_op:
+                    # Ops are appended after their operands during
+                    # construction, so a forward edge to an op means a cycle.
+                    raise ValueError(
+                        f"node {node.nid} references later op node {operand}"
+                    )
+        for name, reg in self.registers.items():
+            if reg.next_nid < 0:
+                raise ValueError(f"register {name!r} has no next-value node")

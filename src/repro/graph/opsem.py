@@ -1,0 +1,153 @@
+"""Operation semantics shared by the optimiser, kernels, and baselines.
+
+Every dataflow-graph operation name maps to an :class:`OpSemantics` entry:
+its arity, its *class* in the paper's taxonomy (Section 4.1), and a
+bit-accurate evaluator.
+
+Classes:
+
+* ``unary``   -- one input; evaluated by the map compute operator
+  ``op_u[n]`` (Einsum 12);
+* ``reduce``  -- two inputs combined pairwise by the reduce compute operator
+  ``op_r[n]`` (Einsum 9); order matters for non-commutative ops, which is
+  what the ``O`` rank encodes;
+* ``select``  -- three or more inputs that must all be gathered before any
+  output can be produced (``mux``, fused chains, ``bits``); evaluated by the
+  populate coordinate operator ``op_s[n]`` (Einsum 13).
+
+FIRRTL static parameters are passed as constant operands, so arity is a
+function of the operation name alone -- the invariant the optimised OIM
+format exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..firrtl.primops import mask
+
+UNARY = "unary"
+REDUCE = "reduce"
+SELECT = "select"
+
+#: Evaluator signature: (operand values, operand widths, output width).
+Evaluator = Callable[[Sequence[int], Sequence[int], int], int]
+
+
+@dataclass(frozen=True)
+class OpSemantics:
+    name: str
+    arity: int
+    klass: str
+    fn: Evaluator
+    commutative: bool = False
+
+    def __call__(self, args: Sequence[int], widths: Sequence[int], out_width: int) -> int:
+        return self.fn(args, widths, out_width)
+
+
+_TABLE: Dict[str, OpSemantics] = {}
+
+
+def _define(name: str, arity: int, klass: str, fn: Evaluator,
+            commutative: bool = False) -> OpSemantics:
+    semantics = OpSemantics(name, arity, klass, fn, commutative)
+    _TABLE[name] = semantics
+    return semantics
+
+
+# ----------------------------------------------------------------------
+# Binary (reduce-class) operations
+# ----------------------------------------------------------------------
+_define("add", 2, REDUCE, lambda a, w, ow: mask(a[0] + a[1], ow), commutative=True)
+_define("sub", 2, REDUCE, lambda a, w, ow: mask(a[0] - a[1], ow))
+_define("mul", 2, REDUCE, lambda a, w, ow: mask(a[0] * a[1], ow), commutative=True)
+_define("div", 2, REDUCE, lambda a, w, ow: mask(a[0] // a[1], ow) if a[1] else 0)
+_define("rem", 2, REDUCE, lambda a, w, ow: mask(a[0] % a[1], ow) if a[1] else 0)
+_define("lt", 2, REDUCE, lambda a, w, ow: int(a[0] < a[1]))
+_define("leq", 2, REDUCE, lambda a, w, ow: int(a[0] <= a[1]))
+_define("gt", 2, REDUCE, lambda a, w, ow: int(a[0] > a[1]))
+_define("geq", 2, REDUCE, lambda a, w, ow: int(a[0] >= a[1]))
+_define("eq", 2, REDUCE, lambda a, w, ow: int(a[0] == a[1]), commutative=True)
+_define("neq", 2, REDUCE, lambda a, w, ow: int(a[0] != a[1]), commutative=True)
+_define("and", 2, REDUCE, lambda a, w, ow: a[0] & a[1], commutative=True)
+_define("or", 2, REDUCE, lambda a, w, ow: a[0] | a[1], commutative=True)
+_define("xor", 2, REDUCE, lambda a, w, ow: a[0] ^ a[1], commutative=True)
+_define("cat", 2, REDUCE, lambda a, w, ow: mask((a[0] << w[1]) | a[1], ow))
+_define("dshl", 2, REDUCE, lambda a, w, ow: mask(a[0] << a[1], ow))
+_define("dshr", 2, REDUCE, lambda a, w, ow: mask(a[0] >> a[1], ow))
+# Parameterised unary FIRRTL ops become binary with a constant operand.
+_define("shl", 2, REDUCE, lambda a, w, ow: mask(a[0] << a[1], ow))
+_define("shr", 2, REDUCE, lambda a, w, ow: mask(a[0] >> a[1], ow))
+_define("pad", 2, REDUCE, lambda a, w, ow: mask(a[0], ow))
+_define("head", 2, REDUCE, lambda a, w, ow: mask(a[0] >> max(w[0] - a[1], 0), ow))
+_define("tail", 2, REDUCE, lambda a, w, ow: mask(a[0], ow))
+
+# ----------------------------------------------------------------------
+# Unary operations
+# ----------------------------------------------------------------------
+_define("not", 1, UNARY, lambda a, w, ow: mask(~a[0], ow))
+_define("neg", 1, UNARY, lambda a, w, ow: mask(-a[0], ow))
+_define("cvt", 1, UNARY, lambda a, w, ow: mask(a[0], ow))
+_define("andr", 1, UNARY, lambda a, w, ow: int(a[0] == mask(-1, w[0])))
+_define("orr", 1, UNARY, lambda a, w, ow: int(a[0] != 0))
+_define("xorr", 1, UNARY, lambda a, w, ow: bin(a[0]).count("1") & 1)
+_define("asUInt", 1, UNARY, lambda a, w, ow: mask(a[0], ow))
+_define("asSInt", 1, UNARY, lambda a, w, ow: mask(a[0], ow))
+#: Identity value-propagation op (Section 4.2); inserted conceptually during
+#: levelisation and elided by coordinate assignment (Section 4.3).
+_define("ident", 1, UNARY, lambda a, w, ow: mask(a[0], ow))
+
+# ----------------------------------------------------------------------
+# Select (gather-all) operations
+# ----------------------------------------------------------------------
+_define("mux", 3, SELECT, lambda a, w, ow: mask(a[1] if a[0] else a[2], ow))
+_define("bits", 3, SELECT, lambda a, w, ow: mask(a[0] >> a[2], ow))
+
+
+def _muxchain(a: Sequence[int], w: Sequence[int], ow: int) -> int:
+    """Fused mux chain: [s1, v1, s2, v2, ..., default]."""
+    for position in range(0, len(a) - 1, 2):
+        if a[position]:
+            return mask(a[position + 1], ow)
+    return mask(a[-1], ow)
+
+
+def _logic_chain(op: Callable[[int, int], int]) -> Evaluator:
+    def fn(a: Sequence[int], w: Sequence[int], ow: int) -> int:
+        result = a[0]
+        for value in a[1:]:
+            result = op(result, value)
+        return mask(result, ow)
+
+    return fn
+
+
+#: Largest fused chain length; longer chains are fused in segments.
+MAX_CHAIN = 8
+
+for _k in range(2, MAX_CHAIN + 1):
+    _define(f"muxchain{_k}", 2 * _k + 1, SELECT, _muxchain)
+    _define(f"orchain{_k}", _k, SELECT, _logic_chain(lambda x, y: x | y))
+    _define(f"andchain{_k}", _k, SELECT, _logic_chain(lambda x, y: x & y))
+    _define(f"xorchain{_k}", _k, SELECT, _logic_chain(lambda x, y: x ^ y))
+
+
+def get_semantics(name: str) -> OpSemantics:
+    try:
+        return _TABLE[name]
+    except KeyError:
+        raise KeyError(f"unknown dataflow operation {name!r}") from None
+
+
+def has_semantics(name: str) -> bool:
+    return name in _TABLE
+
+
+def all_op_names() -> List[str]:
+    return sorted(_TABLE)
+
+
+def evaluate_node(op: str, args: Sequence[int], widths: Sequence[int], out_width: int) -> int:
+    return get_semantics(op)(args, widths, out_width)

@@ -1,0 +1,46 @@
+"""Kernel configurations, executable kernels, C++ codegen, profiles.
+
+Public API::
+
+    from repro.kernels import ALL_KERNELS, make_kernel, generate_cpp
+    from repro.kernels import kernel_profile
+"""
+
+from .activity import ActivityAwareKernel, ActivityStats, make_activity_aware
+from .codegen_cpp import CppSource, generate_cpp
+from .config import (
+    ALL_KERNELS,
+    IU,
+    KernelConfig,
+    NU,
+    OU,
+    PSU,
+    RU,
+    SU,
+    TI,
+    get_kernel_config,
+)
+from .profile import KernelProfile, kernel_profile
+from .pykernels import Kernel, make_kernel
+
+__all__ = [
+    "ALL_KERNELS",
+    "ActivityAwareKernel",
+    "ActivityStats",
+    "make_activity_aware",
+    "CppSource",
+    "IU",
+    "Kernel",
+    "KernelConfig",
+    "KernelProfile",
+    "NU",
+    "OU",
+    "PSU",
+    "RU",
+    "SU",
+    "TI",
+    "generate_cpp",
+    "get_kernel_config",
+    "kernel_profile",
+    "make_kernel",
+]

@@ -1,0 +1,135 @@
+"""Kernel configurations: the unrolling spectrum of Section 5.2.
+
+Each kernel in the sequence implements all of its predecessors'
+optimisations plus new ones:
+
+====  =========================  ==========  =====================
+name  unrolled ranks             loop order  OIM format
+====  =========================  ==========  =====================
+RU    R                          I,S,N,O,R   optimized (Fig. 12b)
+OU    R, O                       I,S,N,O,R   optimized
+NU    R, O, N                    I,N,S,O,R   swizzled  (Fig. 12c)
+PSU   R, O, N, partial S         I,N,S,O,R   swizzled
+IU    R, O, N, partial S, I      I,N,S,O,R   swizzled (I in code)
+SU    all                        --          fully embedded in code
+TI    all + tensor inlining      --          fully embedded in code
+====  =========================  ==========  =====================
+
+The partial-unroll factors (24 for the write-back Einsum, 8 for common
+operator loops) are the paper's empirically chosen values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+#: Partial unroll factor for the final (write-back) Einsum's S loop.
+PSU_WRITEBACK_UNROLL = 24
+#: Partial unroll factor for the most common operators' S loops.
+PSU_COMMON_UNROLL = 8
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """One point on the rolled/unrolled spectrum."""
+
+    name: str
+    loop_order: Tuple[str, ...]
+    unrolled: FrozenSet[str]
+    #: S-rank partial unroll factor (1 = rolled).
+    s_unroll: int = 1
+    #: Whether LI/LO live in scalar variables instead of arrays (TI).
+    tensor_inline: bool = False
+    #: Which OIM format variant the kernel traverses.
+    oim_format: str = "optimized"
+    description: str = ""
+
+    @property
+    def fully_unrolled(self) -> bool:
+        return {"I", "S", "N", "O", "R"} <= set(self.unrolled)
+
+    @property
+    def metadata_in_code(self) -> FrozenSet[str]:
+        """Ranks whose OIM metadata is embedded in instructions, not data."""
+        return self.unrolled
+
+
+RU = KernelConfig(
+    name="RU",
+    loop_order=("I", "S", "N", "O", "R"),
+    unrolled=frozenset({"R"}),
+    oim_format="optimized",
+    description="R-rank unrolling only (Algorithm 3); the rolled extreme.",
+)
+
+OU = KernelConfig(
+    name="OU",
+    loop_order=("I", "S", "N", "O", "R"),
+    unrolled=frozenset({"R", "O"}),
+    oim_format="optimized",
+    description="Fully unrolled O rank: operands gathered without a loop.",
+)
+
+NU = KernelConfig(
+    name="NU",
+    loop_order=("I", "N", "S", "O", "R"),
+    unrolled=frozenset({"R", "O", "N"}),
+    oim_format="swizzled",
+    description="S-N swizzle plus a dedicated loop per operation type "
+    "(Algorithm 4).",
+)
+
+PSU = KernelConfig(
+    name="PSU",
+    loop_order=("I", "N", "S", "O", "R"),
+    unrolled=frozenset({"R", "O", "N"}),
+    s_unroll=PSU_COMMON_UNROLL,
+    oim_format="swizzled",
+    description="NU plus partial S-rank unrolling (8x common ops, 24x "
+    "write-back).",
+)
+
+IU = KernelConfig(
+    name="IU",
+    loop_order=("N", "S", "O", "R"),
+    unrolled=frozenset({"R", "O", "N", "I"}),
+    s_unroll=PSU_COMMON_UNROLL,
+    oim_format="swizzled",
+    description="PSU plus complete I-rank unrolling: per-layer code, "
+    "zero-iteration S loops eliminated.",
+)
+
+SU = KernelConfig(
+    name="SU",
+    loop_order=(),
+    unrolled=frozenset({"R", "O", "N", "I", "S"}),
+    oim_format="swizzled",
+    description="Complete unrolling: the OIM is fully encoded in the "
+    "binary; LI/LO remain arrays.",
+)
+
+TI = KernelConfig(
+    name="TI",
+    loop_order=(),
+    unrolled=frozenset({"R", "O", "N", "I", "S"}),
+    tensor_inline=True,
+    oim_format="swizzled",
+    description="SU plus tensor inlining: LI/LO become individual "
+    "variables the compiler can register-allocate.",
+)
+
+#: All seven kernels, in the paper's order.
+ALL_KERNELS: Tuple[KernelConfig, ...] = (RU, OU, NU, PSU, IU, SU, TI)
+
+KERNELS_BY_NAME: Dict[str, KernelConfig] = {k.name: k for k in ALL_KERNELS}
+
+
+def get_kernel_config(name: str) -> KernelConfig:
+    try:
+        return KERNELS_BY_NAME[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; choose from "
+            f"{', '.join(KERNELS_BY_NAME)}"
+        ) from None

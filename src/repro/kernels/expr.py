@@ -1,0 +1,141 @@
+"""Per-operation expression code generation.
+
+Shared by the unrolled Python kernels (IU/SU/TI), the C++ kernel generator,
+and the baseline backends.  Given an operation, operand expressions, operand
+widths and the output width, produce a source-level expression string.
+
+Constant operands (FIRRTL static parameters) are inlined by callers before
+reaching here where beneficial.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def _mask_literal(width: int, lang: str) -> str:
+    value = (1 << width) - 1
+    if lang == "py":
+        return hex(value)
+    if width > 32:
+        return f"{hex(value)}ULL"
+    return hex(value)
+
+
+#: Ops whose result already fits the output width when the operands do.
+_NO_MASK = {
+    "and", "or", "xor", "mux", "lt", "leq", "gt", "geq", "eq",
+    "neq", "andr", "orr", "xorr", "pad", "asUInt", "asSInt", "ident",
+    "shr", "dshr", "head",
+}
+
+
+def needs_mask(op: str) -> bool:
+    base = op.rstrip("0123456789")
+    if base in ("muxchain", "orchain", "andchain", "xorchain"):
+        return False
+    return op not in _NO_MASK
+
+
+def python_expr(
+    op: str, args: Sequence[str], widths: Sequence[int], out_width: int
+) -> str:
+    """Render one operation as a Python expression over ``args`` strings."""
+    expr = _core_expr(op, args, widths, out_width, lang="py")
+    if needs_mask(op):
+        return f"({expr}) & {_mask_literal(out_width, 'py')}"
+    return expr
+
+
+def cpp_expr(
+    op: str, args: Sequence[str], widths: Sequence[int], out_width: int
+) -> str:
+    """Render one operation as a C/C++ expression over ``args`` strings."""
+    expr = _core_expr(op, args, widths, out_width, lang="cpp")
+    if needs_mask(op):
+        return f"({expr}) & {_mask_literal(out_width, 'cpp')}"
+    return expr
+
+
+def _core_expr(
+    op: str, args: Sequence[str], widths: Sequence[int], out_width: int, lang: str
+) -> str:
+    a = list(args)
+    ternary = (
+        (lambda c, t, f: f"({t} if {c} else {f})")
+        if lang == "py"
+        else (lambda c, t, f: f"(({c}) ? ({t}) : ({f}))")
+    )
+    truthy = (lambda x: f"1 if {x} else 0") if lang == "py" else (lambda x: f"(({x}) != 0)")
+
+    if op == "add":
+        return f"{a[0]} + {a[1]}"
+    if op == "sub":
+        return f"{a[0]} - {a[1]}"
+    if op == "mul":
+        return f"{a[0]} * {a[1]}"
+    if op == "div":
+        if lang == "py":
+            return f"({a[0]} // {a[1]} if {a[1]} else 0)"
+        return f"(({a[1]}) ? ({a[0]} / {a[1]}) : 0)"
+    if op == "rem":
+        if lang == "py":
+            return f"({a[0]} % {a[1]} if {a[1]} else 0)"
+        return f"(({a[1]}) ? ({a[0]} % {a[1]}) : 0)"
+    if op in ("lt", "leq", "gt", "geq", "eq", "neq"):
+        symbol = {"lt": "<", "leq": "<=", "gt": ">", "geq": ">=", "eq": "==", "neq": "!="}[op]
+        comparison = f"{a[0]} {symbol} {a[1]}"
+        if lang == "py":
+            return f"(1 if {comparison} else 0)"
+        return f"({comparison})"
+    if op == "and":
+        return f"{a[0]} & {a[1]}"
+    if op == "or":
+        return f"{a[0]} | {a[1]}"
+    if op == "xor":
+        return f"{a[0]} ^ {a[1]}"
+    if op == "cat":
+        return f"({a[0]} << {widths[1]}) | {a[1]}"
+    if op in ("dshl", "shl"):
+        return f"{a[0]} << {a[1]}"
+    if op in ("dshr", "shr"):
+        return f"{a[0]} >> {a[1]}"
+    if op == "pad":
+        return a[0]
+    if op == "tail":
+        return a[0]
+    if op == "head":
+        return f"{a[0]} >> ({widths[0]} - {a[1]})" if widths[0] else a[0]
+    if op == "not":
+        return f"~{a[0]}"
+    if op == "neg":
+        return f"-{a[0]}"
+    if op in ("cvt", "asUInt", "asSInt", "ident"):
+        return a[0]
+    if op == "andr":
+        full = (1 << widths[0]) - 1
+        comparison = f"{a[0]} == {hex(full)}"
+        return f"(1 if {comparison} else 0)" if lang == "py" else f"({comparison})"
+    if op == "orr":
+        return f"({truthy(a[0])})"
+    if op == "xorr":
+        if lang == "py":
+            return f"bin({a[0]}).count('1') & 1"
+        return f"(__builtin_popcountll({a[0]}) & 1)"
+    if op == "mux":
+        return ternary(a[0], a[1], a[2])
+    if op == "bits":
+        # a = [value, hi, lo]; hi/lo reach codegen as inline constants.
+        return f"({a[0]} >> {a[2]})"
+
+    base = op.rstrip("0123456789")
+    if base == "muxchain":
+        # a = [s1, v1, s2, v2, ..., default]; build from the innermost out.
+        expression = a[-1]
+        for position in range(len(a) - 3, -1, -2):
+            expression = ternary(a[position], a[position + 1], expression)
+        return expression
+    if base in ("orchain", "andchain", "xorchain"):
+        symbol = {"orchain": "|", "andchain": "&", "xorchain": "^"}[base]
+        return f" {symbol} ".join(a)
+    raise KeyError(f"no expression template for op {op!r}")

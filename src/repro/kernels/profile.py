@@ -1,0 +1,195 @@
+"""Static per-cycle kernel characterisation for the performance model.
+
+A :class:`KernelProfile` captures what one simulated cycle of a kernel does
+to the host machine: dynamic instructions, code and data footprints,
+irregular value-array accesses, and branch behaviour.  The
+instruction-cost constants are calibrated to the paper's Table 5
+measurements of 8-core RocketChip on the Intel Xeon (dynamic instructions
+per effectual operation for each kernel); footprint numbers come from the
+*actual* generated code and lowered OIM arrays.
+
+``extrapolation`` scales footprints and op counts up to paper-scale
+designs (our generators build ~1/18-size designs; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..oim.builder import OimBundle
+from .codegen_cpp import CppSource, generate_cpp
+from .config import KernelConfig, get_kernel_config
+
+#: Dynamic instructions per effectual operation, per kernel (Table 5:
+#: dyn-inst totals / (540K cycles x 139K ops) for 8-core RocketChip).
+INSTR_PER_OP: Dict[str, float] = {
+    "RU": 358.0,
+    "OU": 37.2,
+    "NU": 17.7,
+    "PSU": 16.5,
+    "IU": 17.5,
+    "SU": 7.2,
+    "TI": 6.3,
+}
+
+#: Fraction of dynamic instructions that are data loads (Table 6 L1D loads
+#: / Table 5 dyn-inst).
+LOAD_FRACTION: Dict[str, float] = {
+    "RU": 0.30,
+    "OU": 0.33,
+    "NU": 0.47,
+    "PSU": 0.50,
+    "IU": 0.50,
+    "SU": 0.45,
+    "TI": 0.41,
+}
+
+#: Conditional branches per effectual operation.
+BRANCHES_PER_OP: Dict[str, float] = {
+    "RU": 4.0,
+    "OU": 2.0,
+    "NU": 1.1,
+    "PSU": 0.7,
+    "IU": 0.7,
+    "SU": 0.05,
+    "TI": 0.05,
+}
+
+#: Sustainable ILP of each kernel's instruction mix: interpreter loops
+#: carry dependent chains (pointer chasing, dispatch); straight-line code
+#: schedules freely.  Caps the effective issue width.
+KERNEL_ILP: Dict[str, float] = {
+    "RU": 4.4,
+    "OU": 5.5,
+    "NU": 5.0,
+    "PSU": 5.0,
+    "IU": 5.0,
+    "SU": 6.0,
+    "TI": 6.0,
+}
+
+#: Branch misprediction rate (the paper reports 0.12% for PSU).
+MISPREDICT_RATE: Dict[str, float] = {
+    "RU": 0.004,
+    "OU": 0.003,
+    "NU": 0.002,
+    "PSU": 0.0012,
+    "IU": 0.0012,
+    "SU": 0.001,
+    "TI": 0.001,
+}
+
+
+def _natural_bytes(width: int) -> int:
+    """Storage bytes of one slot value (C natural integer widths)."""
+    if width <= 8:
+        return 1
+    if width <= 16:
+        return 2
+    if width <= 32:
+        return 4
+    return 8
+
+
+@dataclass
+class KernelProfile:
+    """Per-simulated-cycle characterisation of one kernel on one design."""
+
+    kernel: str
+    design: str
+    ops: float
+    operands: float
+    layers: int
+    num_slots: float
+    dyn_instr: float
+    code_bytes: float          # binary size (Table 4 model)
+    hot_code_bytes: float      # code streamed each cycle (I-side footprint)
+    oim_data_bytes: float      # OIM arrays resident as data
+    value_bytes: float         # the V (LI/LO) array
+    v_reads: float             # irregular value-array reads per cycle
+    loads: float               # total data loads per cycle
+    branches: float
+    mispredict_rate: float
+    #: Whether per-cycle code is a small reused loop (fits L1I) or a
+    #: straight-line stream (swept every cycle).
+    code_streamed: bool = False
+    #: Sustainable instruction-level parallelism (caps issue width).
+    ilp: float = 6.0
+    #: Fraction of fetch-miss latency hidden by code prefetching.  Compiler
+    #: -laid-out baseline code streams well; RTeAAL's straight-line kernels
+    #: (giant immediates) are what the paper measures as frontend-bound.
+    fetch_prefetch_hidden: float = 0.0
+    source: Optional[CppSource] = None
+
+    @property
+    def instr_per_op(self) -> float:
+        return self.dyn_instr / self.ops if self.ops else 0.0
+
+
+def kernel_profile(
+    bundle: OimBundle,
+    config: KernelConfig | str,
+    extrapolation: float = 1.0,
+    source: Optional[CppSource] = None,
+) -> KernelProfile:
+    """Build the profile for ``bundle`` under kernel ``config``."""
+    if isinstance(config, str):
+        config = get_kernel_config(config)
+    if source is None:
+        source = generate_cpp(bundle, config)
+
+    ops = bundle.num_ops * extrapolation
+    operands = (
+        sum(len(r.operands) for layer in bundle.layers for r in layer)
+        * extrapolation
+    )
+    value_bytes = (
+        sum(_natural_bytes(w) for w in bundle.slot_width) * extrapolation
+    )
+    commits = len(bundle.register_commits) * extrapolation
+
+    name = config.name
+    dyn_instr = ops * INSTR_PER_OP[name] + commits * 4 + bundle.num_layers * 6
+    loads = dyn_instr * LOAD_FRACTION[name]
+    branches = ops * BRANCHES_PER_OP[name] + commits
+
+    # Irregular V-array traffic: every operand read + every result write for
+    # array kernels; TI only touches V at chunk boundaries.
+    if name == "TI":
+        externals = len(bundle.output_slots) + len(bundle.register_commits)
+        leaves = len(bundle.input_slots) + len(bundle.register_inits)
+        v_reads = (leaves + 0.25 * bundle.num_ops) * extrapolation
+        v_writes = (externals + 0.25 * bundle.num_ops) * extrapolation
+    else:
+        v_reads = operands
+        v_writes = ops
+    v_reads += commits * 2  # register commit reads/writes
+
+    code_streamed = name in ("IU", "SU", "TI")
+    hot_code = source.hot_code_bytes(extrapolation)
+    if not code_streamed:
+        # Rolled kernels: the per-cycle loop is the kernel function only;
+        # it is reused across every operation.
+        hot_code = min(hot_code, 48_000)
+
+    return KernelProfile(
+        kernel=name,
+        design=bundle.design_name,
+        ops=ops,
+        operands=operands,
+        layers=bundle.num_layers,
+        num_slots=bundle.num_slots * extrapolation,
+        dyn_instr=dyn_instr,
+        code_bytes=source.binary_code_bytes(extrapolation),
+        hot_code_bytes=hot_code,
+        oim_data_bytes=source.oim_data_bytes * extrapolation,
+        value_bytes=value_bytes,
+        v_reads=v_reads + v_writes,
+        loads=loads,
+        branches=branches,
+        mispredict_rate=MISPREDICT_RATE[name],
+        code_streamed=code_streamed,
+        ilp=KERNEL_ILP[name],
+        source=source,
+    )

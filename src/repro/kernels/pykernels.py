@@ -1,0 +1,396 @@
+"""Executable Python kernels for every configuration of Section 5.2.
+
+Each kernel consumes the value array ``V`` (the paper's ``LI``/``LO``
+collapsed by identity elision: one persistent slot per value) and evaluates
+one cycle of combinational logic:
+
+* **RU** walks the optimised-format OIM arrays with an operand-at-a-time
+  map/reduce loop -- a faithful rendering of Algorithm 3;
+* **OU** gathers each operation's operands in one step (O rank unrolled);
+* **NU/PSU** traverse the swizzled format with a dedicated loop per
+  operation type (Algorithm 4); PSU shares NU's functional path -- partial
+  unrolling only changes the generated machine code, which the performance
+  model captures;
+* **IU** resolves the layer structure at build time ("compile time"),
+  eliminating zero-iteration S loops;
+* **SU** generates straight-line Python with array accesses;
+* **TI** generates straight-line Python over local variables, touching
+  ``V`` only at the boundaries (loads of leaves, stores of externally
+  visible values).
+
+All kernels are bit-exact and are cross-checked against the FIRRTL
+reference interpreter in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graph.opsem import REDUCE, SELECT, UNARY
+from ..oim.builder import OimBundle, OpRecord
+from ..oim.formats import lower_oim_fast
+from .config import KernelConfig, get_kernel_config
+from .expr import python_expr
+
+#: Straight-line codegen emits one function per this many statements to
+#: keep CPython compile times reasonable on large designs.
+CODEGEN_CHUNK = 4000
+
+
+class Kernel:
+    """Base class: evaluates one cycle of combinational logic over ``V``."""
+
+    def __init__(self, bundle: OimBundle, config: KernelConfig) -> None:
+        self.bundle = bundle
+        self.config = config
+
+    def eval_comb(self, values: List[int]) -> None:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+
+# ----------------------------------------------------------------------
+# RU: Algorithm 3 over the optimised arrays
+# ----------------------------------------------------------------------
+class RUKernel(Kernel):
+    def __init__(self, bundle: OimBundle, config: KernelConfig) -> None:
+        super().__init__(bundle, config)
+        lowered = lower_oim_fast(bundle, "optimized")
+        self._i_payloads = lowered.ranks["I"].payloads
+        self._s_coords = lowered.ranks["S"].coords
+        self._n_coords = lowered.ranks["N"].coords
+        self._r_coords = lowered.ranks["R"].coords
+        self._entries = [bundle.op_table.entry(c) for c in range(len(bundle.op_table))]
+        self._width = bundle.slot_width
+
+    def eval_comb(self, values: List[int]) -> None:
+        width = self._width
+        s_coords, n_coords, r_coords = self._s_coords, self._n_coords, self._r_coords
+        entries = self._entries
+        op_index = 0
+        r_index = 0
+        for layer_count in self._i_payloads:          # Rank I
+            for _ in range(layer_count):              # Rank S
+                s = s_coords[op_index]
+                entry = entries[n_coords[op_index]]   # Rank N (one-hot)
+                op_index += 1
+                out_width = width[s]
+                sel_inputs: List[int] = []
+                sel_widths: List[int] = []
+                accumulator = 0
+                for o in range(entry.arity):          # Rank O
+                    r = r_coords[r_index]             # Rank R (unrolled)
+                    r_index += 1
+                    operand = values[r]
+                    operand_width = width[r]
+                    sel_inputs.append(operand)
+                    sel_widths.append(operand_width)
+                    if entry.klass == UNARY:
+                        accumulator = entry.semantics(
+                            [operand], [operand_width], out_width
+                        )
+                    elif entry.klass == REDUCE:
+                        if o == 0:
+                            accumulator = operand
+                        else:
+                            accumulator = entry.semantics(
+                                [accumulator, operand],
+                                [out_width, operand_width],
+                                out_width,
+                            )
+                if entry.klass == SELECT:
+                    accumulator = entry.semantics(sel_inputs, sel_widths, out_width)
+                values[s] = accumulator
+
+
+# ----------------------------------------------------------------------
+# OU: O rank unrolled -- gather all operands at once
+# ----------------------------------------------------------------------
+class OUKernel(Kernel):
+    def __init__(self, bundle: OimBundle, config: KernelConfig) -> None:
+        super().__init__(bundle, config)
+        lowered = lower_oim_fast(bundle, "optimized")
+        self._i_payloads = lowered.ranks["I"].payloads
+        self._s_coords = lowered.ranks["S"].coords
+        self._n_coords = lowered.ranks["N"].coords
+        self._r_coords = lowered.ranks["R"].coords
+        self._entries = [bundle.op_table.entry(c) for c in range(len(bundle.op_table))]
+        self._width = bundle.slot_width
+
+    def eval_comb(self, values: List[int]) -> None:
+        width = self._width
+        s_coords, n_coords, r_coords = self._s_coords, self._n_coords, self._r_coords
+        entries = self._entries
+        op_index = 0
+        r_index = 0
+        for layer_count in self._i_payloads:
+            for _ in range(layer_count):
+                s = s_coords[op_index]
+                entry = entries[n_coords[op_index]]
+                op_index += 1
+                arity = entry.arity
+                operands = r_coords[r_index:r_index + arity]
+                r_index += arity
+                values[s] = entry.semantics(
+                    [values[r] for r in operands],
+                    [width[r] for r in operands],
+                    width[s],
+                )
+
+
+# ----------------------------------------------------------------------
+# NU / PSU: swizzled format, one loop per operation type (Algorithm 4)
+# ----------------------------------------------------------------------
+class NUKernel(Kernel):
+    def __init__(self, bundle: OimBundle, config: KernelConfig) -> None:
+        super().__init__(bundle, config)
+        lowered = lower_oim_fast(bundle, "swizzled")
+        self._n_payloads = lowered.ranks["N"].payloads
+        self._s_coords = lowered.ranks["S"].coords
+        self._r_coords = lowered.ranks["R"].coords
+        self._num_codes = len(bundle.op_table)
+        self._entries = [bundle.op_table.entry(c) for c in range(self._num_codes)]
+        self._width = bundle.slot_width
+
+    def eval_comb(self, values: List[int]) -> None:
+        width = self._width
+        s_coords, r_coords = self._s_coords, self._r_coords
+        entries = self._entries
+        payload_index = 0
+        s_index = 0
+        r_index = 0
+        for _layer in range(self.bundle.num_layers):       # Rank I
+            for code in range(self._num_codes):            # Unrolled rank N
+                count = self._n_payloads[payload_index]
+                payload_index += 1
+                if count == 0:
+                    continue
+                entry = entries[code]
+                semantics = entry.semantics
+                arity = entry.arity
+                for _ in range(count):                      # Rank S
+                    s = s_coords[s_index]
+                    s_index += 1
+                    operands = r_coords[r_index:r_index + arity]
+                    r_index += arity
+                    values[s] = semantics(
+                        [values[r] for r in operands],
+                        [width[r] for r in operands],
+                        width[s],
+                    )
+
+
+# ----------------------------------------------------------------------
+# IU: layer structure resolved at kernel-build time
+# ----------------------------------------------------------------------
+class IUKernel(Kernel):
+    """PSU plus full I-rank unrolling: zero-iteration S loops are gone.
+
+    The per-(layer, op-type) groups are flattened into a static schedule at
+    construction -- the Python analogue of emitting per-layer code.
+    """
+
+    def __init__(self, bundle: OimBundle, config: KernelConfig) -> None:
+        super().__init__(bundle, config)
+        width = bundle.slot_width
+        self._groups: List[Tuple[Callable, int, List[int], List[int]]] = []
+        for layer in bundle.layers:
+            by_code: Dict[int, List[OpRecord]] = {}
+            for record in layer:
+                by_code.setdefault(record.n, []).append(record)
+            for code in sorted(by_code):
+                records = by_code[code]
+                entry = bundle.op_table.entry(code)
+                s_list = [record.s for record in records]
+                r_list = [r for record in records for r in record.operands]
+                self._groups.append((entry.semantics, entry.arity, s_list, r_list))
+        self._width = width
+
+    def eval_comb(self, values: List[int]) -> None:
+        width = self._width
+        for semantics, arity, s_list, r_list in self._groups:
+            r_index = 0
+            for s in s_list:
+                operands = r_list[r_index:r_index + arity]
+                r_index += arity
+                values[s] = semantics(
+                    [values[r] for r in operands],
+                    [width[r] for r in operands],
+                    width[s],
+                )
+
+
+# ----------------------------------------------------------------------
+# SU / TI: generated straight-line code
+# ----------------------------------------------------------------------
+def _operand_exprs(
+    bundle: OimBundle,
+    record: OpRecord,
+    const_values: Dict[int, int],
+    slot_expr: Callable[[int], str],
+) -> Tuple[List[str], List[int]]:
+    args: List[str] = []
+    widths: List[int] = []
+    for r in record.operands:
+        if r in const_values:
+            args.append(str(const_values[r]))
+        else:
+            args.append(slot_expr(r))
+        widths.append(bundle.slot_width[r])
+    return args, widths
+
+
+def _compile_chunks(
+    sources: List[str], chunk_names: List[str]
+) -> List[Callable[[List[int]], None]]:
+    functions: List[Callable[[List[int]], None]] = []
+    for source, name in zip(sources, chunk_names):
+        namespace: Dict[str, object] = {}
+        code = compile(source, f"<kernel:{name}>", "exec")
+        exec(code, namespace)
+        functions.append(namespace[name])  # type: ignore[arg-type]
+    return functions
+
+
+class SUKernel(Kernel):
+    """Fully unrolled straight-line code over the ``V`` array."""
+
+    def __init__(self, bundle: OimBundle, config: KernelConfig) -> None:
+        super().__init__(bundle, config)
+        const_values = dict(bundle.const_slots)
+        statements: List[str] = []
+        for layer in bundle.layers:
+            for record in layer:
+                entry = bundle.op_table.entry(record.n)
+                args, widths = _operand_exprs(
+                    bundle, record, const_values, lambda r: f"V[{r}]"
+                )
+                expression = python_expr(
+                    entry.name, args, widths, bundle.slot_width[record.s]
+                )
+                statements.append(f"    V[{record.s}] = {expression}")
+        self._functions = self._build(statements)
+
+    def _build(self, statements: List[str]) -> List[Callable]:
+        sources: List[str] = []
+        names: List[str] = []
+        for start in range(0, max(len(statements), 1), CODEGEN_CHUNK):
+            chunk = statements[start:start + CODEGEN_CHUNK]
+            name = f"su_chunk_{start // CODEGEN_CHUNK}"
+            body = "\n".join(chunk) if chunk else "    pass"
+            sources.append(f"def {name}(V):\n{body}\n")
+            names.append(name)
+        return _compile_chunks(sources, names)
+
+    def eval_comb(self, values: List[int]) -> None:
+        for function in self._functions:
+            function(values)
+
+
+class TIKernel(Kernel):
+    """SU plus tensor inlining: values live in local variables.
+
+    Loads happen once per chunk for leaf slots and cross-chunk values;
+    stores happen only for externally visible slots (register next values,
+    outputs, watched signals) and for values consumed by later chunks.
+    """
+
+    def __init__(
+        self,
+        bundle: OimBundle,
+        config: KernelConfig,
+        extra_stores: Optional[Set[int]] = None,
+    ) -> None:
+        super().__init__(bundle, config)
+        const_values = dict(bundle.const_slots)
+        produced_by_op: Set[int] = {
+            record.s for layer in bundle.layers for record in layer
+        }
+        external: Set[int] = set(bundle.output_slots.values())
+        external.update(next_slot for _, next_slot in bundle.register_commits)
+        if extra_stores:
+            external.update(extra_stores)
+
+        records = [record for layer in bundle.layers for record in layer]
+        chunks = [
+            records[start:start + CODEGEN_CHUNK]
+            for start in range(0, max(len(records), 1), CODEGEN_CHUNK)
+        ] or [[]]
+
+        # A slot must cross V when defined in one chunk and used in another.
+        defining_chunk: Dict[int, int] = {}
+        for index, chunk in enumerate(chunks):
+            for record in chunk:
+                defining_chunk[record.s] = index
+        cross_chunk: Set[int] = set()
+        for index, chunk in enumerate(chunks):
+            for record in chunk:
+                for r in record.operands:
+                    owner = defining_chunk.get(r)
+                    if owner is not None and owner != index:
+                        cross_chunk.add(r)
+
+        sources: List[str] = []
+        names: List[str] = []
+        for index, chunk in enumerate(chunks):
+            name = f"ti_chunk_{index}"
+            defined_here: Set[int] = set()
+            loads: Set[int] = set()
+            lines: List[str] = []
+            for record in chunk:
+                entry = bundle.op_table.entry(record.n)
+                for r in record.operands:
+                    if r not in defined_here and r not in const_values:
+                        loads.add(r)
+                args, widths = _operand_exprs(
+                    bundle, record, const_values, lambda r: f"v{r}"
+                )
+                expression = python_expr(
+                    entry.name, args, widths, bundle.slot_width[record.s]
+                )
+                lines.append(f"    v{record.s} = {expression}")
+                defined_here.add(record.s)
+            header = [
+                f"    v{r} = V[{r}]" for r in sorted(loads - defined_here)
+            ]
+            stores = sorted(
+                s for s in defined_here if s in external or s in cross_chunk
+            )
+            footer = [f"    V[{s}] = v{s}" for s in stores]
+            body = "\n".join(header + lines + footer) or "    pass"
+            sources.append(f"def {name}(V):\n{body}\n")
+            names.append(name)
+        self._functions = _compile_chunks(sources, names)
+
+    def eval_comb(self, values: List[int]) -> None:
+        for function in self._functions:
+            function(values)
+
+
+_KERNEL_CLASSES: Dict[str, type] = {
+    "RU": RUKernel,
+    "OU": OUKernel,
+    "NU": NUKernel,
+    "PSU": NUKernel,  # functional path shared; codegen/perf differ
+    "IU": IUKernel,
+    "SU": SUKernel,
+    "TI": TIKernel,
+}
+
+
+def make_kernel(
+    bundle: OimBundle,
+    config: KernelConfig | str,
+    extra_stores: Optional[Set[int]] = None,
+) -> Kernel:
+    """Instantiate the executable kernel for a configuration."""
+    if isinstance(config, str):
+        config = get_kernel_config(config)
+    cls = _KERNEL_CLASSES[config.name]
+    if cls is TIKernel:
+        return TIKernel(bundle, config, extra_stores=extra_stores)
+    return cls(bundle, config)

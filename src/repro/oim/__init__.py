@@ -1,0 +1,35 @@
+"""OIM construction: opcodes, coordinate assignment, formats, Cascade 1.
+
+Public API::
+
+    from repro.oim import build_oim, OimBundle, lower_oim, oim_format
+"""
+
+from .builder import OimBundle, OpRecord, build_oim
+from .cascade import build_cascade, cascade_tensors, run_cascade_cycle
+from .formats import (
+    VARIANTS,
+    lower_oim,
+    lower_oim_fast,
+    occupancy_rules,
+    oim_format,
+    oim_storage_bytes,
+)
+from .opcodes import OpEntry, OpTable
+
+__all__ = [
+    "OimBundle",
+    "OpEntry",
+    "OpRecord",
+    "OpTable",
+    "VARIANTS",
+    "build_cascade",
+    "build_oim",
+    "cascade_tensors",
+    "lower_oim",
+    "lower_oim_fast",
+    "occupancy_rules",
+    "oim_format",
+    "oim_storage_bytes",
+    "run_cascade_cycle",
+]

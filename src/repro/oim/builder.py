@@ -1,0 +1,230 @@
+"""OIM generation: coordinate assignment and tensor construction (Fig. 14).
+
+The builder turns an (optimised) dataflow graph into an :class:`OimBundle`:
+
+* every value-carrying node -- input, constant, register, operation output
+  -- is assigned a persistent *slot*, which serves as both its ``R``
+  coordinate (when read) and its ``S`` coordinate (when written).  This is
+  exactly the coordinate assignment that makes every identity operation
+  have matching source and destination coordinates, allowing them all to be
+  elided (Section 4.3);
+* the ``OIM`` fibertree over ranks ``[I, S, N, O, R]`` records, per layer
+  ``i``, each operation ``s`` with type ``n`` and ordered operands
+  ``(o, r)`` (Figure 13a);
+* runtime metadata is collected: slot widths, constant initial values,
+  input/output slot maps, and the register commit list (the cascade's
+  ``i ≡ I`` wrap-around).
+
+``include_identities=True`` materialises the conceptual identity operations
+instead (Section 4.2), which the tests use to validate Cascade 1 against the
+elided kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.dfg import DataflowGraph
+from ..graph.levelize import Levelization, levelize
+from ..tensor.tensor import Tensor
+from .opcodes import OpTable
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One operation instance: output slot, opcode, ordered operand slots."""
+
+    s: int
+    n: int
+    operands: Tuple[int, ...]
+
+
+@dataclass
+class OimBundle:
+    """Everything a kernel needs to simulate one design."""
+
+    design_name: str
+    op_table: OpTable
+    #: Per-layer operation records, ordered by ``s`` within each layer.
+    layers: List[List[OpRecord]]
+    num_slots: int
+    slot_width: List[int]
+    #: Slots holding constants, preloaded once: ``(slot, value)``.
+    const_slots: List[Tuple[int, int]]
+    input_slots: Dict[str, int]
+    output_slots: Dict[str, int]
+    #: Register commits applied at end of cycle: ``(state_slot, next_slot)``.
+    register_commits: List[Tuple[int, int]]
+    #: Register initial values: ``(state_slot, init_value)``.
+    register_inits: List[Tuple[int, int]]
+    #: Named signals observable by waveforms / peek.
+    signal_slots: Dict[str, int]
+    levelization: Levelization
+    #: Maximum operand count across ops (shape of the O rank).
+    max_arity: int = 0
+    #: Clock-domain name of each commit, parallel to ``register_commits``.
+    register_clocks: List[str] = field(default_factory=list)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def num_ops(self) -> int:
+        return sum(len(layer) for layer in self.layers)
+
+    def shape(self) -> Dict[str, int]:
+        """Rank shapes of the OIM tensor."""
+        return {
+            "I": self.num_layers,
+            "S": self.num_slots,
+            "N": len(self.op_table),
+            "O": self.max_arity,
+            "R": self.num_slots,
+        }
+
+    # ------------------------------------------------------------------
+    def to_tensor(self, rank_order: Sequence[str] = ("I", "S", "N", "O", "R")) -> Tensor:
+        """Materialise the OIM fibertree (Figure 13a).
+
+        The ``O`` rank's shape is left unset: its fibers are dense but
+        variable-length (the operation's arity), so a global shape would
+        pad them with phantom entries during dense lowering.
+        """
+        shape_map = self.shape()
+        shape_map["O"] = None
+        base = Tensor(
+            ("I", "S", "N", "O", "R"),
+            [shape_map[r] for r in ("I", "S", "N", "O", "R")],
+        )
+        for i, layer in enumerate(self.layers):
+            for record in layer:
+                for o, r in enumerate(record.operands):
+                    base.set((i, record.s, record.n, o, r), 1)
+        if tuple(rank_order) != ("I", "S", "N", "O", "R"):
+            return base.swizzle(rank_order)
+        return base
+
+    def initial_values(self) -> List[int]:
+        """The LI value array at time zero (constants + register inits)."""
+        values = [0] * self.num_slots
+        for slot, value in self.const_slots:
+            values[slot] = value
+        for slot, value in self.register_inits:
+            values[slot] = value
+        return values
+
+
+def build_oim(
+    graph: DataflowGraph,
+    include_identities: bool = False,
+) -> OimBundle:
+    """Assign coordinates and build the OIM for ``graph``."""
+    lv = levelize(graph)
+    extra_ops = ("ident",) if include_identities else ()
+    op_table = OpTable.from_graph(graph, extra=extra_ops)
+
+    # ------------------------------------------------------------------
+    # Slot assignment: leaves first (they live in LI from cycle start),
+    # then ops in (layer, node-id) order so traversal is concordant.
+    # ------------------------------------------------------------------
+    slot_of: Dict[int, int] = {}
+    slot_width: List[int] = []
+
+    def assign(nid: int, width: int) -> int:
+        slot = len(slot_width)
+        slot_of[nid] = slot
+        slot_width.append(width)
+        return slot
+
+    const_slots: List[Tuple[int, int]] = []
+    input_slots: Dict[str, int] = {}
+    register_inits: List[Tuple[int, int]] = []
+
+    for node in graph.nodes:
+        if node.op == "input":
+            input_slots[node.name] = assign(node.nid, node.width)
+        elif node.op == "const":
+            const_slots.append((assign(node.nid, node.width), node.value))
+        elif node.op == "reg":
+            assign(node.nid, node.width)
+
+    for reg in graph.registers.values():
+        register_inits.append((slot_of[reg.state_nid], reg.init_value))
+
+    layers: List[List[OpRecord]] = [[] for _ in range(lv.num_layers)]
+    for layer_index, layer_nodes in enumerate(lv.layers):
+        for nid in layer_nodes:
+            assign(nid, graph.node(nid).width)
+
+    ident_code = op_table.code_of("ident") if include_identities else -1
+
+    # With identities, a value produced in layer p must be copied through
+    # layers p+1 .. c-1 to reach its farthest consumer in layer c.  The
+    # copies reuse the value's own slot (same source and destination
+    # coordinate), which is what makes them elidable.
+    if include_identities:
+        farthest: Dict[int, int] = {}
+        for layer_index, layer_nodes in enumerate(lv.layers):
+            for nid in layer_nodes:
+                for operand in graph.node(nid).operands:
+                    if layer_index > farthest.get(operand, -1):
+                        farthest[operand] = layer_index
+        # Externally visible values (outputs and register next states) must
+        # survive to the end of the cycle, i.e. be present in LI_I.
+        for nid in graph.roots():
+            farthest[nid] = max(farthest.get(nid, -1), lv.num_layers)
+
+    for layer_index, layer_nodes in enumerate(lv.layers):
+        for nid in layer_nodes:
+            node = graph.node(nid)
+            operands = tuple(slot_of[o] for o in node.operands)
+            layers[layer_index].append(
+                OpRecord(slot_of[nid], op_table.code_of(node.op), operands)
+            )
+        layers[layer_index].sort(key=lambda record: record.s)
+
+    identity_records = 0
+    if include_identities:
+        for nid, consumer_layer in farthest.items():
+            produced = lv.layer_of.get(nid, -1)
+            slot = slot_of[nid]
+            for layer_index in range(produced + 1, consumer_layer):
+                layers[layer_index].append(OpRecord(slot, ident_code, (slot,)))
+                identity_records += 1
+        for layer in layers:
+            layer.sort(key=lambda record: record.s)
+
+    output_slots = {name: slot_of[nid] for name, nid in graph.outputs.items()}
+    register_commits = [
+        (slot_of[reg.state_nid], slot_of[reg.next_nid])
+        for reg in graph.registers.values()
+    ]
+    register_clocks = [reg.clock for reg in graph.registers.values()]
+    signal_slots = {
+        name: slot_of[nid]
+        for name, nid in graph.signal_map.items()
+        if nid in slot_of
+    }
+    max_arity = max(
+        (len(record.operands) for layer in layers for record in layer),
+        default=0,
+    )
+
+    return OimBundle(
+        design_name=graph.name,
+        op_table=op_table,
+        layers=layers,
+        num_slots=len(slot_width),
+        slot_width=slot_width,
+        const_slots=const_slots,
+        input_slots=input_slots,
+        output_slots=output_slots,
+        register_commits=register_commits,
+        register_inits=register_inits,
+        signal_slots=signal_slots,
+        levelization=lv,
+        max_arity=max_arity,
+        register_clocks=register_clocks,
+    )

@@ -1,0 +1,202 @@
+"""Cascade 1: the paper's Einsum formulation of RTL simulation (Section 4).
+
+Builds the four-Einsum cascade
+
+.. code-block:: text
+
+    OI[i,n,o,r,s]     = LI[i,r] . OIM[i,n,o,r,s]   :: map <-(->)
+    LO[i,n,s]         = OI[i,n,o,r,s]              :: map op_u[n](<-) reduce op_r[n](->)
+    LO_sel[i,n,o*,r,s] = OI[i,n,o,r,s]             :: map 1(<-) populate 1(op_s[n])
+    LI[i+1,s]         = LO[i,n,s]                  :: map 1(<-) reduce ANY(->), n not in n_sel
+    LI[i+1,s]         = LO_sel[i,n,o,r,s]          :: map 1(<-) reduce ANY(->), n in n_sel
+    <> : i = I (iterative)
+
+over an :class:`~repro.oim.builder.OimBundle` and executes it with the EDGE
+interpreter.  It is the *formal golden model*: the test suite checks that a
+cycle of this cascade (with identity operations materialised) produces the
+same values as the elided array kernels.
+
+Intermediate temporaries carry ``(value, width)`` pairs so the bit-accurate
+custom operators ``op_u[n]`` / ``op_r[n]`` / ``op_s[n]`` (Algorithm 2) can
+mask correctly; the final populate into ``LI`` unwraps back to plain ints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..einsum.einsum import Cascade, Einsum, MapSpec, PopulateSpec, ReduceSpec, TensorRef
+from ..einsum.interpreter import run_cascade
+from ..einsum.operators import (
+    ANY,
+    COORD_LEFT,
+    COORD_RIGHT,
+    PASS_THROUGH,
+    PopulateOp,
+    contextual_compute,
+    custom_compute,
+)
+from ..graph.opsem import REDUCE, SELECT, UNARY
+from ..tensor.tensor import Tensor
+from .builder import OimBundle
+
+
+def build_cascade(bundle: OimBundle) -> Cascade:
+    """Construct Cascade 1 for ``bundle``."""
+    op_table = bundle.op_table
+    slot_width = bundle.slot_width
+    n_sel = op_table.select_codes()
+
+    def op_u(bindings: Dict[str, int], value) -> Tuple[int, int]:
+        """Map compute operator: apply unary ops, wrap others (Einsum 12)."""
+        code = bindings["n"]
+        entry = op_table.entry(code)
+        v, w = value
+        if entry.klass == UNARY:
+            out_width = slot_width[bindings["s"]]
+            return entry.semantics([v], [w], out_width), out_width
+        return value
+
+    def op_r(bindings: Dict[str, int], prev, new) -> Tuple[int, int]:
+        """Reduce compute operator (Algorithm 2).
+
+        For non-reducible operation types the map temporary is copied
+        through (its value is superseded by ``LO_sel`` for select ops).
+        """
+        code = bindings["n"]
+        entry = op_table.entry(code)
+        if entry.klass != REDUCE:
+            return new
+        (pv, pw), (nv, nw) = prev, new
+        out_width = slot_width[bindings["s"]]
+        return entry.semantics([pv, nv], [pw, nw], out_width), out_width
+
+    def op_s(bindings: Dict[str, int], pairs: List[Tuple[int, Tuple[int, int]]]):
+        """Populate coordinate operator for select operations (Einsum 13).
+
+        Receives the whole O-fiber; returns the surviving ``(o, value)``
+        pairs.  For ``mux``/``muxchain`` the chosen input's coordinate is
+        preserved, matching Figure 23.
+        """
+        code = bindings["n"]
+        entry = op_table.entry(code)
+        if entry.klass != SELECT:
+            return pairs
+        out_width = slot_width[bindings["s"]]
+        values = [vw[0] for _, vw in pairs]
+        widths = [vw[1] for _, vw in pairs]
+        result = entry.semantics(values, widths, out_width)
+        chosen_o = _chosen_coordinate(entry.name, values, pairs)
+        return [(chosen_o, (result, out_width))]
+
+    wrap = contextual_compute(
+        "wrap",
+        lambda bindings, li_value, oim_value: (li_value, slot_width[bindings["r"]]),
+        symbol="<-",
+    )
+    unwrap = custom_compute("unwrap", lambda vw: vw[0], symbol="1")
+
+    einsum_oi = Einsum(
+        output=TensorRef.parse("OI[i, n, o, r, s]"),
+        inputs=(TensorRef.parse("LI[i, r]"), TensorRef.parse("OIM[i, n, o, r, s]")),
+        map_spec=MapSpec(compute=wrap, coordinate=COORD_RIGHT),
+    )
+    einsum_lo = Einsum(
+        output=TensorRef.parse("LO[i, n, s]"),
+        inputs=(TensorRef.parse("OI[i, n, o, r, s]"),),
+        map_spec=MapSpec(
+            compute=contextual_compute("op_u[n]", op_u), coordinate=COORD_LEFT
+        ),
+        reduce_spec=ReduceSpec(
+            compute=contextual_compute("op_r[n]", op_r), coordinate=COORD_RIGHT
+        ),
+    )
+    einsum_lo_sel = Einsum(
+        output=TensorRef.parse("LO_sel[i, n, o*, r, s]"),
+        inputs=(TensorRef.parse("OI[i, n, o, r, s]"),),
+        map_spec=MapSpec(compute=PASS_THROUGH, coordinate=COORD_LEFT),
+        populate_spec=PopulateSpec(
+            coordinate=PopulateOp("op_s[n]", op_s, contextual=True),
+            carried=("r",),
+        ),
+    )
+    einsum_li = Einsum(
+        output=TensorRef.parse("LI[i+1, s]"),
+        inputs=(TensorRef.parse("LO[i, n, s]"),),
+        map_spec=MapSpec(compute=PASS_THROUGH, coordinate=COORD_LEFT),
+        reduce_spec=ReduceSpec(compute=ANY, coordinate=COORD_RIGHT),
+        populate_spec=PopulateSpec(compute=unwrap),
+        condition=lambda bindings: bindings["n"] not in n_sel,
+        condition_text="n not in n_sel",
+    )
+    einsum_li_sel = Einsum(
+        output=TensorRef.parse("LI[i+1, s]"),
+        inputs=(TensorRef.parse("LO_sel[i, n, o, r, s]"),),
+        map_spec=MapSpec(compute=PASS_THROUGH, coordinate=COORD_LEFT),
+        reduce_spec=ReduceSpec(compute=ANY, coordinate=COORD_RIGHT),
+        populate_spec=PopulateSpec(compute=unwrap),
+        condition=lambda bindings: bindings["n"] in n_sel,
+        condition_text="n in n_sel",
+    )
+    return Cascade(
+        [einsum_oi, einsum_lo, einsum_lo_sel, einsum_li, einsum_li_sel],
+        iterative_rank="I",
+    )
+
+
+def _chosen_coordinate(name: str, values: Sequence[int], pairs) -> int:
+    """The ``o`` coordinate preserved in ``LO_sel`` (Appendix A)."""
+    if name == "mux":
+        return pairs[1][0] if values[0] else pairs[2][0]
+    if name.startswith("muxchain"):
+        for position in range(0, len(values) - 1, 2):
+            if values[position]:
+                return pairs[position + 1][0]
+        return pairs[-1][0]
+    return pairs[0][0]
+
+
+def cascade_tensors(bundle: OimBundle, initial_values: Sequence[int]) -> Dict[str, Tensor]:
+    """Tensors for one cycle of cascade execution.
+
+    ``LI[0, r]`` is seeded with every slot's value (explicitly including
+    zeros -- the tensor is semantically dense along ``R`` at layer 0).
+    """
+    shape = bundle.shape()
+    oim = Tensor(
+        ("i", "n", "o", "r", "s"),
+        [shape["I"], shape["N"], None, shape["R"], shape["S"]],
+    )
+    for i, layer in enumerate(bundle.layers):
+        for record in layer:
+            for o, r in enumerate(record.operands):
+                oim.set((i, record.n, o, r, record.s), 1)
+    li = Tensor(("i", "s"), [shape["I"] + 1, shape["S"]])
+    for slot, value in enumerate(initial_values):
+        li.set((0, slot), value)
+    return {"OIM": oim, "LI": li}
+
+
+def run_cascade_cycle(
+    bundle: OimBundle, initial_values: Sequence[int]
+) -> List[Optional[int]]:
+    """Run one full cycle of Cascade 1; return the final-layer LI values.
+
+    Entry ``s`` is ``None`` when no value reached the final layer for that
+    slot (i.e. the value was dead by then).
+    """
+    cascade = build_cascade(bundle)
+    tensors = cascade_tensors(bundle, initial_values)
+    shape = bundle.shape()
+    env = run_cascade(
+        cascade,
+        tensors,
+        shapes={"i": shape["I"] + 1, "s": shape["S"], "r": shape["R"], "n": shape["N"]},
+        iterations=bundle.num_layers,
+    )
+    li = env["LI"]
+    final = [None] * bundle.num_slots
+    for (i, s), value in li.points():
+        if i == bundle.num_layers:
+            final[s] = value
+    return final

@@ -1,0 +1,193 @@
+"""The three concrete OIM formats of Figure 12.
+
+* ``unoptimized`` -- rank order ``[I,S,N,O,R]`` with every coordinate and
+  payload array materialised (Figure 12a);
+* ``optimized``   -- same rank order, but all derivable payloads elided:
+  one-hot ranks (``N``, ``R``) make the payloads of ``S`` and ``O``
+  redundant, the operation type determines the ``O`` occupancy, and the
+  mask semantics make leaf payloads implicit (Figure 12b);
+* ``swizzled``    -- rank order ``[I,N,S,O,R]`` for the NU kernel and
+  beyond: ``N`` becomes uncompressed (payload = ops per type), which in
+  turn makes the ``I`` payloads redundant (Figure 12c).
+
+Both a *generic* path (materialise the fibertree, then
+:func:`repro.tensor.lowering.lower`) and a *fast* path
+(:func:`lower_oim_fast`, straight from the :class:`OimBundle`) are provided;
+the test suite checks they agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..tensor.format import AUTO, RankFormat, TensorFormat, bits_for_value
+from ..tensor.lowering import LoweredRank, LoweredTensor, lower
+from .builder import OimBundle
+
+VARIANTS = ("unoptimized", "optimized", "swizzled")
+
+_UNOPTIMIZED_ORDER = ("I", "S", "N", "O", "R")
+_SWIZZLED_ORDER = ("I", "N", "S", "O", "R")
+
+
+def oim_format(variant: str) -> TensorFormat:
+    """The :class:`TensorFormat` for one of the Figure 12 variants."""
+    if variant == "unoptimized":
+        return TensorFormat(
+            rank_order=_UNOPTIMIZED_ORDER,
+            rank_formats={
+                "I": RankFormat(compressed=False, cbits=0, pbits=AUTO),
+                "S": RankFormat(compressed=True, cbits=AUTO, pbits=AUTO),
+                "N": RankFormat(compressed=True, cbits=AUTO, pbits=AUTO),
+                "O": RankFormat(compressed=False, cbits=0, pbits=AUTO),
+                "R": RankFormat(compressed=True, cbits=AUTO, pbits=AUTO),
+            },
+        )
+    if variant == "optimized":
+        return TensorFormat(
+            rank_order=_UNOPTIMIZED_ORDER,
+            rank_formats={
+                "I": RankFormat(compressed=False, cbits=0, pbits=AUTO),
+                "S": RankFormat(compressed=True, cbits=AUTO, pbits=0),
+                "N": RankFormat(compressed=True, cbits=AUTO, pbits=0),
+                "O": RankFormat(compressed=False, cbits=0, pbits=0),
+                "R": RankFormat(compressed=True, cbits=AUTO, pbits=0),
+            },
+        )
+    if variant == "swizzled":
+        return TensorFormat(
+            rank_order=_SWIZZLED_ORDER,
+            rank_formats={
+                "I": RankFormat(compressed=False, cbits=0, pbits=0),
+                "N": RankFormat(compressed=False, cbits=0, pbits=AUTO),
+                "S": RankFormat(compressed=True, cbits=AUTO, pbits=0),
+                "O": RankFormat(compressed=False, cbits=0, pbits=0),
+                "R": RankFormat(compressed=True, cbits=AUTO, pbits=0),
+            },
+        )
+    raise ValueError(f"unknown OIM format variant {variant!r}; use one of {VARIANTS}")
+
+
+def occupancy_rules(bundle: OimBundle, variant: str) -> Dict[str, Callable]:
+    """Reconstruction rules for the payloads each variant elides."""
+    op_table = bundle.op_table
+    if variant == "unoptimized":
+        return {}
+    if variant == "optimized":
+        return {
+            "S": lambda context: 1,  # N fibers are one-hot
+            "N": lambda context: op_table.arity_of(context["N"]),
+            "O": lambda context: 1,  # R fibers are one-hot
+        }
+    if variant == "swizzled":
+        return {
+            "I": lambda context: len(op_table),  # N rank is dense
+            "S": lambda context: op_table.arity_of(context["N"]),
+            "O": lambda context: 1,
+        }
+    raise ValueError(f"unknown OIM format variant {variant!r}")
+
+
+def lower_oim(bundle: OimBundle, variant: str = "optimized") -> LoweredTensor:
+    """Generic path: materialise the fibertree, then lower it."""
+    fmt = oim_format(variant)
+    tensor = bundle.to_tensor(fmt.rank_order)
+    return lower(tensor, fmt)
+
+
+# ----------------------------------------------------------------------
+# Fast path: build the arrays straight from the bundle
+# ----------------------------------------------------------------------
+def _rank(
+    name: str,
+    fmt: RankFormat,
+    coords: Optional[List[int]],
+    payloads: Optional[List[int]],
+    num_entries: int,
+) -> LoweredRank:
+    cbits = bits_for_value(max(coords)) if coords else 0
+    pbits = bits_for_value(max(payloads)) if payloads else 0
+    return LoweredRank(
+        name=name,
+        fmt=fmt,
+        coords=coords if fmt.stores_coords else None,
+        payloads=payloads if fmt.stores_payloads else None,
+        num_entries=num_entries,
+        cbits=cbits if fmt.stores_coords else 0,
+        pbits=pbits if fmt.stores_payloads else 0,
+    )
+
+
+def lower_oim_fast(bundle: OimBundle, variant: str = "optimized") -> LoweredTensor:
+    """Build the lowered arrays directly from the bundle (no fibertree).
+
+    Produces output identical to :func:`lower_oim`; used for large designs
+    where materialising the fibertree is wasteful.
+    """
+    fmt = oim_format(variant)
+    num_opcodes = len(bundle.op_table)
+
+    if variant in ("unoptimized", "optimized"):
+        i_payloads: List[int] = []
+        s_coords: List[int] = []
+        s_payloads: List[int] = []
+        n_coords: List[int] = []
+        n_payloads: List[int] = []
+        o_payloads: List[int] = []
+        r_coords: List[int] = []
+        r_payloads: List[int] = []
+        for layer in bundle.layers:
+            i_payloads.append(len(layer))
+            for record in layer:
+                s_coords.append(record.s)
+                s_payloads.append(1)
+                n_coords.append(record.n)
+                n_payloads.append(len(record.operands))
+                for r in record.operands:
+                    o_payloads.append(1)
+                    r_coords.append(r)
+                    r_payloads.append(1)
+        ranks = {
+            "I": _rank("I", fmt.fmt("I"), None, i_payloads, len(bundle.layers)),
+            "S": _rank("S", fmt.fmt("S"), s_coords, s_payloads, len(s_coords)),
+            "N": _rank("N", fmt.fmt("N"), n_coords, n_payloads, len(n_coords)),
+            "O": _rank("O", fmt.fmt("O"), None, o_payloads, len(o_payloads)),
+            "R": _rank("R", fmt.fmt("R"), r_coords, r_payloads, len(r_coords)),
+        }
+        order = _UNOPTIMIZED_ORDER
+    else:  # swizzled
+        n_payloads = []
+        s_coords = []
+        r_coords = []
+        total_operands = 0
+        for layer in bundle.layers:
+            by_code: Dict[int, List] = {}
+            for record in layer:
+                by_code.setdefault(record.n, []).append(record)
+            for code in range(num_opcodes):
+                records = by_code.get(code, [])
+                n_payloads.append(len(records))
+                for record in records:
+                    s_coords.append(record.s)
+                    for r in record.operands:
+                        r_coords.append(r)
+                        total_operands += 1
+        ranks = {
+            "I": _rank("I", fmt.fmt("I"), None, None, len(bundle.layers)),
+            "N": _rank("N", fmt.fmt("N"), None, n_payloads, len(n_payloads)),
+            "S": _rank("S", fmt.fmt("S"), s_coords, None, len(s_coords)),
+            "O": _rank("O", fmt.fmt("O"), None, None, total_operands),
+            "R": _rank("R", fmt.fmt("R"), r_coords, None, len(r_coords)),
+        }
+        order = _SWIZZLED_ORDER
+
+    shape_map = bundle.shape()
+    shape: Dict[str, Optional[int]] = {name: shape_map.get(name) for name in order}
+    shape["O"] = None  # O fibers are dense but variable-length (arity)
+    return LoweredTensor(order, ranks, root_count=len(bundle.layers), shape=shape)
+
+
+def oim_storage_bytes(bundle: OimBundle, variant: str = "optimized") -> int:
+    """Total bytes of the lowered OIM arrays for a variant."""
+    return lower_oim_fast(bundle, variant).storage_bytes()

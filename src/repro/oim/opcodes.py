@@ -1,0 +1,87 @@
+"""Operation-type coordinates: the ``N`` rank of the OIM.
+
+Every operation name used by a design gets an integer *opcode* -- its
+coordinate along the OIM's ``N`` rank.  Codes are assigned in sorted-name
+order so they are deterministic for a given design.  The table records each
+op's arity (the occupancy of its ``O`` fiber, derivable from ``n`` alone --
+the invariant behind the optimised format of Figure 12b) and its class,
+which determines which cascade Einsum evaluates it (Section 4.1):
+``unary`` -> ``op_u[n]``, ``reduce`` -> ``op_r[n]``, ``select`` ->
+``op_s[n]`` (the ``n_sel`` set of Cascade 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..graph.dfg import DataflowGraph
+from ..graph.opsem import OpSemantics, SELECT, get_semantics
+
+
+@dataclass(frozen=True)
+class OpEntry:
+    code: int
+    name: str
+    arity: int
+    klass: str
+    semantics: OpSemantics
+
+
+class OpTable:
+    """Bidirectional opcode table for one design."""
+
+    def __init__(self, op_names: Iterable[str]) -> None:
+        names = sorted(set(op_names))
+        self._by_code: List[OpEntry] = []
+        self._by_name: Dict[str, OpEntry] = {}
+        for code, name in enumerate(names):
+            semantics = get_semantics(name)
+            entry = OpEntry(code, name, semantics.arity, semantics.klass, semantics)
+            self._by_code.append(entry)
+            self._by_name[name] = entry
+
+    @classmethod
+    def from_graph(cls, graph: DataflowGraph, extra: Sequence[str] = ()) -> "OpTable":
+        names = {node.op for node in graph.op_nodes()}
+        names.update(extra)
+        return cls(names)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_code)
+
+    def __iter__(self):
+        return iter(self._by_code)
+
+    def code_of(self, name: str) -> int:
+        try:
+            return self._by_name[name].code
+        except KeyError:
+            raise KeyError(f"op {name!r} is not in this design's op table") from None
+
+    def entry(self, code: int) -> OpEntry:
+        return self._by_code[code]
+
+    def name_of(self, code: int) -> str:
+        return self._by_code[code].name
+
+    def arity_of(self, code: int) -> int:
+        return self._by_code[code].arity
+
+    def klass_of(self, code: int) -> str:
+        return self._by_code[code].klass
+
+    def select_codes(self) -> frozenset:
+        """The ``n_sel`` set of Cascade 1."""
+        return frozenset(e.code for e in self._by_code if e.klass == SELECT)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(e.name for e in self._by_code)
+
+    def to_document(self) -> dict:
+        return {"ops": [e.name for e in self._by_code]}
+
+    @classmethod
+    def from_document(cls, document: dict) -> "OpTable":
+        return cls(document["ops"])

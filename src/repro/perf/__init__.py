@@ -1,0 +1,51 @@
+"""Machine performance models: caches, sweep analytics, estimator, compile.
+
+Public API::
+
+    from repro.perf import estimate, get_machine, compile_cost
+"""
+
+from .cache import CacheHierarchy, SetAssociativeCache, StridePrefetcher
+from .compile_model import CompileCost, compile_cost, source_compile_cost
+from .estimator import PerfResult, estimate
+from .machines import (
+    ALL_MACHINES,
+    AMD_RYZEN,
+    AWS_GRAVITON4,
+    CacheLevelSpec,
+    INTEL_CORE,
+    INTEL_XEON,
+    MachineSpec,
+    get_machine,
+    with_llc_capacity,
+)
+from .sweep import (
+    cyclic_sweep_misses,
+    random_access_hit_rate,
+    random_miss_profile,
+    sweep_miss_profile,
+)
+
+__all__ = [
+    "ALL_MACHINES",
+    "AMD_RYZEN",
+    "AWS_GRAVITON4",
+    "CacheHierarchy",
+    "CacheLevelSpec",
+    "CompileCost",
+    "INTEL_CORE",
+    "INTEL_XEON",
+    "MachineSpec",
+    "PerfResult",
+    "SetAssociativeCache",
+    "StridePrefetcher",
+    "compile_cost",
+    "cyclic_sweep_misses",
+    "estimate",
+    "get_machine",
+    "random_access_hit_rate",
+    "random_miss_profile",
+    "source_compile_cost",
+    "sweep_miss_profile",
+    "with_llc_capacity",
+]

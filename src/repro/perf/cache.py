@@ -1,0 +1,147 @@
+"""A set-associative LRU cache simulator with a stride prefetcher.
+
+This is the trace-driven half of the performance model.  The analytic sweep
+model in :mod:`repro.perf.sweep` is what the experiments use at scale; this
+simulator is its ground truth -- the property tests replay sweep- and
+random-access traces through both and check they agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .machines import CacheLevelSpec, MachineSpec
+
+
+class SetAssociativeCache:
+    """One cache level: true-LRU, physically indexed by line address."""
+
+    def __init__(self, spec: CacheLevelSpec) -> None:
+        self.spec = spec
+        self.num_sets = spec.num_sets
+        self.associativity = min(spec.associativity, max(1, spec.num_lines))
+        # Per-set ordered dict of line -> None; insertion order is LRU order.
+        self._sets: List[Dict[int, None]] = [dict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line: int) -> bool:
+        """Touch ``line``; returns True on hit."""
+        index = line % self.num_sets
+        ways = self._sets[index]
+        if line in ways:
+            del ways[line]
+            ways[line] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        self.fill(line)
+        return False
+
+    def fill(self, line: int) -> None:
+        """Install ``line``, evicting LRU if needed (no accounting)."""
+        index = line % self.num_sets
+        ways = self._sets[index]
+        if line in ways:
+            del ways[line]
+        elif len(ways) >= self.associativity:
+            oldest = next(iter(ways))
+            del ways[oldest]
+        ways[line] = None
+
+    def contains(self, line: int) -> bool:
+        return line in self._sets[line % self.num_sets]
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class AccessResult:
+    """Where an access hit: 0 = L1, 1 = L2, 2 = LLC, 3 = memory."""
+
+    level: int
+
+    @property
+    def hit_l1(self) -> bool:
+        return self.level == 0
+
+
+class StridePrefetcher:
+    """Next-line stride prefetcher with per-stream state.
+
+    On two consecutive line accesses with the same stride within a stream,
+    prefetches ``degree`` lines ahead into the target cache.
+    """
+
+    def __init__(self, degree: int = 4) -> None:
+        self.degree = degree
+        self._last: Dict[int, Tuple[int, int]] = {}
+        self.issued = 0
+
+    def observe(self, stream: int, line: int) -> List[int]:
+        last = self._last.get(stream)
+        prefetches: List[int] = []
+        if last is not None:
+            last_line, last_stride = last
+            stride = line - last_line
+            if stride != 0 and stride == last_stride:
+                prefetches = [line + stride * k for k in range(1, self.degree + 1)]
+                self.issued += len(prefetches)
+            self._last[stream] = (line, stride)
+        else:
+            self._last[stream] = (line, 0)
+        return prefetches
+
+
+class CacheHierarchy:
+    """Inclusive L1/L2/LLC hierarchy fed line-granularity accesses."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        side: str = "data",
+        prefetch_degree: int = 4,
+    ) -> None:
+        path = machine.dcache_path() if side == "data" else machine.icache_path()
+        self.levels = [SetAssociativeCache(spec) for spec in path]
+        self.machine = machine
+        self.prefetcher = StridePrefetcher(prefetch_degree)
+        #: Per-level demand misses (prefetch fills excluded).
+        self.demand_misses = [0] * len(self.levels)
+        self.accesses = 0
+
+    def access(self, address: int, stream: Optional[int] = None) -> AccessResult:
+        """Access a byte address; returns the hit level."""
+        line = address // self.levels[0].spec.line_size
+        result = self._access_line(line, demand=True)
+        if stream is not None:
+            for prefetch_line in self.prefetcher.observe(stream, line):
+                self._access_line(prefetch_line, demand=False)
+        return result
+
+    def _access_line(self, line: int, demand: bool) -> AccessResult:
+        # access() fills each missed level on the way down, so a hit at
+        # level k leaves the line installed in every level above it.
+        hit_level = len(self.levels)
+        for index, level in enumerate(self.levels):
+            if level.access(line):
+                hit_level = index
+                break
+            if demand:
+                self.demand_misses[index] += 1
+        if demand:
+            self.accesses += 1
+        return AccessResult(hit_level)
+
+    def miss_counts(self) -> Tuple[int, ...]:
+        return tuple(self.demand_misses)
+
+    def stall_cycles(self) -> float:
+        """Aggregate serialised miss latency for all demand accesses."""
+        total = 0.0
+        for index, misses in enumerate(self.demand_misses):
+            total += misses * self.machine.miss_latency_after(index)
+        return total

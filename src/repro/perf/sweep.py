@@ -1,0 +1,122 @@
+"""Analytic steady-state cache models (validated against the simulator).
+
+Full-cycle RTL simulation has a remarkably regular memory profile: every
+simulated cycle sweeps the same structures.
+
+* :func:`cyclic_sweep_misses` -- a repeating sequential sweep over a
+  footprint of F lines through an LRU level of C lines misses *everywhere*
+  once F exceeds C (cyclic access is LRU's adversarial pattern) and never
+  after warmup when it fits.  This single fact produces the paper's L1I
+  cliffs for the SU/TI kernels (Table 6) and the LLC cliff of Figure 21.
+* :func:`random_access_hit_rate` -- steady-state hit rate of uniform
+  random accesses over a working set (the irregular ``LI`` accesses that
+  dominate D-cache misses in the paper's analysis, Section 7.2).
+
+The property tests replay both patterns through
+:class:`repro.perf.cache.CacheHierarchy` and check these formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .machines import CacheLevelSpec, MachineSpec
+
+
+def cyclic_sweep_misses(footprint_lines: int, capacity_lines: int,
+                        slack: float = 0.98) -> float:
+    """Misses per sweep of ``footprint_lines`` through a cache level.
+
+    A true-LRU cache thrashes completely on a cyclic sweep the moment the
+    footprint exceeds capacity.  Real replacement policies (pseudo-LRU,
+    RRIP) retain part of the working set, so the modelled miss fraction
+    ramps linearly from 0 at capacity to 1 at twice capacity -- the
+    behaviour the trace-driven simulator bounds from above.
+
+    ``slack`` reserves a little capacity for conflict misses and other
+    residents.  Returns misses *per full sweep* in steady state.
+    """
+    if footprint_lines <= 0:
+        return 0.0
+    effective = capacity_lines * slack
+    if footprint_lines <= effective:
+        return 0.0
+    fraction = min(1.0, (footprint_lines - effective) / max(effective, 1.0))
+    return float(footprint_lines) * fraction
+
+
+def sweep_miss_profile(
+    footprint_bytes: int,
+    machine: MachineSpec,
+    side: str = "inst",
+    resident_bytes: int = 0,
+) -> List[float]:
+    """Per-level misses of one full sweep of ``footprint_bytes``.
+
+    ``resident_bytes`` models competing data in the shared levels (L2/LLC):
+    the sweep only enjoys the capacity left over.
+    """
+    path = machine.icache_path() if side == "inst" else machine.dcache_path()
+    line = path[0].line_size
+    footprint_lines = (footprint_bytes + line - 1) // line
+    resident_lines = resident_bytes // line
+    misses: List[float] = []
+    for index, level in enumerate(path):
+        capacity = level.num_lines
+        if index > 0:
+            # Competing residents can crowd out at most half a level.
+            capacity = max(1, capacity - min(resident_lines, capacity // 2))
+        misses.append(cyclic_sweep_misses(footprint_lines, capacity))
+    # A level only sees the misses of the level above.
+    for index in range(len(misses) - 1, 0, -1):
+        misses[index] = min(misses[index], misses[index - 1])
+    return misses
+
+
+def random_access_hit_rate(working_set_lines: int, capacity_lines: int,
+                           hot_fraction: float = 0.05,
+                           hot_weight: float = 0.6) -> float:
+    """Steady-state hit rate for skewed-random accesses over a working set.
+
+    A ``hot_fraction`` of the lines receives ``hot_weight`` of the
+    accesses (real LI accesses are skewed: some signals feed many
+    operations).  With LRU and random access, the resident subset is
+    approximately the hottest ``capacity`` lines.
+    """
+    if working_set_lines <= 0:
+        return 1.0
+    if capacity_lines >= working_set_lines:
+        return 1.0
+    hot_lines = max(1, int(working_set_lines * hot_fraction))
+    if capacity_lines >= hot_lines:
+        cold_lines = working_set_lines - hot_lines
+        cold_capacity = capacity_lines - hot_lines
+        cold_hit = cold_capacity / cold_lines if cold_lines else 1.0
+        return hot_weight + (1.0 - hot_weight) * cold_hit
+    return hot_weight * (capacity_lines / hot_lines)
+
+
+def random_miss_profile(
+    working_set_bytes: int,
+    accesses: float,
+    machine: MachineSpec,
+    resident_bytes: int = 0,
+) -> List[float]:
+    """Per-level misses for ``accesses`` skewed-random data accesses."""
+    path = machine.dcache_path()
+    line = path[0].line_size
+    working_lines = (working_set_bytes + line - 1) // line
+    resident_lines = resident_bytes // line
+    remaining = accesses
+    misses: List[float] = []
+    for index, level in enumerate(path):
+        capacity = level.num_lines
+        if index > 0:
+            # Streaming code/metadata can crowd out at most half a level.
+            capacity = max(1, capacity - min(resident_lines, capacity // 2))
+        hit_rate = random_access_hit_rate(working_lines, capacity)
+        missed = remaining * (1.0 - hit_rate)
+        misses.append(missed)
+        remaining = missed
+    return misses

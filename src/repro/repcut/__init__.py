@@ -1,0 +1,19 @@
+"""RepCut-style parallel simulation (paper Section 8, Appendix C).
+
+Public API::
+
+    from repro.repcut import partition_graph, build_rum, RepCutSimulator
+"""
+
+from .parallel import RepCutSimulator
+from .partition import Partition, PartitionResult, partition_graph
+from .rum import RegisterUpdateMap, build_rum
+
+__all__ = [
+    "Partition",
+    "PartitionResult",
+    "RegisterUpdateMap",
+    "RepCutSimulator",
+    "build_rum",
+    "partition_graph",
+]

@@ -1,0 +1,193 @@
+"""RepCut-style replication-aided partitioning (Section 8, Appendix C).
+
+RepCut partitions the dataflow graph so each register is *updated* in
+exactly one partition, replicating shared combinational fan-in cones so
+partitions have no intra-cycle dependencies.  At the end of each cycle, a
+synchronisation step propagates updated register values to every partition
+that reads them (the ``RUM`` tensor of Cascade 2).
+
+The partitioner here is a greedy balanced assignment over register cones
+(real RepCut uses hypergraph partitioning; greedy preserves the properties
+the paper relies on -- full decoupling with bounded replication -- and the
+ablation bench measures the replication overhead it induces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..graph.dfg import DataflowGraph
+
+
+@dataclass
+class Partition:
+    """One decoupled partition: a standalone dataflow graph.
+
+    Registers the partition reads but does not own appear as *inputs*
+    (their replicas), refreshed by the synchronisation step.
+    """
+
+    index: int
+    graph: DataflowGraph
+    owned_registers: List[str]
+    external_registers: List[str]
+    outputs: List[str]
+
+    @property
+    def num_ops(self) -> int:
+        return self.graph.num_ops
+
+
+@dataclass
+class PartitionResult:
+    partitions: List[Partition]
+    #: Ops appearing in more than one partition (replication overhead).
+    replicated_ops: int
+    original_ops: int
+
+    @property
+    def replication_overhead(self) -> float:
+        total = sum(p.num_ops for p in self.partitions)
+        if self.original_ops == 0:
+            return 0.0
+        return total / self.original_ops - 1.0
+
+
+def _cone(graph: DataflowGraph, root: int) -> Set[int]:
+    """All op/leaf node ids reachable (backwards) from ``root``."""
+    seen: Set[int] = set()
+    stack = [root]
+    while stack:
+        nid = stack.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        stack.extend(graph.nodes[nid].operands)
+    return seen
+
+
+def partition_graph(graph: DataflowGraph, num_partitions: int) -> PartitionResult:
+    """Split ``graph`` into ``num_partitions`` decoupled partitions."""
+    if num_partitions < 1:
+        raise ValueError("need at least one partition")
+    graph.validate()
+
+    # Work items: each register's next-value cone, plus each output's cone.
+    items: List[Tuple[str, str, int]] = []  # (kind, name, root nid)
+    for name, reg in graph.registers.items():
+        items.append(("reg", name, reg.next_nid))
+    for name, nid in graph.outputs.items():
+        items.append(("out", name, nid))
+
+    cones = {(kind, name): _cone(graph, root) for kind, name, root in items}
+    order = sorted(items, key=lambda item: -len(cones[(item[0], item[1])]))
+
+    loads = [0] * num_partitions
+    member_nodes: List[Set[int]] = [set() for _ in range(num_partitions)]
+    assignment: Dict[Tuple[str, str], int] = {}
+    for kind, name, _root in order:
+        cone = cones[(kind, name)]
+        # Greedy balanced placement: choose the partition whose *resulting*
+        # load is smallest.  Shared fan-in is free (already replicated
+        # there), so this jointly minimises replication and imbalance.
+        def resulting_load(p: int) -> Tuple[int, int]:
+            new_nodes = len(cone - member_nodes[p])
+            return (loads[p] + new_nodes, new_nodes)
+
+        best = min(range(num_partitions), key=resulting_load)
+        assignment[(kind, name)] = best
+        member_nodes[best] |= cone
+        loads[best] = len(member_nodes[best])
+
+    partitions: List[Partition] = []
+    op_owner_count: Dict[int, int] = {}
+    for index in range(num_partitions):
+        partitions.append(
+            _build_partition(graph, index, assignment, member_nodes[index])
+        )
+        for nid in member_nodes[index]:
+            if graph.node(nid).is_op:
+                op_owner_count[nid] = op_owner_count.get(nid, 0) + 1
+
+    replicated = sum(count - 1 for count in op_owner_count.values() if count > 1)
+    return PartitionResult(
+        partitions=partitions,
+        replicated_ops=replicated,
+        original_ops=graph.num_ops,
+    )
+
+
+def _build_partition(
+    graph: DataflowGraph,
+    index: int,
+    assignment: Dict[Tuple[str, str], int],
+    nodes: Set[int],
+) -> Partition:
+    owned = [
+        name for (kind, name), p in assignment.items()
+        if kind == "reg" and p == index
+    ]
+    outputs = [
+        name for (kind, name), p in assignment.items()
+        if kind == "out" and p == index
+    ]
+    owned_set = set(owned)
+
+    sub = DataflowGraph(f"{graph.name}.p{index}")
+    mapping: Dict[int, int] = {}
+    external: List[str] = []
+
+    # Leaves first: inputs, constants, registers (owned or replica-inputs).
+    for node in graph.nodes:
+        if node.nid not in nodes:
+            continue
+        if node.op == "input":
+            mapping[node.nid] = sub.add_input(node.name, node.width)
+        elif node.op == "const":
+            mapping[node.nid] = sub.add_const(node.value, node.width)
+        elif node.op == "reg":
+            reg = graph.registers[node.name]
+            if node.name in owned_set:
+                mapping[node.nid] = sub.add_register(
+                    node.name, reg.width, reg.init_value, reg.reset_input,
+                    clock=reg.clock,
+                )
+            else:
+                # A replica: reads last cycle's value, refreshed by sync.
+                mapping[node.nid] = sub.add_input(node.name, node.width)
+                external.append(node.name)
+
+    # An owned register whose next value does not read its own state (e.g.
+    # a pure pipeline register) has no state node in the cone; declare it
+    # anyway -- the partition still commits it.
+    for name in owned:
+        reg = graph.registers[name]
+        if reg.state_nid not in mapping:
+            mapping[reg.state_nid] = sub.add_register(
+                name, reg.width, reg.init_value, reg.reset_input,
+                clock=reg.clock,
+            )
+
+    for node in graph.nodes:
+        if node.nid not in nodes or node.nid in mapping or node.is_leaf:
+            continue
+        operands = tuple(mapping[o] for o in node.operands)
+        mapping[node.nid] = sub.add_op(node.op, operands, node.width)
+
+    for name in owned:
+        sub.set_register_next(name, mapping[graph.registers[name].next_nid])
+    for name in outputs:
+        sub.set_output(name, mapping[graph.outputs[name]])
+    # Preserve observable names that landed in this partition.
+    for name, nid in graph.signal_map.items():
+        if nid in mapping:
+            sub.signal_map.setdefault(name, mapping[nid])
+    sub.validate()
+    return Partition(
+        index=index,
+        graph=sub,
+        owned_registers=owned,
+        external_registers=external,
+        outputs=outputs,
+    )

@@ -1,0 +1,27 @@
+"""Simulator API: full-cycle simulation, waveforms, DMI, multi-clock.
+
+Public API::
+
+    from repro.sim import Simulator, VcdWriter, FrontendServer, Testbench
+"""
+
+from .clocks import ClockSchedule, ClockSpec
+from .dmi import DmiPort, DmiTransaction, FrontendServer
+from .simulator import Simulator, compile_design
+from .testbench import Testbench, TraceDiff, compare_traces, run_lockstep
+from .waveform import VcdWriter
+
+__all__ = [
+    "ClockSchedule",
+    "ClockSpec",
+    "DmiPort",
+    "DmiTransaction",
+    "FrontendServer",
+    "Simulator",
+    "Testbench",
+    "TraceDiff",
+    "VcdWriter",
+    "compare_traces",
+    "compile_design",
+    "run_lockstep",
+]

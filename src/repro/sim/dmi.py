@@ -1,0 +1,140 @@
+"""Host-DUT communication: a Debug-Module-Interface style channel.
+
+Section 6.2: "to support the Debug Module Interface (DMI), RTeAAL Sim
+connects the frontend server (FESVR) and the DUT by reading and updating
+Debug Transfer Module (DTM) signals in the LI at the end of each simulation
+cycle."
+
+This module provides both halves:
+
+* :class:`DmiPort` -- the signal-name convention a design exposes
+  (request valid/address/data/write, response valid/data);
+* :class:`FrontendServer` -- a miniature FESVR that loads a program image
+  into the DUT over the DMI, then services per-cycle polling, exactly by
+  poking/peeking LI values at cycle boundaries.
+
+The synthetic core designs in :mod:`repro.designs.cores` expose this port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DmiPort:
+    """Signal names of a DMI attachment point on the DUT."""
+
+    req_valid: str = "dmi_req_valid"
+    req_write: str = "dmi_req_write"
+    req_addr: str = "dmi_req_addr"
+    req_data: str = "dmi_req_data"
+    resp_valid: str = "dmi_resp_valid"
+    resp_data: str = "dmi_resp_data"
+
+    def input_names(self) -> Tuple[str, ...]:
+        return (self.req_valid, self.req_write, self.req_addr, self.req_data)
+
+    def output_names(self) -> Tuple[str, ...]:
+        return (self.resp_valid, self.resp_data)
+
+
+@dataclass
+class DmiTransaction:
+    write: bool
+    addr: int
+    data: int = 0
+    #: Filled in when the response arrives.
+    response: Optional[int] = None
+    issued_cycle: int = -1
+    completed_cycle: int = -1
+
+    @property
+    def complete(self) -> bool:
+        return self.response is not None
+
+
+class FrontendServer:
+    """A miniature FESVR driving a simulator through a :class:`DmiPort`.
+
+    Transactions are queued with :meth:`write` / :meth:`read` and advanced
+    one per cycle by :meth:`tick`, which must be called once per simulation
+    cycle *before* ``simulator.step()`` -- i.e. at the end-of-cycle boundary
+    the paper describes.
+    """
+
+    def __init__(self, simulator, port: Optional[DmiPort] = None) -> None:
+        self.simulator = simulator
+        self.port = port or DmiPort()
+        self._queue: List[DmiTransaction] = []
+        self._in_flight: Optional[DmiTransaction] = None
+        self.completed: List[DmiTransaction] = []
+
+    # ------------------------------------------------------------------
+    def write(self, addr: int, data: int) -> DmiTransaction:
+        transaction = DmiTransaction(write=True, addr=addr, data=data)
+        self._queue.append(transaction)
+        return transaction
+
+    def read(self, addr: int) -> DmiTransaction:
+        transaction = DmiTransaction(write=False, addr=addr)
+        self._queue.append(transaction)
+        return transaction
+
+    def load_image(self, base_addr: int, words: List[int]) -> None:
+        """Queue a program image as sequential DMI writes."""
+        for offset, word in enumerate(words):
+            self.write(base_addr + offset, word)
+
+    @property
+    def idle(self) -> bool:
+        return self._in_flight is None and not self._queue
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Advance the DMI protocol by one cycle.
+
+        The request is held asserted until the response arrives, so a DUT
+        held in reset (which suppresses responses) simply sees the request
+        retried rather than losing it.
+        """
+        sim = self.simulator
+        port = self.port
+
+        # Collect any response for the in-flight transaction.
+        if self._in_flight is not None and sim.peek(port.resp_valid):
+            transaction = self._in_flight
+            transaction.response = sim.peek(port.resp_data)
+            transaction.completed_cycle = sim.cycle
+            self.completed.append(transaction)
+            self._in_flight = None
+
+        # Issue the next request if the channel is free.
+        if self._in_flight is None and self._queue:
+            transaction = self._queue.pop(0)
+            transaction.issued_cycle = sim.cycle
+            self._in_flight = transaction
+
+        if self._in_flight is not None:
+            transaction = self._in_flight
+            sim.poke(port.req_valid, 1)
+            sim.poke(port.req_write, int(transaction.write))
+            sim.poke(port.req_addr, transaction.addr)
+            sim.poke(port.req_data, transaction.data)
+        else:
+            sim.poke(port.req_valid, 0)
+
+    def run_until_idle(self, max_cycles: int = 10_000) -> int:
+        """Tick and step until all transactions complete; returns cycles used."""
+        cycles = 0
+        while not self.idle:
+            if cycles >= max_cycles:
+                raise TimeoutError(
+                    f"DMI did not drain within {max_cycles} cycles "
+                    f"({len(self._queue)} queued, in-flight={self._in_flight})"
+                )
+            self.tick()
+            self.simulator.step()
+            cycles += 1
+        return cycles

@@ -1,0 +1,201 @@
+"""The user-facing full-cycle simulator (Figure 14's kernel executable).
+
+Compiles an RTL design (FIRRTL text, a flattened design, or a dataflow
+graph) down to an OIM bundle plus an executable kernel, and exposes the
+conventional simulator interface: ``poke`` / ``peek`` / ``step`` / ``reset``.
+
+Registers commit in two phases at each clock edge so that register-to-
+register moves (``r1 <= r2; r2 <= r1``) behave like hardware.  Multi-clock
+designs are supported by partitioning register commits per clock domain and
+synchronising at cycle end (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from ..firrtl.elaborate import FlatDesign, elaborate
+from ..firrtl.parser import parse
+from ..firrtl.primops import mask
+from ..graph.build import build_dfg
+from ..graph.dfg import DataflowGraph
+from ..graph.optimize import optimize
+from ..kernels.config import KernelConfig, get_kernel_config
+from ..kernels.pykernels import Kernel, make_kernel
+from ..oim.builder import OimBundle, build_oim
+
+DesignLike = Union[str, FlatDesign, DataflowGraph, OimBundle]
+
+
+def compile_design(
+    design: DesignLike,
+    optimize_graph: bool = True,
+    preserve_signals: bool = False,
+) -> OimBundle:
+    """Lower any accepted design form to an :class:`OimBundle`."""
+    if isinstance(design, OimBundle):
+        return design
+    if isinstance(design, str):
+        design = elaborate(parse(design))
+    if isinstance(design, FlatDesign):
+        design = build_dfg(design)
+    if isinstance(design, DataflowGraph):
+        if optimize_graph:
+            design, _ = optimize(design, preserve_signals=preserve_signals)
+        return build_oim(design)
+    raise TypeError(f"cannot compile {type(design).__name__} into a design")
+
+
+class Simulator:
+    """Full-cycle RTL simulator backed by an RTeAAL kernel.
+
+    Parameters
+    ----------
+    design:
+        FIRRTL source text, a :class:`FlatDesign`, a :class:`DataflowGraph`,
+        or a pre-built :class:`OimBundle`.
+    kernel:
+        Kernel configuration name (``"RU"`` ... ``"TI"``) or a
+        :class:`KernelConfig`.  Defaults to the PSU sweet spot.
+    preserve_signals:
+        Keep named intermediate signals observable (required for waveform
+        dumping; disables signal-eliminating optimisations, Section 6.2).
+    """
+
+    def __init__(
+        self,
+        design: DesignLike,
+        kernel: Union[str, KernelConfig] = "PSU",
+        optimize_graph: bool = True,
+        preserve_signals: bool = False,
+    ) -> None:
+        self.bundle = compile_design(design, optimize_graph, preserve_signals)
+        activity_aware = False
+        if isinstance(kernel, str):
+            name = kernel.strip().lower()
+            if name.startswith("activity"):
+                # "activity" or "activity:PSU" -- Box 1's activity-aware
+                # cascade wrapped around a kernel configuration.
+                _, _, base = name.partition(":")
+                kernel = get_kernel_config(base or "PSU")
+                activity_aware = True
+            else:
+                kernel = get_kernel_config(kernel)
+        extra_stores: Optional[Set[int]] = None
+        if preserve_signals:
+            extra_stores = set(self.bundle.signal_slots.values())
+        if activity_aware:
+            from ..kernels.activity import ActivityAwareKernel
+
+            self.kernel: Kernel = ActivityAwareKernel(self.bundle, kernel)
+        else:
+            self.kernel = make_kernel(self.bundle, kernel, extra_stores=extra_stores)
+        self.values: List[int] = self.bundle.initial_values()
+        self.cycle = 0
+        self._dirty = True
+        self._commits_by_clock = self._group_commits()
+
+    # ------------------------------------------------------------------
+    def _group_commits(self) -> Dict[str, List]:
+        groups: Dict[str, List] = {}
+        clocks = self.bundle.register_clocks or ["clock"] * len(
+            self.bundle.register_commits
+        )
+        for commit, clock in zip(self.bundle.register_commits, clocks):
+            groups.setdefault(clock, []).append(commit)
+        return groups
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+    def poke(self, name: str, value: int) -> None:
+        slot = self.bundle.input_slots.get(name)
+        if slot is None:
+            raise KeyError(f"{name!r} is not an input of {self.bundle.design_name}")
+        self.values[slot] = mask(value, self.bundle.slot_width[slot])
+        self._dirty = True
+
+    def peek(self, name: str) -> int:
+        slot = self.bundle.signal_slots.get(name)
+        if slot is None:
+            raise KeyError(
+                f"unknown signal {name!r}; it may have been optimised away "
+                "(construct the Simulator with preserve_signals=True)"
+            )
+        self._settle()
+        return self.values[slot]
+
+    def peek_slot(self, slot: int) -> int:
+        self._settle()
+        return self.values[slot]
+
+    def reset(self) -> None:
+        """Restore registers and constants to their initial values.
+
+        Poked input values are preserved, matching common simulator
+        behaviour.
+        """
+        inputs = {name: self.values[slot] for name, slot in self.bundle.input_slots.items()}
+        self.values = self.bundle.initial_values()
+        for name, value in inputs.items():
+            self.values[self.bundle.input_slots[name]] = value
+        self.cycle = 0
+        self._dirty = True
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance all clock domains by ``cycles`` edges."""
+        for _ in range(cycles):
+            self._settle()
+            self._commit(self.bundle.register_commits)
+            self.cycle += 1
+            self._dirty = True
+
+    def step_domain(self, clock: str) -> None:
+        """Advance a single clock domain by one edge (Section 6.2).
+
+        Multi-clock designs are simulated by partitioning register commits
+        per clock domain; combinational logic settles before every edge,
+        which is the per-cycle synchronisation step.
+        """
+        commits = self._commits_by_clock.get(clock)
+        if commits is None:
+            raise KeyError(
+                f"unknown clock domain {clock!r}; domains: "
+                f"{sorted(self._commits_by_clock)}"
+            )
+        self._settle()
+        self._commit(commits)
+        self.cycle += 1
+        self._dirty = True
+
+    @property
+    def clock_domains(self) -> List[str]:
+        return sorted(self._commits_by_clock)
+
+    def run(self, cycles: int) -> None:
+        """Alias for :meth:`step`, for testbench readability."""
+        self.step(cycles)
+
+    # ------------------------------------------------------------------
+    def _settle(self) -> None:
+        if not self._dirty:
+            return
+        self.kernel.eval_comb(self.values)
+        self._dirty = False
+
+    def _commit(self, commits: Iterable) -> None:
+        values = self.values
+        staged = [(state, values[next_slot]) for state, next_slot in commits]
+        for state, value in staged:
+            values[state] = value
+
+    # ------------------------------------------------------------------
+    @property
+    def signals(self) -> List[str]:
+        return sorted(self.bundle.signal_slots)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator({self.bundle.design_name!r}, kernel={self.kernel.name}, "
+            f"cycle={self.cycle})"
+        )

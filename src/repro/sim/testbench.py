@@ -1,0 +1,96 @@
+"""Testbench utilities: stimulus application and trace capture.
+
+A :class:`Testbench` drives any simulator exposing ``poke``/``peek``/
+``step`` (the RTeAAL :class:`~repro.sim.simulator.Simulator`, the FIRRTL
+reference interpreter, and both baseline backends), which is what lets the
+test suite run the same stimulus against every engine and diff the traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+#: Per-input stimulus: a list of per-cycle values, or a callable of cycle.
+Stimulus = Union[Sequence[int], Callable[[int], int]]
+
+
+@dataclass
+class TraceDiff:
+    cycle: int
+    signal: str
+    expected: int
+    actual: int
+
+
+class Testbench:
+    """Applies stimulus and records watched signals cycle by cycle."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(
+        self,
+        simulator,
+        stimulus: Optional[Dict[str, Stimulus]] = None,
+        watch: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.stimulus: Dict[str, Stimulus] = dict(stimulus or {})
+        self.watch: List[str] = list(watch or [])
+        self.trace: Dict[str, List[int]] = {name: [] for name in self.watch}
+
+    def drive(self, name: str, values: Stimulus) -> None:
+        self.stimulus[name] = values
+
+    def observe(self, name: str) -> None:
+        if name not in self.watch:
+            self.watch.append(name)
+            self.trace[name] = []
+
+    def _value_at(self, stimulus: Stimulus, cycle: int) -> Optional[int]:
+        if callable(stimulus):
+            return stimulus(cycle)
+        if cycle < len(stimulus):
+            return stimulus[cycle]
+        return None
+
+    def run(self, cycles: int) -> Dict[str, List[int]]:
+        """Run ``cycles`` cycles; returns the accumulated trace."""
+        for _ in range(cycles):
+            cycle = self.simulator.cycle
+            for name, stimulus in self.stimulus.items():
+                value = self._value_at(stimulus, cycle)
+                if value is not None:
+                    self.simulator.poke(name, value)
+            for name in self.watch:
+                self.trace[name].append(self.simulator.peek(name))
+            self.simulator.step()
+        return self.trace
+
+
+def compare_traces(
+    expected: Dict[str, List[int]], actual: Dict[str, List[int]]
+) -> List[TraceDiff]:
+    """Diff two traces; empty result means simulators agree."""
+    diffs: List[TraceDiff] = []
+    for signal in expected:
+        if signal not in actual:
+            continue
+        for cycle, (e, a) in enumerate(zip(expected[signal], actual[signal])):
+            if e != a:
+                diffs.append(TraceDiff(cycle, signal, e, a))
+    return diffs
+
+
+def run_lockstep(
+    simulators: Dict[str, object],
+    stimulus: Dict[str, Stimulus],
+    watch: Iterable[str],
+    cycles: int,
+) -> Dict[str, Dict[str, List[int]]]:
+    """Run several simulators in lockstep on identical stimulus."""
+    benches = {
+        name: Testbench(sim, dict(stimulus), list(watch))
+        for name, sim in simulators.items()
+    }
+    return {name: bench.run(cycles) for name, bench in benches.items()}

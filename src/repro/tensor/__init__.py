@@ -1,0 +1,38 @@
+"""Fibertree tensor abstraction (paper Sections 2.2 and 2.5.2).
+
+Public API::
+
+    from repro.tensor import Fiber, Tensor, RankFormat, TensorFormat
+    from repro.tensor import lower, LoweredTensor
+"""
+
+from .fiber import Fiber
+from .format import (
+    AUTO,
+    RankFormat,
+    TensorFormat,
+    bits_for_value,
+    compressed,
+    uncompressed,
+)
+from .lowering import LoweredRank, LoweredTensor, lower
+from .serialize import dumps, load, loads, save
+from .tensor import Tensor
+
+__all__ = [
+    "AUTO",
+    "Fiber",
+    "LoweredRank",
+    "LoweredTensor",
+    "RankFormat",
+    "Tensor",
+    "TensorFormat",
+    "bits_for_value",
+    "compressed",
+    "dumps",
+    "load",
+    "loads",
+    "lower",
+    "save",
+    "uncompressed",
+]

@@ -1,0 +1,163 @@
+"""Fibers: the building block of the fibertree tensor abstraction.
+
+A fiber is an ordered set of ``(coordinate, payload)`` pairs sharing their
+higher-level coordinates (Sze et al., adopted by the paper in Section 2.2).
+A payload is either a scalar value (at the leaf rank) or a reference to the
+next-level fiber (at intermediate ranks).
+
+Fibers carry an optional *shape* (the number of legal coordinates); the
+number of coordinates actually present is the *occupancy*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional, Tuple
+
+
+class Fiber:
+    """An ordered mapping from integer coordinates to payloads.
+
+    Coordinates are kept sorted so that iteration visits them in ascending
+    coordinate order, which is the traversal order assumed by the kernels in
+    the paper (concordant traversal).
+    """
+
+    __slots__ = ("_pairs", "shape")
+
+    def __init__(
+        self,
+        pairs: Optional[Iterable[Tuple[int, Any]]] = None,
+        shape: Optional[int] = None,
+    ) -> None:
+        self._pairs: dict[int, Any] = {}
+        self.shape = shape
+        if pairs is not None:
+            for coord, payload in pairs:
+                self.set(coord, payload)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def set(self, coord: int, payload: Any) -> None:
+        """Insert or overwrite the payload at ``coord``."""
+        if not isinstance(coord, int):
+            raise TypeError(f"fiber coordinates must be ints, got {coord!r}")
+        if coord < 0:
+            raise ValueError(f"fiber coordinates must be non-negative: {coord}")
+        if self.shape is not None and coord >= self.shape:
+            raise ValueError(
+                f"coordinate {coord} out of range for fiber of shape {self.shape}"
+            )
+        self._pairs[coord] = payload
+
+    def get(self, coord: int, default: Any = None) -> Any:
+        """Return the payload at ``coord`` or ``default`` if empty."""
+        return self._pairs.get(coord, default)
+
+    def has(self, coord: int) -> bool:
+        return coord in self._pairs
+
+    def delete(self, coord: int) -> None:
+        self._pairs.pop(coord, None)
+
+    def coords(self) -> list[int]:
+        return sorted(self._pairs)
+
+    def payloads(self) -> list[Any]:
+        return [self._pairs[c] for c in self.coords()]
+
+    @property
+    def occupancy(self) -> int:
+        """Number of coordinates with non-empty payloads (Section 2.2)."""
+        return len(self._pairs)
+
+    def is_empty(self) -> bool:
+        return not self._pairs
+
+    # ------------------------------------------------------------------
+    # Iteration and merge helpers (used by the Einsum interpreter)
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Tuple[int, Any]]:
+        for coord in self.coords():
+            yield coord, self._pairs[coord]
+
+    def __len__(self) -> int:
+        return self.occupancy
+
+    def iter_shape(self, empty: Any = None) -> Iterator[Tuple[int, Any]]:
+        """Iterate over every coordinate in the shape (dense traversal)."""
+        if self.shape is None:
+            raise ValueError("cannot densely iterate a fiber without a shape")
+        for coord in range(self.shape):
+            yield coord, self._pairs.get(coord, empty)
+
+    def intersect(self, other: "Fiber") -> Iterator[Tuple[int, Any, Any]]:
+        """Yield ``(coord, a_payload, b_payload)`` where both are non-empty.
+
+        This is the intersection coordinate operator from Section 2.4.
+        """
+        common = sorted(set(self._pairs) & set(other._pairs))
+        for coord in common:
+            yield coord, self._pairs[coord], other._pairs[coord]
+
+    def union(self, other: "Fiber") -> Iterator[Tuple[int, Any, Any]]:
+        """Yield ``(coord, a_payload, b_payload)`` where either is non-empty.
+
+        Missing payloads are reported as ``None``.  This is the union
+        coordinate operator from Section 2.4.
+        """
+        all_coords = sorted(set(self._pairs) | set(other._pairs))
+        for coord in all_coords:
+            yield coord, self._pairs.get(coord), other._pairs.get(coord)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, values: Iterable[Any], zero: Any = 0) -> "Fiber":
+        """Build a fiber from a dense list, omitting ``zero`` entries.
+
+        The fiber's shape is the length of the list, matching the paper's
+        observation that dense tensors explicitly contain every coordinate
+        while sparse fibertrees omit empty ones.
+        """
+        values = list(values)
+        fiber = cls(shape=len(values))
+        for coord, value in enumerate(values):
+            if value != zero:
+                fiber.set(coord, value)
+        return fiber
+
+    def to_dense(self, empty: Any = 0) -> list[Any]:
+        """Expand to a dense list of length ``shape``."""
+        if self.shape is None:
+            raise ValueError("cannot densify a fiber without a shape")
+        dense = [empty] * self.shape
+        for coord, payload in self:
+            dense[coord] = payload
+        return dense
+
+    def map_payloads(self, fn: Callable[[Any], Any]) -> "Fiber":
+        """Return a new fiber with ``fn`` applied to every payload."""
+        return Fiber(((c, fn(p)) for c, p in self), shape=self.shape)
+
+    def copy(self) -> "Fiber":
+        """Shallow copy (payloads are shared, structure is not)."""
+        return Fiber(iter(self), shape=self.shape)
+
+    # ------------------------------------------------------------------
+    # Equality / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fiber):
+            return NotImplemented
+        if self.coords() != other.coords():
+            return False
+        return all(self._pairs[c] == other._pairs[c] for c in self._pairs)
+
+    def __hash__(self) -> int:  # pragma: no cover - fibers are mutable
+        raise TypeError("fibers are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{c}: {p!r}" for c, p in self)
+        return f"Fiber({{{pairs}}}, shape={self.shape})"

@@ -1,0 +1,131 @@
+"""Per-rank tensor format descriptions (Section 2.5.2 and Figure 6).
+
+TeAAL describes the concrete representation of a tensor with a per-rank
+format.  Each rank is either *uncompressed* (array sizes proportional to the
+shape, with coordinates implicit in array position, so ``cbits = 0``) or
+*compressed* (array sizes proportional to occupancy, with explicit
+coordinates).  ``cbits``/``pbits`` give the bit widths of the coordinate and
+payload arrays; a width of zero means the corresponding array is elided
+entirely (the key compression step of Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Sentinel for "size this field from the maximum value stored in it",
+#: matching the paper: "The bit width of each non-zero field is determined
+#: offline based on the maximum value for that coordinate or payload array."
+AUTO = "auto"
+
+
+def bits_for_value(value: int) -> int:
+    """Minimum number of bits needed to represent ``value`` (>= 1)."""
+    if value < 0:
+        raise ValueError(f"cannot size bits for negative value {value}")
+    return max(1, value.bit_length())
+
+
+@dataclass(frozen=True)
+class RankFormat:
+    """Format of one rank of a tensor.
+
+    Parameters
+    ----------
+    compressed:
+        ``True`` for a compressed (``C``) rank, ``False`` for an
+        uncompressed (``U``) rank.
+    cbits:
+        Bit width of the coordinate array.  ``0`` elides the array (always
+        the case for uncompressed ranks); :data:`AUTO` sizes it from data.
+    pbits:
+        Bit width of the payload array.  ``0`` elides the array; payloads
+        must then be reconstructible from context (one-hot fibers, arity
+        implied by the operation type, mask semantics -- Section 5.1).
+    """
+
+    compressed: bool
+    cbits: int | str = AUTO
+    pbits: int | str = AUTO
+
+    def __post_init__(self) -> None:
+        if not self.compressed and self.cbits not in (0,):
+            # Uncompressed ranks encode coordinates implicitly by position.
+            object.__setattr__(self, "cbits", 0)
+        for attr in ("cbits", "pbits"):
+            value = getattr(self, attr)
+            if value != AUTO and (not isinstance(value, int) or value < 0):
+                raise ValueError(f"{attr} must be {AUTO!r} or a non-negative int")
+
+    @property
+    def kind(self) -> str:
+        return "C" if self.compressed else "U"
+
+    @property
+    def stores_coords(self) -> bool:
+        return self.compressed and self.cbits != 0
+
+    @property
+    def stores_payloads(self) -> bool:
+        return self.pbits != 0
+
+    def describe(self) -> str:
+        def show(width: int | str) -> str:
+            if width == AUTO:
+                return "non-zero"
+            return str(width)
+
+        return f"format: {self.kind}, cbits: {show(self.cbits)}, pbits: {show(self.pbits)}"
+
+
+def uncompressed(pbits: int | str = AUTO) -> RankFormat:
+    """Convenience constructor for a ``U`` rank."""
+    return RankFormat(compressed=False, cbits=0, pbits=pbits)
+
+
+def compressed(cbits: int | str = AUTO, pbits: int | str = AUTO) -> RankFormat:
+    """Convenience constructor for a ``C`` rank."""
+    return RankFormat(compressed=True, cbits=cbits, pbits=pbits)
+
+
+@dataclass
+class TensorFormat:
+    """A full tensor format: a rank order plus a per-rank :class:`RankFormat`.
+
+    Mirrors the TeAAL format specifications shown in Figures 6 and 12 of the
+    paper.
+    """
+
+    rank_order: Tuple[str, ...]
+    rank_formats: Dict[str, RankFormat] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.rank_order = tuple(self.rank_order)
+        missing = [r for r in self.rank_order if r not in self.rank_formats]
+        if missing:
+            raise ValueError(f"missing RankFormat for ranks: {missing}")
+        extra = [r for r in self.rank_formats if r not in self.rank_order]
+        if extra:
+            raise ValueError(f"RankFormat given for unknown ranks: {extra}")
+
+    def fmt(self, rank: str) -> RankFormat:
+        return self.rank_formats[rank]
+
+    def describe(self, tensor_name: str = "T") -> str:
+        """Render the YAML-like spec used in the paper's figures."""
+        lines = [f"{tensor_name}:", f"  rank-order: [{', '.join(self.rank_order)}]"]
+        for rank in self.rank_order:
+            lines.append(f"  {rank}: {self.rank_formats[rank].describe()}")
+        return "\n".join(lines)
+
+    @classmethod
+    def csr(cls, row_rank: str = "M", col_rank: str = "K") -> "TensorFormat":
+        """The CSR example of Figure 6: U row rank over a C column rank."""
+        return cls(
+            rank_order=(row_rank, col_rank),
+            rank_formats={
+                row_rank: uncompressed(pbits=AUTO),
+                col_rank: compressed(cbits=AUTO, pbits=AUTO),
+            },
+        )

@@ -1,0 +1,223 @@
+"""Lowering fibertrees onto concrete coordinate/payload arrays.
+
+This implements the array layout of Figure 13 in the paper: each rank of a
+tensor is stored as a coordinate list and a payload list, where a payload is
+the occupancy of the associated next-level fiber (or the scalar value at the
+leaf rank).  The :class:`~repro.tensor.format.TensorFormat` controls which of
+those arrays are materialised:
+
+* uncompressed ranks elide the coordinate array (coordinates are implicit in
+  array position);
+* ranks whose payloads are derivable from context (one-hot fibers, arity
+  implied by the operation type, mask leaves) elide the payload array by
+  setting ``pbits`` to zero.
+
+Reconstruction of elided payloads requires *occupancy rules*, supplied by the
+caller (for the OIM these are defined in :mod:`repro.oim.formats`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .fiber import Fiber
+from .format import AUTO, RankFormat, TensorFormat, bits_for_value
+from .tensor import Tensor
+
+#: An occupancy rule maps a context (ancestor rank name -> coordinate) to the
+#: occupancy of the fiber below the current entry.
+OccupancyRule = Callable[[Dict[str, int]], int]
+
+#: A leaf rule maps a context to the scalar value at the leaf.
+LeafRule = Callable[[Dict[str, int]], Any]
+
+
+@dataclass
+class LoweredRank:
+    """The concrete arrays for one rank of a lowered tensor."""
+
+    name: str
+    fmt: RankFormat
+    #: Explicit coordinates; ``None`` when the rank is uncompressed or when
+    #: ``cbits == 0``.
+    coords: Optional[List[int]]
+    #: Payloads (occupancies, or leaf values at the last rank); ``None`` when
+    #: ``pbits == 0``.
+    payloads: Optional[List[int]]
+    #: Total number of entries at this rank, including implicit ones.
+    num_entries: int
+    #: Resolved bit widths after AUTO sizing.
+    cbits: int = 0
+    pbits: int = 0
+
+    def storage_bits(self) -> int:
+        bits = 0
+        if self.coords is not None:
+            bits += len(self.coords) * self.cbits
+        if self.payloads is not None:
+            bits += len(self.payloads) * self.pbits
+        return bits
+
+
+@dataclass
+class LoweredTensor:
+    """A tensor lowered to per-rank coordinate/payload arrays."""
+
+    rank_order: Tuple[str, ...]
+    ranks: Dict[str, LoweredRank]
+    #: Number of entries in the root fiber.
+    root_count: int
+    #: Per-rank shapes (needed to reconstruct dense ranks).
+    shape: Dict[str, Optional[int]] = field(default_factory=dict)
+
+    def storage_bits(self) -> int:
+        """Total storage of all materialised arrays, in bits."""
+        return sum(rank.storage_bits() for rank in self.ranks.values())
+
+    def storage_bytes(self) -> int:
+        return (self.storage_bits() + 7) // 8
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def to_tensor(
+        self,
+        occupancy_rules: Optional[Dict[str, OccupancyRule]] = None,
+        leaf_rule: Optional[LeafRule] = None,
+    ) -> Tensor:
+        """Rebuild the fibertree from the arrays.
+
+        ``occupancy_rules[rank]`` supplies the occupancy of the fiber *below*
+        entries of ``rank`` whenever that rank's payload array was elided.
+        ``leaf_rule`` supplies leaf values when the last rank's payloads were
+        elided (for masks this defaults to the constant 1).
+        """
+        occupancy_rules = occupancy_rules or {}
+        if leaf_rule is None:
+            leaf_rule = lambda context: 1  # noqa: E731 - mask default
+        cursors = {name: 0 for name in self.rank_order}
+
+        def read_fiber(depth: int, count: int, context: Dict[str, int]) -> Fiber:
+            name = self.rank_order[depth]
+            lowered = self.ranks[name]
+            is_leaf = depth == len(self.rank_order) - 1
+            fiber = Fiber(shape=self.shape.get(name))
+            for position in range(count):
+                cursor = cursors[name]
+                if lowered.coords is not None:
+                    coord = lowered.coords[cursor]
+                else:
+                    coord = position
+                sub_context = dict(context)
+                sub_context[name] = coord
+                if is_leaf:
+                    if lowered.payloads is not None:
+                        value = lowered.payloads[cursor]
+                    else:
+                        value = leaf_rule(sub_context)
+                    cursors[name] += 1
+                    if value != 0:
+                        fiber.set(coord, value)
+                    continue
+                if lowered.payloads is not None:
+                    child_count = lowered.payloads[cursor]
+                else:
+                    rule = occupancy_rules.get(name)
+                    if rule is None:
+                        raise ValueError(
+                            f"rank {name!r} elides payloads but no occupancy "
+                            "rule was supplied"
+                        )
+                    child_count = rule(sub_context)
+                cursors[name] += 1
+                child = read_fiber(depth + 1, child_count, sub_context)
+                if not child.is_empty():
+                    fiber.set(coord, child)
+            return fiber
+
+        root = read_fiber(0, self.root_count, {})
+        shape = [self.shape.get(name) for name in self.rank_order]
+        return Tensor(self.rank_order, shape, root)
+
+
+def _fiber_dense_length(fiber: Fiber, shape: Optional[int]) -> int:
+    """Entry count for an uncompressed fiber: its shape, or the occupied span."""
+    if fiber.shape is not None:
+        return fiber.shape
+    if shape is not None:
+        return shape
+    coords = fiber.coords()
+    return (coords[-1] + 1) if coords else 0
+
+
+def lower(tensor: Tensor, tensor_format: TensorFormat) -> LoweredTensor:
+    """Lower ``tensor`` to arrays according to ``tensor_format``.
+
+    The tensor's rank order must already match the format's rank order; use
+    :meth:`Tensor.swizzle` first if it does not (Section 5.1's S-N swizzle).
+    """
+    if tuple(tensor.rank_names) != tuple(tensor_format.rank_order):
+        raise ValueError(
+            f"tensor rank order {tensor.rank_names} does not match format "
+            f"order {tensor_format.rank_order}; swizzle the tensor first"
+        )
+
+    order = tensor_format.rank_order
+    num_ranks = len(order)
+    coords_by_rank: Dict[str, List[int]] = {name: [] for name in order}
+    payloads_by_rank: Dict[str, List[int]] = {name: [] for name in order}
+    entries_by_rank: Dict[str, int] = {name: 0 for name in order}
+
+    def visit(fiber: Fiber, depth: int) -> int:
+        """Record one fiber's entries; return the entry count recorded."""
+        name = order[depth]
+        fmt = tensor_format.fmt(name)
+        is_leaf = depth == num_ranks - 1
+        if fmt.compressed:
+            items = list(fiber)
+        else:
+            length = _fiber_dense_length(fiber, tensor.shape[depth])
+            empty: Any = 0 if is_leaf else Fiber()
+            items = [(pos, fiber.get(pos, empty)) for pos in range(length)]
+        for coord, payload in items:
+            entries_by_rank[name] += 1
+            coords_by_rank[name].append(coord)
+            if is_leaf:
+                payloads_by_rank[name].append(payload)
+            else:
+                child_entries = visit(payload, depth + 1)
+                payloads_by_rank[name].append(child_entries)
+        return len(items)
+
+    root_count = visit(tensor.root, 0)
+
+    ranks: Dict[str, LoweredRank] = {}
+    for name in order:
+        fmt = tensor_format.fmt(name)
+        all_coords = coords_by_rank[name]
+        all_payloads = payloads_by_rank[name]
+        cbits = _resolve_bits(fmt.cbits, all_coords)
+        pbits = _resolve_bits(fmt.pbits, all_payloads)
+        ranks[name] = LoweredRank(
+            name=name,
+            fmt=fmt,
+            coords=list(all_coords) if fmt.stores_coords else None,
+            payloads=list(all_payloads) if fmt.stores_payloads else None,
+            num_entries=entries_by_rank[name],
+            cbits=cbits if fmt.stores_coords else 0,
+            pbits=pbits if fmt.stores_payloads else 0,
+        )
+
+    shape = {name: tensor.shape[i] for i, name in enumerate(order)}
+    return LoweredTensor(order, ranks, root_count, shape)
+
+
+def _resolve_bits(spec: int | str, values: Sequence[int]) -> int:
+    """Resolve an AUTO bit width from the maximum value in ``values``."""
+    if spec != AUTO:
+        return int(spec)
+    numeric = [v for v in values if isinstance(v, int)]
+    if not numeric:
+        return 0
+    return bits_for_value(max(max(numeric), 0))

@@ -1,0 +1,91 @@
+"""JSON (de)serialisation of lowered tensors.
+
+The paper's compiler stores the generated ``OIM`` tensor in JSON files that
+the kernel executable loads at runtime (Figure 14).  This module provides the
+same interchange: a :class:`~repro.tensor.lowering.LoweredTensor` round-trips
+through a plain-JSON document.  Elided arrays are simply absent from the
+document, so the on-disk size reflects the chosen format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from .format import RankFormat
+from .lowering import LoweredRank, LoweredTensor
+
+FORMAT_VERSION = 1
+
+
+def to_document(lowered: LoweredTensor) -> Dict[str, Any]:
+    """Render a lowered tensor as a JSON-serialisable document."""
+    ranks = []
+    for name in lowered.rank_order:
+        rank = lowered.ranks[name]
+        entry: Dict[str, Any] = {
+            "name": name,
+            "compressed": rank.fmt.compressed,
+            "cbits": rank.cbits,
+            "pbits": rank.pbits,
+            "num_entries": rank.num_entries,
+        }
+        if rank.coords is not None:
+            entry["coords"] = rank.coords
+        if rank.payloads is not None:
+            entry["payloads"] = rank.payloads
+        ranks.append(entry)
+    return {
+        "version": FORMAT_VERSION,
+        "rank_order": list(lowered.rank_order),
+        "root_count": lowered.root_count,
+        "shape": {k: v for k, v in lowered.shape.items() if v is not None},
+        "ranks": ranks,
+    }
+
+
+def from_document(document: Dict[str, Any]) -> LoweredTensor:
+    """Rebuild a lowered tensor from a document produced by :func:`to_document`."""
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported OIM document version: {version!r}")
+    rank_order = tuple(document["rank_order"])
+    shape: Dict[str, Any] = {name: None for name in rank_order}
+    shape.update(document.get("shape", {}))
+    ranks: Dict[str, LoweredRank] = {}
+    for entry in document["ranks"]:
+        name = entry["name"]
+        coords = entry.get("coords")
+        payloads = entry.get("payloads")
+        fmt = RankFormat(
+            compressed=entry["compressed"],
+            cbits=entry["cbits"] if coords is not None else 0,
+            pbits=entry["pbits"] if payloads is not None else 0,
+        )
+        ranks[name] = LoweredRank(
+            name=name,
+            fmt=fmt,
+            coords=list(coords) if coords is not None else None,
+            payloads=list(payloads) if payloads is not None else None,
+            num_entries=entry["num_entries"],
+            cbits=entry["cbits"],
+            pbits=entry["pbits"],
+        )
+    return LoweredTensor(rank_order, ranks, document["root_count"], shape)
+
+
+def dumps(lowered: LoweredTensor, indent: int | None = None) -> str:
+    return json.dumps(to_document(lowered), indent=indent)
+
+
+def loads(text: str) -> LoweredTensor:
+    return from_document(json.loads(text))
+
+
+def save(lowered: LoweredTensor, path: str | Path) -> None:
+    Path(path).write_text(dumps(lowered))
+
+
+def load(path: str | Path) -> LoweredTensor:
+    return loads(Path(path).read_text())

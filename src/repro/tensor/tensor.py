@@ -1,0 +1,217 @@
+"""Tensors as fibertrees (Section 2.2 of the paper).
+
+A :class:`Tensor` names its ranks, records their shapes, and stores the data
+as a tree of :class:`~repro.tensor.fiber.Fiber` objects.  Rank names follow
+the paper's convention of single uppercase names (``M``, ``K``, ``I`` ...),
+though any string is accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from .fiber import Fiber
+
+
+class Tensor:
+    """A named, shaped fibertree.
+
+    Parameters
+    ----------
+    rank_names:
+        Rank names ordered root-to-leaf (e.g. ``("M", "K")`` for a matrix
+        stored row-major).
+    shape:
+        Optional per-rank shapes, parallel to ``rank_names``.  ``None``
+        entries mean "unbounded".
+    root:
+        Root fiber.  A fresh empty fiber is created when omitted.
+    """
+
+    def __init__(
+        self,
+        rank_names: Sequence[str],
+        shape: Optional[Sequence[Optional[int]]] = None,
+        root: Optional[Fiber] = None,
+    ) -> None:
+        if not rank_names:
+            raise ValueError("a tensor needs at least one rank")
+        if len(set(rank_names)) != len(rank_names):
+            raise ValueError(f"duplicate rank names: {rank_names}")
+        self.rank_names: Tuple[str, ...] = tuple(rank_names)
+        if shape is None:
+            shape = [None] * len(rank_names)
+        if len(shape) != len(rank_names):
+            raise ValueError("shape must be parallel to rank_names")
+        self.shape: Tuple[Optional[int], ...] = tuple(shape)
+        self.root = root if root is not None else Fiber(shape=self.shape[0])
+
+    # ------------------------------------------------------------------
+    # Rank bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def num_ranks(self) -> int:
+        return len(self.rank_names)
+
+    def rank_index(self, name: str) -> int:
+        try:
+            return self.rank_names.index(name)
+        except ValueError:
+            raise KeyError(f"tensor has no rank {name!r}") from None
+
+    def rank_shape(self, name: str) -> Optional[int]:
+        return self.shape[self.rank_index(name)]
+
+    # ------------------------------------------------------------------
+    # Point access
+    # ------------------------------------------------------------------
+    def _check_point(self, coords: Sequence[int]) -> None:
+        if len(coords) != self.num_ranks:
+            raise ValueError(
+                f"point {tuple(coords)} has {len(coords)} coordinates; "
+                f"tensor has {self.num_ranks} ranks"
+            )
+
+    def set(self, coords: Sequence[int], value: Any) -> None:
+        """Set the scalar value at a point, creating fibers along the way."""
+        self._check_point(coords)
+        fiber = self.root
+        for level, coord in enumerate(coords[:-1]):
+            child = fiber.get(coord)
+            if child is None:
+                child = Fiber(shape=self.shape[level + 1])
+                fiber.set(coord, child)
+            fiber = child
+        fiber.set(coords[-1], value)
+
+    def get(self, coords: Sequence[int], default: Any = None) -> Any:
+        """Return the scalar value at a point or ``default`` if empty."""
+        self._check_point(coords)
+        fiber = self.root
+        for coord in coords[:-1]:
+            fiber = fiber.get(coord)
+            if fiber is None:
+                return default
+        return fiber.get(coords[-1], default)
+
+    def points(self) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+        """Iterate ``(coords, value)`` over every non-empty point."""
+
+        def walk(fiber: Fiber, prefix: Tuple[int, ...], depth: int):
+            if depth == self.num_ranks - 1:
+                for coord, payload in fiber:
+                    yield prefix + (coord,), payload
+            else:
+                for coord, payload in fiber:
+                    yield from walk(payload, prefix + (coord,), depth + 1)
+
+        yield from walk(self.root, (), 0)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of non-empty points (leaf payloads)."""
+        return sum(1 for _ in self.points())
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        points: Dict[Tuple[int, ...], Any] | Iterable[Tuple[Tuple[int, ...], Any]],
+        rank_names: Sequence[str],
+        shape: Optional[Sequence[Optional[int]]] = None,
+    ) -> "Tensor":
+        tensor = cls(rank_names, shape)
+        items = points.items() if isinstance(points, dict) else points
+        for coords, value in items:
+            tensor.set(coords, value)
+        return tensor
+
+    @classmethod
+    def from_dense(
+        cls,
+        nested: Any,
+        rank_names: Sequence[str],
+        zero: Any = 0,
+    ) -> "Tensor":
+        """Build from nested lists, omitting points equal to ``zero``."""
+
+        def dims(x: Any, depth: int) -> list[int]:
+            if depth == 0:
+                return []
+            return [len(x)] + dims(x[0], depth - 1)
+
+        shape = dims(nested, len(rank_names))
+        tensor = cls(rank_names, shape)
+
+        def walk(x: Any, prefix: Tuple[int, ...], depth: int) -> None:
+            if depth == len(rank_names):
+                if x != zero:
+                    tensor.set(prefix, x)
+                return
+            for coord, sub in enumerate(x):
+                walk(sub, prefix + (coord,), depth + 1)
+
+        walk(nested, (), 0)
+        return tensor
+
+    def to_dense(self, empty: Any = 0) -> Any:
+        """Expand to nested lists; every rank must have a shape."""
+        if any(s is None for s in self.shape):
+            raise ValueError("cannot densify a tensor with unshaped ranks")
+
+        def build(depth: int) -> Any:
+            if depth == self.num_ranks:
+                return empty
+            return [build(depth + 1) for _ in range(self.shape[depth])]
+
+        dense = build(0)
+        for coords, value in self.points():
+            target = dense
+            for coord in coords[:-1]:
+                target = target[coord]
+            target[coords[-1]] = value
+        return dense
+
+    # ------------------------------------------------------------------
+    # Rank reordering ("swizzling", Section 5.1)
+    # ------------------------------------------------------------------
+    def swizzle(self, new_rank_order: Sequence[str]) -> "Tensor":
+        """Return a copy with ranks reordered to ``new_rank_order``.
+
+        This implements the swizzle used in the paper to move from the
+        ``[I, S, N, O, R]`` to the ``[I, N, S, O, R]`` rank order for the
+        NU kernel and beyond.
+        """
+        if sorted(new_rank_order) != sorted(self.rank_names):
+            raise ValueError(
+                f"swizzle order {tuple(new_rank_order)} must be a permutation "
+                f"of {self.rank_names}"
+            )
+        perm = [self.rank_index(name) for name in new_rank_order]
+        new_shape = [self.shape[i] for i in perm]
+        result = Tensor(new_rank_order, new_shape)
+        for coords, value in self.points():
+            result.set(tuple(coords[i] for i in perm), value)
+        return result
+
+    def copy(self) -> "Tensor":
+        return Tensor.from_points(dict(self.points()), self.rank_names, self.shape)
+
+    # ------------------------------------------------------------------
+    # Equality / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tensor):
+            return NotImplemented
+        return (
+            self.rank_names == other.rank_names
+            and dict(self.points()) == dict(other.points())
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Tensor(ranks={self.rank_names}, shape={self.shape}, "
+            f"occupancy={self.occupancy})"
+        )

@@ -1,0 +1,26 @@
+"""Workload stimulus generators (paper Table 3).
+
+Public API::
+
+    from repro.workloads import dhrystone_stimulus, workload_for, SIM_CYCLES
+"""
+
+from .stimulus import (
+    SIM_CYCLES,
+    Workload,
+    dhrystone_stimulus,
+    matrix_add_stimulus,
+    sha3_rocc_stimulus,
+    sim_cycles_for,
+    workload_for,
+)
+
+__all__ = [
+    "SIM_CYCLES",
+    "Workload",
+    "dhrystone_stimulus",
+    "matrix_add_stimulus",
+    "sha3_rocc_stimulus",
+    "sim_cycles_for",
+    "workload_for",
+]

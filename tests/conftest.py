@@ -1,0 +1,106 @@
+"""Shared fixtures: small designs, compiled graphs, and bundles."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.designs import library
+from repro.firrtl.elaborate import elaborate
+from repro.firrtl.parser import parse
+from repro.graph.build import build_dfg
+from repro.graph.optimize import optimize
+from repro.oim.builder import build_oim
+
+#: A compact design exercising every op class: reducible, unary, select.
+MIXED_SRC = """
+circuit Mixed :
+  module Mixed :
+    input clock : Clock
+    input reset : UInt<1>
+    input a : UInt<8>
+    input b : UInt<8>
+    output out : UInt<8>
+    output flag : UInt<1>
+    regreset acc : UInt<8>, clock, reset, UInt<8>(7)
+    reg shadow : UInt<8>, clock
+    node s = tail(add(a, b), 1)
+    node sel = gt(s, UInt<8>(128))
+    node m = mux(sel, s, mux(eq(a, b), acc, mux(lt(a, b), a, b)))
+    acc <= m
+    shadow <= xor(not(acc), UInt<8>(170))
+    out <= acc
+    flag <= orr(and(shadow, s))
+"""
+
+
+@pytest.fixture(scope="session")
+def mixed_src() -> str:
+    return MIXED_SRC
+
+
+@pytest.fixture(scope="session")
+def mixed_design():
+    return elaborate(parse(MIXED_SRC))
+
+
+@pytest.fixture(scope="session")
+def mixed_graph(mixed_design):
+    graph, _ = optimize(build_dfg(mixed_design))
+    return graph
+
+
+@pytest.fixture(scope="session")
+def mixed_bundle(mixed_graph):
+    return build_oim(mixed_graph)
+
+
+@pytest.fixture(scope="session")
+def gcd_src() -> str:
+    return library.gcd()
+
+
+@pytest.fixture(scope="session")
+def counter_src() -> str:
+    return library.counter()
+
+
+@pytest.fixture(scope="session")
+def alu_src() -> str:
+    return library.alu()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def drive_random_inputs(simulators, design, rng, cycles, watch=None):
+    """Poke identical random inputs into several simulators in lockstep.
+
+    Returns per-simulator traces of the watched signals (default outputs).
+    Raises AssertionError on the first divergence, for precise diagnostics.
+    """
+    watch = list(watch or design.outputs)
+    traces = [dict((w, []) for w in watch) for _ in simulators]
+    for cycle in range(cycles):
+        for name, width in design.inputs.items():
+            value = rng.randrange(1 << width)
+            for simulator in simulators:
+                simulator.poke(name, value)
+        reference_values = None
+        for index, simulator in enumerate(simulators):
+            values = tuple(simulator.peek(w) for w in watch)
+            for w, v in zip(watch, values):
+                traces[index][w].append(v)
+            if reference_values is None:
+                reference_values = values
+            else:
+                assert values == reference_values, (
+                    f"divergence at cycle {cycle}: simulator {index} "
+                    f"returned {values}, expected {reference_values}"
+                )
+        for simulator in simulators:
+            simulator.step()
+    return traces

@@ -1,0 +1,126 @@
+"""Tests for the Verilator-like and ESSENT-like baseline backends."""
+
+import pytest
+
+from repro.baselines import (
+    EssentBackend,
+    VerilatorBackend,
+    essent_cpp,
+    essent_profile,
+    verilator_cpp,
+    verilator_profile,
+)
+from repro.firrtl import ReferenceSimulator, elaborate, parse
+from repro.sim import Simulator
+
+from conftest import drive_random_inputs
+
+
+class TestFunctionalEquivalence:
+    def test_verilator_matches_reference(self, mixed_src, mixed_design, rng):
+        drive_random_inputs(
+            [ReferenceSimulator(mixed_design), VerilatorBackend(mixed_src)],
+            mixed_design, rng, 60,
+        )
+
+    def test_essent_matches_reference(self, mixed_src, mixed_design, rng):
+        drive_random_inputs(
+            [ReferenceSimulator(mixed_design), EssentBackend(mixed_src)],
+            mixed_design, rng, 60,
+        )
+
+    def test_three_engines_agree_on_gcd(self, gcd_src, rng):
+        design = elaborate(parse(gcd_src))
+        drive_random_inputs(
+            [
+                Simulator(gcd_src, kernel="PSU"),
+                VerilatorBackend(gcd_src),
+                EssentBackend(gcd_src),
+            ],
+            design, rng, 50,
+        )
+
+    def test_reset_interface(self, counter_src):
+        backend = VerilatorBackend(counter_src)
+        backend.poke("enable", 1)
+        backend.step(3)
+        backend.reset()
+        assert backend.cycle == 0
+        assert backend.peek("count") == 0
+
+
+class TestGeneratedCode:
+    def test_verilator_code_is_branchy(self, mixed_bundle):
+        source = verilator_cpp(mixed_bundle)
+        assert "if (" in source.text  # muxes become branches
+        assert source.kernel == "Verilator"
+
+    def test_essent_code_is_straight_line(self, mixed_bundle):
+        source = essent_cpp(mixed_bundle)
+        assert "if (" not in source.text  # no branches at all
+        assert "?" in source.text or "sig[" in source.text
+
+    def test_essent_single_giant_function(self, mixed_bundle):
+        source = essent_cpp(mixed_bundle)
+        eval_functions = [f for f in source.functions if f[0] == "eval"]
+        assert len(eval_functions) == 1
+        assert eval_functions[0][1] == mixed_bundle.num_ops
+
+    def test_verilator_many_medium_functions(self):
+        from repro.designs.registry import compile_named_design
+
+        bundle = compile_named_design("rocket-4")
+        source = verilator_cpp(bundle)
+        eval_functions = [f for f in source.functions if f[0].startswith("eval_seq")]
+        assert len(eval_functions) > 1
+        assert source.max_function_statements < 3 * 3000
+
+
+class TestPerformanceProfiles:
+    def test_essent_fewest_instructions(self):
+        """Section 7.3: ESSENT executes far fewer instructions than both
+        Verilator and the PSU kernel (on core-class designs)."""
+        from repro.designs.registry import compile_named_design
+        from repro.kernels import kernel_profile
+
+        bundle = compile_named_design("rocket-1")
+        essent = essent_profile(bundle, "O3")
+        verilator = verilator_profile(bundle, "O3")
+        psu = kernel_profile(bundle, "PSU")
+        assert essent.dyn_instr < verilator.dyn_instr < psu.dyn_instr
+
+    def test_essent_o0_collapse(self, mixed_bundle):
+        """Section 7.4: ~103x dynamic instructions at -O0."""
+        o3 = essent_profile(mixed_bundle, "O3")
+        o0 = essent_profile(mixed_bundle, "O0")
+        ratio = o0.dyn_instr / o3.dyn_instr
+        assert 80 < ratio < 130
+
+    def test_verilator_o0_moderate(self, mixed_bundle):
+        o3 = verilator_profile(mixed_bundle, "O3")
+        o0 = verilator_profile(mixed_bundle, "O0")
+        ratio = o0.dyn_instr / o3.dyn_instr
+        assert 3.5 < ratio < 5.5  # paper: 4.42x
+
+    def test_verilator_mispredicts_track_mux_density(self):
+        """Branchy-ness follows the design's mux fraction."""
+        from repro.designs.registry import compile_named_design
+
+        core = compile_named_design("rocket-1")
+        sha3 = compile_named_design("sha3")
+        core_profile = verilator_profile(core)
+        sha3_profile = verilator_profile(sha3)
+        assert (
+            core_profile.branches / core_profile.ops
+            > 2 * sha3_profile.branches / sha3_profile.ops
+        )
+
+    def test_both_baselines_stream_code(self, mixed_bundle):
+        assert verilator_profile(mixed_bundle).code_streamed
+        assert essent_profile(mixed_bundle).code_streamed
+
+    def test_essent_branch_free(self, mixed_bundle):
+        essent = essent_profile(mixed_bundle)
+        verilator = verilator_profile(mixed_bundle)
+        assert essent.branches < verilator.branches
+        assert essent.mispredict_rate < 0.01

@@ -1,0 +1,292 @@
+"""Tests for the extended-Einsum IR and interpreter (Sections 2.3-2.4)."""
+
+import pytest
+
+from repro.einsum import (
+    Cascade,
+    Einsum,
+    EinsumError,
+    Index,
+    MapSpec,
+    PopulateSpec,
+    ReduceSpec,
+    TensorRef,
+    evaluate,
+    run_cascade,
+)
+from repro.einsum.operators import (
+    ADD,
+    ANY,
+    COORD_LEFT,
+    COORD_RIGHT,
+    INTERSECT,
+    MUL,
+    PASS_THROUGH,
+    SUB,
+    TAKE_LEFT,
+    TAKE_RIGHT,
+    UNION,
+    contextual_compute,
+    max_n_populate,
+)
+from repro.tensor import Tensor
+
+
+class TestIndexParsing:
+    def test_plain(self):
+        index = Index.parse("m")
+        assert index.name == "m" and index.offset == 0 and not index.starred
+
+    def test_iterative_offset(self):
+        index = Index.parse("i+1")
+        assert index.name == "i" and index.offset == 1
+
+    def test_starred(self):
+        index = Index.parse("o*")
+        assert index.starred
+
+    def test_bad_expression(self):
+        with pytest.raises(ValueError):
+            Index.parse("M")  # uppercase is a rank name, not an index
+
+    def test_str_roundtrip(self):
+        for text in ("m", "i+1", "o*"):
+            assert str(Index.parse(text)) == text
+
+
+class TestTensorRef:
+    def test_parse_with_indices(self):
+        ref = TensorRef.parse("OIM[i, n, o, r, s]")
+        assert ref.name == "OIM"
+        assert ref.index_names() == ("i", "n", "o", "r", "s")
+
+    def test_parse_scalar(self):
+        ref = TensorRef.parse("Z")
+        assert ref.name == "Z" and ref.indices == ()
+
+    def test_str(self):
+        assert str(TensorRef.parse("A[k, m]")) == "A[k, m]"
+
+
+class TestEinsumIr:
+    def test_reduced_indices(self):
+        einsum = Einsum(
+            TensorRef.parse("Z[m]"),
+            (TensorRef.parse("A[k, m]"), TensorRef.parse("B[k]")),
+            MapSpec(MUL, INTERSECT),
+            ReduceSpec(ADD),
+        )
+        assert einsum.reduced_index_names() == ("k",)
+
+    def test_describe_contains_actions(self):
+        einsum = Einsum(
+            TensorRef.parse("Z"),
+            (TensorRef.parse("A[m]"), TensorRef.parse("B[m]")),
+            MapSpec(MUL, INTERSECT),
+            ReduceSpec(ADD),
+        )
+        text = einsum.describe()
+        assert "map x" in text and "reduce +" in text
+
+    def test_input_arity_bounds(self):
+        with pytest.raises(ValueError):
+            Einsum(TensorRef.parse("Z[m]"), ())
+
+    def test_cascade_tensor_names(self):
+        einsum = Einsum(
+            TensorRef.parse("Z[m]"),
+            (TensorRef.parse("A[m]"),),
+        )
+        cascade = Cascade([einsum])
+        assert cascade.tensor_names() == {"Z", "A"}
+        assert len(cascade) == 1
+
+
+class TestDotProduct:
+    """The worked example of Figure 3."""
+
+    def test_dot_product(self):
+        a = Tensor.from_dense([2, 0, 4], ["m"])
+        b = Tensor.from_dense([3, 7, 2], ["m"])
+        einsum = Einsum(
+            TensorRef.parse("Z"),
+            (TensorRef.parse("A[m]"), TensorRef.parse("B[m]")),
+            MapSpec(MUL, INTERSECT),
+            ReduceSpec(ADD),
+        )
+        z = evaluate(einsum, {"A": a, "B": b})
+        assert z.get((0,)) == 14  # 2*3 + 4*2, skipping the empty point
+
+    def test_matvec(self):
+        a = Tensor.from_dense([[1, 2], [3, 4], [5, 6]], ["k", "m"])
+        b = Tensor.from_dense([1, 1, 1], ["k"])
+        einsum = Einsum(
+            TensorRef.parse("Z[m]"),
+            (TensorRef.parse("A[k, m]"), TensorRef.parse("B[k]")),
+            MapSpec(MUL, INTERSECT),
+            ReduceSpec(ADD),
+        )
+        assert evaluate(einsum, {"A": a, "B": b}).to_dense() == [9, 12]
+
+
+class TestTakeOperators:
+    def test_take_left_take_right_figure4(self):
+        """Einsum 2 / Figure 4: output A's value where B is non-empty."""
+        a = Tensor.from_dense([3, 7, 2], ["m"])
+        b = Tensor.from_points({(0,): 11, (2,): 1}, ["m"], [3])
+        einsum = Einsum(
+            TensorRef.parse("Z[m]"),
+            (TensorRef.parse("A[m]"), TensorRef.parse("B[m]")),
+            MapSpec(TAKE_LEFT, COORD_RIGHT),
+        )
+        assert evaluate(einsum, {"A": a, "B": b}).to_dense() == [3, 0, 2]
+
+    def test_einsum3_copy_nonempty(self):
+        """Einsum 3: copy all non-empty points of A.
+
+        An explicitly stored zero is a *present* coordinate (occupancy is
+        about coordinates, not values), so it is copied too.
+        """
+        a = Tensor.from_points({(1,): 5, (2,): 0}, ["m"], [4])
+        einsum = Einsum(
+            TensorRef.parse("Z[m]"),
+            (TensorRef.parse("A[m]"),),
+            MapSpec(PASS_THROUGH, COORD_LEFT),
+        )
+        z = evaluate(einsum, {"A": a})
+        assert dict(z.points()) == {(1,): 5, (2,): 0}
+
+    def test_einsum4_sum_nonempty(self):
+        """Einsum 4: reduce the non-empty elements of A with take-right."""
+        a = Tensor.from_points({(0,): 3, (3,): 9}, ["m"], [5])
+        einsum = Einsum(
+            TensorRef.parse("Z"),
+            (TensorRef.parse("A[m]"),),
+            MapSpec(PASS_THROUGH, COORD_LEFT),
+            ReduceSpec(ADD, COORD_RIGHT),
+        )
+        assert evaluate(einsum, {"A": a}).get((0,)) == 12
+
+
+class TestOrderingConstraint:
+    def test_non_commutative_reduce_ascending(self):
+        """Reduction visits contracted coordinates in ascending order."""
+        a = Tensor.from_points({(0,): 10, (1,): 3, (2,): 2}, ["o"], [3])
+        einsum = Einsum(
+            TensorRef.parse("Z"),
+            (TensorRef.parse("A[o]"),),
+            MapSpec(PASS_THROUGH, COORD_LEFT),
+            ReduceSpec(SUB, COORD_RIGHT),
+        )
+        # Copy-first semantics: 10 - 3 - 2 = 5.
+        assert evaluate(einsum, {"A": a}).get((0,)) == 5
+
+
+class TestPopulate:
+    def test_max2_appendix_a(self):
+        """Einsum 14: keep the two largest values via a populate operator."""
+        a = Tensor.from_dense([1, 2, 2, 4], ["r"])
+        einsum = Einsum(
+            TensorRef.parse("B[r*]"),
+            (TensorRef.parse("A[r]"),),
+            MapSpec(PASS_THROUGH, COORD_LEFT),
+            populate_spec=PopulateSpec(coordinate=max_n_populate(2)),
+        )
+        b = evaluate(einsum, {"A": a})
+        kept = dict(b.points())
+        assert len(kept) == 2
+        assert sorted(kept.values()) == [2, 4]  # ties between equal 2s allowed
+        assert (3,) in kept  # the unique maximum always survives
+
+
+class TestContextualOperators:
+    def test_contextual_compute_reads_bindings(self):
+        """Operators like op_r[n] read coordinates (Algorithm 2)."""
+        a = Tensor.from_points({(0, 0): 5, (1, 0): 5}, ["n", "s"], [2, 1])
+        op = contextual_compute(
+            "op_u[n]", lambda bindings, value: value * (bindings["n"] + 1)
+        )
+        einsum = Einsum(
+            TensorRef.parse("Z[n, s]"),
+            (TensorRef.parse("A[n, s]"),),
+            MapSpec(op, COORD_LEFT),
+        )
+        z = evaluate(einsum, {"A": a})
+        assert z.get((0, 0)) == 5 and z.get((1, 0)) == 10
+
+
+class TestIterativeCascade:
+    def test_prefix_sum_einsum5(self):
+        """Algorithm 1 / Einsum 5: S[i+1] = S[i] + A[i]."""
+        s = Tensor.from_points({(0,): 0}, ["i"], [5])
+        a = Tensor.from_dense([1, 2, 3, 4], ["i"])
+        einsum = Einsum(
+            TensorRef.parse("S[i+1]"),
+            (TensorRef.parse("S[i]"), TensorRef.parse("A[i]")),
+            MapSpec(ADD, UNION),
+        )
+        env = run_cascade(
+            Cascade([einsum], iterative_rank="I"), {"S": s, "A": a}, iterations=4
+        )
+        assert [env["S"].get((i,), 0) for i in range(5)] == [0, 1, 3, 6, 10]
+
+    def test_iteration_count_required(self):
+        einsum = Einsum(
+            TensorRef.parse("S[i+1]"),
+            (TensorRef.parse("S[i]"),),
+            MapSpec(PASS_THROUGH, COORD_LEFT),
+        )
+        with pytest.raises(EinsumError):
+            run_cascade(
+                Cascade([einsum], iterative_rank="I"),
+                {"S": Tensor.from_points({(0,): 1}, ["i"], [3])},
+            )
+
+    def test_condition_filters_points(self):
+        a = Tensor.from_dense([5, 6, 7], ["n"])
+        einsum = Einsum(
+            TensorRef.parse("Z[n]"),
+            (TensorRef.parse("A[n]"),),
+            MapSpec(PASS_THROUGH, COORD_LEFT),
+            condition=lambda bindings: bindings["n"] != 1,
+            condition_text="n != 1",
+        )
+        z = evaluate(einsum, {"A": a})
+        assert dict(z.points()) == {(0,): 5, (2,): 7}
+
+    def test_any_reduce(self):
+        a = Tensor.from_points({(0, 0): 4}, ["n", "s"], [2, 1])
+        einsum = Einsum(
+            TensorRef.parse("Z[s]"),
+            (TensorRef.parse("A[n, s]"),),
+            MapSpec(PASS_THROUGH, COORD_LEFT),
+            ReduceSpec(ANY, COORD_RIGHT),
+        )
+        assert evaluate(einsum, {"A": a}).get((0,)) == 4
+
+
+class TestErrors:
+    def test_no_superset_input_rejected(self):
+        einsum = Einsum(
+            TensorRef.parse("Z[m, k]"),
+            (TensorRef.parse("A[m]"), TensorRef.parse("B[k]")),
+            MapSpec(MUL, INTERSECT),
+        )
+        with pytest.raises(EinsumError):
+            evaluate(
+                einsum,
+                {
+                    "A": Tensor.from_dense([1], ["m"]),
+                    "B": Tensor.from_dense([1], ["k"]),
+                },
+            )
+
+    def test_collision_without_reduce_rejected(self):
+        a = Tensor.from_points({(0, 0): 1, (1, 0): 2}, ["k", "m"])
+        einsum = Einsum(
+            TensorRef.parse("Z[m]"),
+            (TensorRef.parse("A[k, m]"),),
+            MapSpec(PASS_THROUGH, COORD_LEFT),
+        )
+        with pytest.raises(EinsumError):
+            evaluate(einsum, {"A": a})

@@ -1,0 +1,157 @@
+"""Tests for the Box 1 extension features: activity-aware simulation,
+differential exchange, and the Einsum notation parser."""
+
+import random
+
+import pytest
+
+from repro.designs import library
+from repro.einsum import NotationError, evaluate, parse_einsum
+from repro.firrtl import elaborate, parse
+from repro.graph import build_dfg, optimize
+from repro.kernels import ActivityAwareKernel, make_activity_aware
+from repro.oim import build_oim
+from repro.repcut import RepCutSimulator
+from repro.sim import Simulator
+from repro.tensor import Tensor
+
+from conftest import drive_random_inputs
+
+
+class TestActivityAwareKernel:
+    def test_lockstep_with_plain_kernel(self, mixed_src, mixed_design, rng):
+        plain = Simulator(mixed_src, kernel="PSU")
+        aware = Simulator(mixed_src, kernel="activity:PSU")
+        drive_random_inputs([plain, aware], mixed_design, rng, 60)
+
+    def test_constant_inputs_skip_everything(self, mixed_bundle):
+        kernel = make_activity_aware(mixed_bundle)
+        values = mixed_bundle.initial_values()
+        kernel.eval_comb(values)           # cold: evaluates all layers
+        first = kernel.stats.layers_evaluated
+        assert kernel.stats.layers_skipped == 0
+        kernel.eval_comb(values)           # nothing changed
+        assert kernel.stats.layers_evaluated == first
+        assert kernel.stats.layers_skipped == mixed_bundle.num_layers
+
+    def test_low_activity_design_skips_layers(self):
+        """A quiescent counter (enable=0): steady state skips all layers."""
+        simulator = Simulator(library.counter(), kernel="activity")
+        simulator.poke("enable", 0)
+        simulator.step(10)
+        stats = simulator.kernel.stats
+        assert stats.layers_skipped > 0
+        assert stats.layer_skip_rate > 0.5
+
+    def test_activity_resumes_on_change(self):
+        simulator = Simulator(library.counter(), kernel="activity")
+        simulator.poke("enable", 0)
+        simulator.step(5)
+        simulator.poke("enable", 1)
+        simulator.step(3)
+        assert simulator.peek("count") == 3
+
+    def test_reset_activity_clears_snapshots(self, mixed_bundle):
+        kernel = make_activity_aware(mixed_bundle)
+        values = mixed_bundle.initial_values()
+        kernel.eval_comb(values)
+        kernel.reset_activity()
+        assert kernel.stats.cycles == 0
+        kernel.eval_comb(values)
+        assert kernel.stats.layers_skipped == 0  # cold again
+
+    def test_stats_rates(self, mixed_bundle):
+        kernel = make_activity_aware(mixed_bundle)
+        values = mixed_bundle.initial_values()
+        kernel.eval_comb(values)
+        kernel.eval_comb(values)
+        assert 0.0 <= kernel.stats.layer_skip_rate <= 1.0
+        assert kernel.stats.op_skip_rate == pytest.approx(0.5)
+
+    def test_register_feedback_keeps_layers_live(self):
+        """An LFSR changes its own inputs each cycle: the state-dependent
+        layers must keep re-evaluating (only constant-fed layers may skip),
+        and the sequence must match the plain kernel's."""
+        aware = Simulator(library.lfsr(), kernel="activity")
+        plain = Simulator(library.lfsr(), kernel="PSU")
+        values = []
+        for _ in range(10):
+            assert aware.peek("value") == plain.peek("value")
+            values.append(aware.peek("value"))
+            aware.step()
+            plain.step()
+        assert len(set(values)) == 10  # state advanced every cycle
+        stats = aware.kernel.stats
+        assert stats.ops_evaluated > stats.ops_skipped
+
+
+class TestDifferentialExchange:
+    def test_savings_accumulate_when_quiescent(self):
+        src = library.shift_fifo(depth=4)
+        graph, _ = optimize(build_dfg(elaborate(parse(src))))
+        multi = RepCutSimulator(graph, num_partitions=3)
+        multi.poke("push", 0)  # nothing moves
+        multi.step(20)
+        assert multi.differential_savings > 0.5
+
+    def test_lockstep_preserved_with_differential_exchange(self, rng):
+        src = library.gcd()
+        graph, _ = optimize(build_dfg(elaborate(parse(src))))
+        single = Simulator(graph, optimize_graph=False)
+        multi = RepCutSimulator(graph, num_partitions=4)
+        design = elaborate(parse(src))
+        drive_random_inputs([single, multi], design, rng, 50)
+
+    def test_reset_resends_everything(self):
+        src = library.shift_fifo(depth=4)
+        graph, _ = optimize(build_dfg(elaborate(parse(src))))
+        multi = RepCutSimulator(graph, num_partitions=3)
+        multi.poke("push", 1)
+        multi.poke("data_in", 0x3C)
+        multi.step(6)
+        multi.reset()
+        multi.poke("push", 0)
+        # After reset every replica must reflect init state, not stale data.
+        assert multi.peek("data_out") == 0
+
+
+class TestNotationParser:
+    def test_matvec(self):
+        einsum = parse_einsum("Z[m] = A[k, m] . B[k] :: map *(^) reduce +(v)")
+        a = Tensor.from_dense([[1, 2], [3, 4], [5, 6]], ["k", "m"])
+        b = Tensor.from_dense([1, 1, 1], ["k"])
+        assert evaluate(einsum, {"A": a, "B": b}).to_dense() == [9, 12]
+
+    def test_traditional_defaults(self):
+        """Two inputs with contracted indices default to x(^) and +."""
+        einsum = parse_einsum("Z[m] = A[k, m] . B[k]")
+        assert einsum.map_spec.compute.name == "mul"
+        assert einsum.reduce_spec.compute.name == "add"
+
+    def test_single_input_default(self):
+        einsum = parse_einsum("Z[m] = A[m]")
+        assert einsum.map_spec.compute.name == "pass_through"
+        assert einsum.map_spec.coordinate.mode == "left"
+
+    def test_take_operators(self):
+        einsum = parse_einsum("Z[m] = A[m] . B[m] :: map <-(->)")
+        a = Tensor.from_dense([3, 7, 2], ["m"])
+        b = Tensor.from_points({(0,): 1, (2,): 1}, ["m"], [3])
+        assert evaluate(einsum, {"A": a, "B": b}).to_dense() == [3, 0, 2]
+
+    def test_iterative_subscript(self):
+        einsum = parse_einsum("S[i+1] = S[i] . A[i] :: map +(v)")
+        assert einsum.output.indices[0].offset == 1
+
+    def test_errors(self):
+        with pytest.raises(NotationError):
+            parse_einsum("no equals sign here")
+        with pytest.raises(NotationError):
+            parse_einsum("Z[m] = A[m] :: map @(^)")
+        with pytest.raises(NotationError):
+            parse_einsum("Z[m] = ")
+
+    def test_describe_roundtrip_style(self):
+        einsum = parse_einsum("Z = A[m] . B[m] :: map *(^) reduce +(v)")
+        text = einsum.describe()
+        assert "map x" in text and "reduce +" in text

@@ -1,0 +1,138 @@
+"""Unit tests for the Fiber building block (paper Section 2.2)."""
+
+import pytest
+
+from repro.tensor import Fiber
+
+
+class TestBasics:
+    def test_empty_fiber_has_zero_occupancy(self):
+        assert Fiber().occupancy == 0
+        assert Fiber().is_empty()
+
+    def test_set_and_get(self):
+        fiber = Fiber()
+        fiber.set(3, 42)
+        assert fiber.get(3) == 42
+        assert fiber.get(4) is None
+        assert fiber.get(4, default=0) == 0
+
+    def test_overwrite_keeps_occupancy(self):
+        fiber = Fiber()
+        fiber.set(1, 10)
+        fiber.set(1, 20)
+        assert fiber.occupancy == 1
+        assert fiber.get(1) == 20
+
+    def test_coords_sorted(self):
+        fiber = Fiber([(5, "e"), (1, "a"), (3, "c")])
+        assert fiber.coords() == [1, 3, 5]
+        assert fiber.payloads() == ["a", "c", "e"]
+
+    def test_iteration_in_coordinate_order(self):
+        fiber = Fiber([(2, 20), (0, 0), (1, 10)])
+        assert list(fiber) == [(0, 0), (1, 10), (2, 20)]
+
+    def test_delete(self):
+        fiber = Fiber([(0, 1), (1, 2)])
+        fiber.delete(0)
+        assert fiber.coords() == [1]
+        fiber.delete(99)  # deleting an absent coordinate is a no-op
+
+    def test_len_matches_occupancy(self):
+        fiber = Fiber([(0, 1), (7, 2)])
+        assert len(fiber) == fiber.occupancy == 2
+
+    def test_has(self):
+        fiber = Fiber([(4, 1)])
+        assert fiber.has(4)
+        assert not fiber.has(5)
+
+
+class TestValidation:
+    def test_negative_coordinate_rejected(self):
+        with pytest.raises(ValueError):
+            Fiber().set(-1, 0)
+
+    def test_non_int_coordinate_rejected(self):
+        with pytest.raises(TypeError):
+            Fiber().set("a", 0)
+
+    def test_shape_bound_enforced(self):
+        fiber = Fiber(shape=3)
+        fiber.set(2, 1)
+        with pytest.raises(ValueError):
+            fiber.set(3, 1)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Fiber())
+
+
+class TestDense:
+    def test_from_dense_omits_zeros(self):
+        fiber = Fiber.from_dense([0, 5, 0, 7])
+        assert fiber.coords() == [1, 3]
+        assert fiber.shape == 4
+
+    def test_from_dense_custom_zero(self):
+        fiber = Fiber.from_dense(["", "x", ""], zero="")
+        assert fiber.coords() == [1]
+
+    def test_to_dense_roundtrip(self):
+        dense = [0, 5, 0, 7]
+        assert Fiber.from_dense(dense).to_dense() == dense
+
+    def test_to_dense_requires_shape(self):
+        with pytest.raises(ValueError):
+            Fiber([(0, 1)]).to_dense()
+
+    def test_iter_shape_fills_empties(self):
+        fiber = Fiber([(1, 9)], shape=3)
+        assert list(fiber.iter_shape(empty=0)) == [(0, 0), (1, 9), (2, 0)]
+
+    def test_iter_shape_requires_shape(self):
+        with pytest.raises(ValueError):
+            list(Fiber([(0, 1)]).iter_shape())
+
+
+class TestMerge:
+    def test_intersection(self):
+        a = Fiber([(0, 1), (1, 2), (3, 4)])
+        b = Fiber([(1, 10), (2, 20), (3, 30)])
+        assert list(a.intersect(b)) == [(1, 2, 10), (3, 4, 30)]
+
+    def test_intersection_empty(self):
+        assert list(Fiber([(0, 1)]).intersect(Fiber([(1, 1)]))) == []
+
+    def test_union_reports_missing_as_none(self):
+        a = Fiber([(0, 1)])
+        b = Fiber([(1, 10)])
+        assert list(a.union(b)) == [(0, 1, None), (1, None, 10)]
+
+    def test_union_overlapping(self):
+        a = Fiber([(0, 1), (1, 2)])
+        b = Fiber([(1, 10)])
+        assert list(a.union(b)) == [(0, 1, None), (1, 2, 10)]
+
+
+class TestTransforms:
+    def test_map_payloads(self):
+        fiber = Fiber([(0, 1), (2, 3)])
+        doubled = fiber.map_payloads(lambda v: v * 2)
+        assert doubled.payloads() == [2, 6]
+        assert fiber.payloads() == [1, 3]  # original untouched
+
+    def test_copy_is_independent(self):
+        fiber = Fiber([(0, 1)], shape=4)
+        clone = fiber.copy()
+        clone.set(1, 2)
+        assert not fiber.has(1)
+        assert clone.shape == 4
+
+    def test_equality_by_content(self):
+        assert Fiber([(0, 1), (1, 2)]) == Fiber([(1, 2), (0, 1)])
+        assert Fiber([(0, 1)]) != Fiber([(0, 2)])
+
+    def test_repr_mentions_pairs(self):
+        assert "0: 1" in repr(Fiber([(0, 1)]))

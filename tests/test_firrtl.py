@@ -1,0 +1,286 @@
+"""Tests for the FIRRTL frontend: lexer/parser, primops, elaboration."""
+
+import pytest
+
+from repro.firrtl import (
+    ElaborationError,
+    FirrtlSyntaxError,
+    ReferenceSimulator,
+    elaborate,
+    parse,
+    parse_expr_text,
+)
+from repro.firrtl.ast import Literal, Mux, PrimExpr, Ref, ValidIf
+from repro.firrtl.primops import PRIM_OPS, get_op, mask, to_signed
+
+
+class TestExpressionParsing:
+    def test_literal(self):
+        expr = parse_expr_text("UInt<8>(42)")
+        assert isinstance(expr, Literal)
+        assert expr.value == 42 and expr.width == 8
+
+    def test_literal_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            parse_expr_text("UInt<3>(9)")
+
+    def test_ref(self):
+        assert parse_expr_text("foo") == Ref("foo")
+
+    def test_dotted_ref(self):
+        assert parse_expr_text("adder.sum") == Ref("adder.sum")
+
+    def test_primop_args_and_params(self):
+        expr = parse_expr_text("bits(x, 7, 0)")
+        assert isinstance(expr, PrimExpr)
+        assert expr.op == "bits"
+        assert expr.args == (Ref("x"),)
+        assert expr.params == (7, 0)
+
+    def test_nested(self):
+        expr = parse_expr_text("add(mul(a, b), UInt<4>(3))")
+        assert isinstance(expr, PrimExpr) and expr.op == "add"
+        assert isinstance(expr.args[0], PrimExpr)
+
+    def test_mux(self):
+        expr = parse_expr_text("mux(sel, a, b)")
+        assert isinstance(expr, Mux)
+
+    def test_validif(self):
+        expr = parse_expr_text("validif(c, v)")
+        assert isinstance(expr, ValidIf)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(FirrtlSyntaxError):
+            parse_expr_text("add(a)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(FirrtlSyntaxError):
+            parse_expr_text("a b")
+
+    def test_bare_integer_rejected(self):
+        with pytest.raises(FirrtlSyntaxError):
+            parse_expr_text("42")
+
+
+class TestCircuitParsing:
+    def test_minimal_circuit(self, counter_src):
+        circuit = parse(counter_src)
+        assert circuit.name == "Counter"
+        assert circuit.top.name == "Counter"
+
+    def test_ports_parsed(self, counter_src):
+        top = parse(counter_src).top
+        names = top.port_names()
+        assert "clock" in names and "count" in names
+        assert top.port("clock").is_clock
+
+    def test_comments_ignored(self):
+        circuit = parse(
+            "circuit C : ; a comment\n"
+            "  module C : ; another\n"
+            "    input x : UInt<1> ; port\n"
+            "    output y : UInt<1>\n"
+            "    y <= x ; connect\n"
+        )
+        assert circuit.top.port_names() == ["x", "y"]
+
+    def test_statement_before_circuit_rejected(self):
+        with pytest.raises(FirrtlSyntaxError):
+            parse("  input x : UInt<1>\n")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(FirrtlSyntaxError):
+            parse("circuit C :\n  module C :\n    banana split\n")
+
+    def test_missing_top_module_rejected(self):
+        with pytest.raises(KeyError):
+            parse("circuit Top :\n  module Other :\n    input x : UInt<1>\n")
+
+    def test_inst_statement(self):
+        circuit = parse(
+            "circuit T :\n"
+            "  module Sub :\n    input i : UInt<4>\n    output o : UInt<4>\n"
+            "    o <= i\n"
+            "  module T :\n    input a : UInt<4>\n    output z : UInt<4>\n"
+            "    inst s of Sub\n    s.i <= a\n    z <= s.o\n"
+        )
+        assert len(circuit.modules) == 2
+
+
+class TestPrimopSemantics:
+    def test_mask(self):
+        assert mask(0x1FF, 8) == 0xFF
+        assert mask(-1, 4) == 0xF
+        assert mask(5, 0) == 0
+
+    def test_to_signed(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x7F, 8) == 127
+
+    @pytest.mark.parametrize(
+        "op,args,widths,params,expected",
+        [
+            ("add", [200, 100], [8, 8], [], 300),
+            ("sub", [1, 2], [8, 8], [], (1 - 2) & 0x1FF),
+            ("mul", [15, 15], [4, 4], [], 225),
+            ("div", [7, 2], [4, 4], [], 3),
+            ("div", [7, 0], [4, 4], [], 0),
+            ("rem", [7, 3], [4, 4], [], 1),
+            ("lt", [1, 2], [4, 4], [], 1),
+            ("eq", [5, 5], [4, 4], [], 1),
+            ("and", [0b1100, 0b1010], [4, 4], [], 0b1000),
+            ("xor", [0b1100, 0b1010], [4, 4], [], 0b0110),
+            ("cat", [0b11, 0b01], [2, 2], [], 0b1101),
+            ("not", [0b1010], [4], [], 0b0101),
+            ("neg", [1], [4], [], 0b11111),
+            ("andr", [0xF], [4], [], 1),
+            ("andr", [0xE], [4], [], 0),
+            ("orr", [0], [4], [], 0),
+            ("xorr", [0b0111], [4], [], 1),
+            ("bits", [0b11010, 3, 1], [5], [3, 1], 0b101),
+            ("shl", [0b11, 0], [2], [2], 0b1100),
+            ("shr", [0b1100, 0], [4], [2], 0b11),
+            ("head", [0b1011, 0], [4], [2], 0b10),
+            ("tail", [0b1011, 0], [4], [1], 0b011),
+            ("pad", [5, 0], [3], [8], 5),
+        ],
+    )
+    def test_evaluates(self, op, args, widths, params, expected):
+        prim = get_op(op)
+        out_width = prim.width_rule(widths[: prim.num_args], params)
+        value = prim.evaluate(args[: prim.num_args], widths[: prim.num_args], params, out_width)
+        assert value == expected
+
+    def test_width_rules(self):
+        assert get_op("add").width_rule([8, 4], []) == 9
+        assert get_op("mul").width_rule([8, 4], []) == 12
+        assert get_op("cat").width_rule([3, 5], []) == 8
+        assert get_op("bits").width_rule([8], [5, 2]) == 4
+        assert get_op("eq").width_rule([9, 9], []) == 1
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(KeyError):
+            get_op("frobnicate")
+
+    def test_all_registered_ops_have_positive_arity(self):
+        for name, op in PRIM_OPS.items():
+            assert op.num_args >= 1, name
+
+
+class TestElaboration:
+    def test_instance_flattening(self):
+        design = elaborate(parse(
+            "circuit T :\n"
+            "  module Sub :\n    input i : UInt<4>\n    output o : UInt<4>\n"
+            "    o <= not(i)\n"
+            "  module T :\n    input a : UInt<4>\n    output z : UInt<4>\n"
+            "    inst s of Sub\n    s.i <= a\n    z <= s.o\n"
+        ))
+        assert "s.o" in design.definitions
+        assert design.width_of("s.o") == 4
+
+    def test_undriven_wire_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate(parse(
+                "circuit T :\n  module T :\n"
+                "    input a : UInt<1>\n    output z : UInt<1>\n"
+                "    wire w : UInt<1>\n    z <= a\n"
+            ))
+
+    def test_undriven_register_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate(parse(
+                "circuit T :\n  module T :\n    input clock : Clock\n"
+                "    input a : UInt<1>\n    output z : UInt<1>\n"
+                "    reg r : UInt<1>, clock\n    z <= a\n"
+            ))
+
+    def test_width_inference_through_nodes(self):
+        design = elaborate(parse(
+            "circuit T :\n  module T :\n"
+            "    input a : UInt<8>\n    input b : UInt<8>\n"
+            "    output z : UInt<20>\n"
+            "    node p = mul(a, b)\n    node q = add(p, p)\n"
+            "    z <= q\n"
+        ))
+        assert design.width_of("p") == 16
+        assert design.width_of("q") == 17
+
+    def test_clock_alias_resolution(self):
+        design = elaborate(parse(
+            "circuit T :\n"
+            "  module Sub :\n    input clock : Clock\n    input i : UInt<2>\n"
+            "    output o : UInt<2>\n    reg r : UInt<2>, clock\n"
+            "    r <= i\n    o <= r\n"
+            "  module T :\n    input clock : Clock\n    input a : UInt<2>\n"
+            "    output z : UInt<2>\n    inst s of Sub\n"
+            "    s.clock <= clock\n    s.i <= a\n    z <= s.o\n"
+        ))
+        assert design.registers["s.r"].clock == "clock"
+
+    def test_combinational_cycle_detected(self):
+        with pytest.raises(ElaborationError):
+            elaborate(parse(
+                "circuit T :\n  module T :\n"
+                "    input a : UInt<1>\n    output z : UInt<1>\n"
+                "    wire x : UInt<1>\n    wire y : UInt<1>\n"
+                "    x <= and(y, a)\n    y <= or(x, a)\n    z <= x\n"
+            ))
+
+    def test_topo_definitions_order(self, mixed_design):
+        order = mixed_design.topo_definitions()
+        position = {name: i for i, name in enumerate(order)}
+        # 's' must come before 'sel' which reads it.
+        assert position["s"] < position["sel"]
+
+
+class TestReferenceSimulator:
+    def test_counter_counts(self, counter_src):
+        sim = ReferenceSimulator(elaborate(parse(counter_src)))
+        sim.poke("enable", 1)
+        values = []
+        for _ in range(5):
+            values.append(sim.peek("count"))
+            sim.step()
+        assert values == [0, 1, 2, 3, 4]
+
+    def test_enable_gates_counting(self, counter_src):
+        sim = ReferenceSimulator(elaborate(parse(counter_src)))
+        sim.poke("enable", 0)
+        sim.step(3)
+        assert sim.peek("count") == 0
+
+    def test_synchronous_reset(self, counter_src):
+        sim = ReferenceSimulator(elaborate(parse(counter_src)))
+        sim.poke("enable", 1)
+        sim.step(3)
+        sim.poke("reset", 1)
+        sim.step()
+        assert sim.peek("count") == 0
+
+    def test_poke_masks_to_width(self, counter_src):
+        sim = ReferenceSimulator(elaborate(parse(counter_src)))
+        sim.poke("enable", 0xFF)  # 1-bit input
+        assert sim.peek("enable") == 1
+
+    def test_unknown_input_rejected(self, counter_src):
+        sim = ReferenceSimulator(elaborate(parse(counter_src)))
+        with pytest.raises(KeyError):
+            sim.poke("nonexistent", 1)
+
+    def test_reset_method_restores_init(self, counter_src):
+        sim = ReferenceSimulator(elaborate(parse(counter_src)))
+        sim.poke("enable", 1)
+        sim.step(4)
+        sim.reset()
+        assert sim.peek("count") == 0 and sim.cycle == 0
+
+    def test_run_reference_helper(self, counter_src):
+        from repro.firrtl import run_reference
+
+        design = elaborate(parse(counter_src))
+        trace = run_reference(
+            design, stimulus={"enable": [1] * 4}, cycles=4, watch=["count"]
+        )
+        assert trace["count"] == [0, 1, 2, 3]

@@ -1,0 +1,178 @@
+"""Tests for tensor formats and array lowering (Sections 2.5.2, Figures 6/13)."""
+
+import pytest
+
+from repro.tensor import (
+    AUTO,
+    RankFormat,
+    Tensor,
+    TensorFormat,
+    bits_for_value,
+    compressed,
+    dumps,
+    loads,
+    lower,
+    uncompressed,
+)
+
+
+class TestRankFormat:
+    def test_uncompressed_forces_zero_cbits(self):
+        fmt = RankFormat(compressed=False, cbits=AUTO)
+        assert fmt.cbits == 0
+        assert not fmt.stores_coords
+
+    def test_compressed_stores_coords(self):
+        assert compressed().stores_coords
+
+    def test_pbits_zero_elides_payloads(self):
+        assert not compressed(pbits=0).stores_payloads
+        assert compressed(pbits=4).stores_payloads
+
+    def test_kind_letter(self):
+        assert uncompressed().kind == "U"
+        assert compressed().kind == "C"
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            RankFormat(compressed=True, cbits=-1)
+
+    def test_describe_mentions_nonzero(self):
+        text = compressed().describe()
+        assert "C" in text and "non-zero" in text
+
+
+class TestBitsForValue:
+    @pytest.mark.parametrize("value,expected", [(0, 1), (1, 1), (2, 2), (3, 2), (255, 8), (256, 9)])
+    def test_widths(self, value, expected):
+        assert bits_for_value(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_for_value(-1)
+
+
+class TestTensorFormat:
+    def test_missing_rank_format_rejected(self):
+        with pytest.raises(ValueError):
+            TensorFormat(("M", "K"), {"M": uncompressed()})
+
+    def test_extra_rank_format_rejected(self):
+        with pytest.raises(ValueError):
+            TensorFormat(("M",), {"M": uncompressed(), "K": compressed()})
+
+    def test_describe_matches_figure6_shape(self):
+        text = TensorFormat.csr().describe("A")
+        assert "rank-order: [M, K]" in text
+        assert "M: format: U" in text
+        assert "K: format: C" in text
+
+
+class TestCsrLowering:
+    """The CSR example of Figure 6."""
+
+    @pytest.fixture
+    def matrix(self):
+        # Figure 2/6's matrix: row 0 has {2: 1}, row 2 has {0:2, 1:3, 2:4}.
+        return Tensor.from_points(
+            {(0, 2): 1, (2, 0): 2, (2, 1): 3, (2, 2): 4}, ["M", "K"], [3, 3]
+        )
+
+    def test_row_payloads_are_occupancies(self, matrix):
+        lowered = lower(matrix, TensorFormat.csr())
+        # Dense M rank: 3 positions with occupancies [1, 0, 3].
+        assert lowered.ranks["M"].payloads == [1, 0, 3]
+        assert lowered.ranks["M"].coords is None
+
+    def test_column_coords_concatenated(self, matrix):
+        lowered = lower(matrix, TensorFormat.csr())
+        assert lowered.ranks["K"].coords == [2, 0, 1, 2]
+        assert lowered.ranks["K"].payloads == [1, 2, 3, 4]
+
+    def test_roundtrip(self, matrix):
+        lowered = lower(matrix, TensorFormat.csr())
+        assert lowered.to_tensor() == matrix
+
+    def test_auto_bit_widths(self, matrix):
+        lowered = lower(matrix, TensorFormat.csr())
+        assert lowered.ranks["K"].cbits == bits_for_value(2)
+        assert lowered.ranks["K"].pbits == bits_for_value(4)
+
+    def test_storage_bits_counts_only_materialised(self, matrix):
+        lowered = lower(matrix, TensorFormat.csr())
+        expected = (
+            3 * lowered.ranks["M"].pbits  # payloads of dense M
+            + 4 * lowered.ranks["K"].cbits
+            + 4 * lowered.ranks["K"].pbits
+        )
+        assert lowered.storage_bits() == expected
+
+    def test_rank_order_mismatch_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            lower(matrix.swizzle(["K", "M"]), TensorFormat.csr())
+
+
+class TestElidedPayloads:
+    def test_mask_leaf_elision_roundtrips_with_rule(self):
+        mask = Tensor.from_points({(0, 1): 1, (1, 0): 1, (1, 2): 1}, ["M", "K"], [2, 3])
+        fmt = TensorFormat(
+            ("M", "K"),
+            {
+                "M": uncompressed(pbits=AUTO),
+                "K": compressed(cbits=AUTO, pbits=0),
+            },
+        )
+        lowered = lower(mask, fmt)
+        assert lowered.ranks["K"].payloads is None
+        rebuilt = lowered.to_tensor()  # default leaf rule: constant 1
+        assert rebuilt == mask
+
+    def test_elided_intermediate_needs_rule(self):
+        tensor = Tensor.from_points({(0, 0, 0): 1}, ["A", "B", "C"], [1, 1, 1])
+        fmt = TensorFormat(
+            ("A", "B", "C"),
+            {
+                "A": uncompressed(pbits=AUTO),
+                "B": compressed(cbits=AUTO, pbits=0),
+                "C": compressed(cbits=AUTO, pbits=AUTO),
+            },
+        )
+        lowered = lower(tensor, fmt)
+        with pytest.raises(ValueError):
+            lowered.to_tensor()  # no occupancy rule for B
+        rebuilt = lowered.to_tensor(occupancy_rules={"B": lambda ctx: 1})
+        assert rebuilt == tensor
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        matrix = Tensor.from_dense([[0, 1], [2, 3]], ["M", "K"])
+        lowered = lower(matrix, TensorFormat.csr())
+        again = loads(dumps(lowered))
+        assert again.to_tensor() == matrix
+        assert again.storage_bits() == lowered.storage_bits()
+
+    def test_elided_arrays_absent_from_document(self):
+        mask = Tensor.from_points({(0, 0): 1}, ["M", "K"], [1, 1])
+        fmt = TensorFormat(
+            ("M", "K"),
+            {"M": uncompressed(pbits=AUTO), "K": compressed(cbits=AUTO, pbits=0)},
+        )
+        text = dumps(lower(mask, fmt))
+        assert '"payloads"' not in text.split('"name": "K"')[1]
+
+    def test_version_checked(self):
+        import json
+        from repro.tensor.serialize import from_document
+
+        with pytest.raises(ValueError):
+            from_document({"version": 999})
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.tensor import load, save
+
+        matrix = Tensor.from_dense([[5, 0], [0, 9]], ["M", "K"])
+        lowered = lower(matrix, TensorFormat.csr())
+        path = tmp_path / "oim.json"
+        save(lowered, path)
+        assert load(path).to_tensor() == matrix

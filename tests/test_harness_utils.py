@@ -1,0 +1,126 @@
+"""Tests for experiment-harness utilities and remaining corners."""
+
+import pytest
+
+from repro.experiments.common import (
+    EXTRAPOLATION,
+    extrapolation_for,
+    format_table,
+    human_bytes,
+    linear_extrapolation_for,
+    paper_cycles,
+    paper_ops,
+    profile_for,
+)
+from repro.workloads.stimulus import PAPER_SIM_CYCLES_K
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [(1, 2.5), (33, 0.001)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_format_table_large_and_small_floats(self):
+        text = format_table(["x"], [(123456.0,), (0.0001,), (0.0,)])
+        assert "1.23e+05" in text
+        assert "0.0001" in text
+
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512.00 B"
+        assert human_bytes(2048) == "2.00 KB"
+        assert "MB" in human_bytes(5 * 1024 * 1024)
+        assert "GB" in human_bytes(3 * 1024 ** 3)
+
+
+class TestScaling:
+    def test_paper_ops_power_laws(self):
+        """Table 1 anchors: rocket-1 60K, rocket-8 ~139K; small-8 ~281K."""
+        assert paper_ops("rocket-1") == pytest.approx(60_000)
+        assert paper_ops("rocket-8") == pytest.approx(139_000, rel=0.02)
+        assert paper_ops("small-8") == pytest.approx(281_000, rel=0.02)
+        assert paper_ops("gemmini-8") is None
+
+    def test_extrapolation_positive(self):
+        assert extrapolation_for("rocket-1") > 1
+        assert extrapolation_for("gemmini-8") == EXTRAPOLATION
+
+    def test_linear_extrapolation_exceeds_sublinear_at_scale(self):
+        assert (
+            linear_extrapolation_for("rocket-8")
+            > extrapolation_for("rocket-8")
+        )
+
+    def test_paper_cycles_table3(self):
+        assert paper_cycles("rocket-8") == PAPER_SIM_CYCLES_K["rocket"] * 1000
+        assert paper_cycles("gemmini-16") == PAPER_SIM_CYCLES_K["gemmini-16"] * 1000
+        assert paper_cycles("sha3") == PAPER_SIM_CYCLES_K["sha3"] * 1000
+
+    def test_profiles_cached(self):
+        assert profile_for("rocket-1", "PSU") is profile_for("rocket-1", "PSU")
+
+
+class TestPerfResultApi:
+    def test_speedup_over(self):
+        from repro.experiments.common import perf_for
+
+        psu = perf_for("rocket-1", "PSU", "intel-xeon")
+        verilator = perf_for("rocket-1", "Verilator", "intel-xeon")
+        speedup = psu.speedup_over(verilator)
+        assert speedup == pytest.approx(
+            verilator.sim_time_s / psu.sim_time_s
+        )
+
+    def test_mpki_definition(self):
+        from repro.experiments.common import perf_for
+
+        result = perf_for("rocket-8", "SU", "intel-xeon")
+        assert result.l1i_mpki == pytest.approx(
+            1000 * result.l1i_misses / result.dyn_instr
+        )
+
+
+class TestCliCoverage:
+    def test_every_renderer_is_registered(self):
+        from repro.experiments.__main__ import RENDERERS
+
+        expected = {
+            "fig7", "fig8", "table1", "table4", "table5", "table6",
+            "fig15", "fig16", "fig17", "table7", "fig18", "fig19",
+            "fig20", "fig21",
+        }
+        assert expected <= set(RENDERERS)
+
+    def test_name_normalisation(self):
+        from repro.experiments.__main__ import _normalise
+
+        assert _normalise("Figure7") == "fig7"
+        assert _normalise("ablation_repcut") == "ablation-repcut"
+
+    def test_help(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--help"]) == 0
+        assert "available" in capsys.readouterr().out
+
+
+class TestOpcodesAndProfilesEdges:
+    def test_kernel_source_attached_to_profile(self):
+        profile = profile_for("rocket-1", "SU")
+        assert profile.source is not None
+        assert profile.source.kernel == "SU"
+
+    def test_o0_profiles_cost_more(self):
+        o3 = profile_for("rocket-1", "PSU", "O3")
+        o0 = profile_for("rocket-1", "PSU", "O0")
+        assert o0.dyn_instr > 3 * o3.dyn_instr
+        assert o0.ilp < o3.ilp
+
+    def test_engine_profiles_have_distinct_kernels(self):
+        names = {
+            profile_for("rocket-1", engine).kernel
+            for engine in ("PSU", "TI", "Verilator", "ESSENT")
+        }
+        assert names == {"PSU", "TI", "Verilator", "ESSENT"}

@@ -1,0 +1,186 @@
+"""Tests for OIM construction, formats, and the Cascade 1 golden model."""
+
+import pytest
+
+from repro.graph.opsem import REDUCE, SELECT, UNARY
+from repro.kernels.pykernels import make_kernel
+from repro.oim import (
+    OpTable,
+    build_oim,
+    lower_oim,
+    lower_oim_fast,
+    occupancy_rules,
+    oim_format,
+    oim_storage_bytes,
+    run_cascade_cycle,
+)
+from repro.tensor import dumps, loads
+
+
+class TestOpTable:
+    def test_codes_deterministic(self, mixed_graph):
+        a = OpTable.from_graph(mixed_graph)
+        b = OpTable.from_graph(mixed_graph)
+        assert a.names() == b.names()
+
+    def test_roundtrip_document(self, mixed_graph):
+        table = OpTable.from_graph(mixed_graph)
+        again = OpTable.from_document(table.to_document())
+        assert again.names() == table.names()
+
+    def test_select_codes_match_class(self, mixed_graph):
+        table = OpTable.from_graph(mixed_graph)
+        for code in table.select_codes():
+            assert table.klass_of(code) == SELECT
+
+    def test_arity_from_code(self, mixed_graph):
+        table = OpTable.from_graph(mixed_graph)
+        for entry in table:
+            assert table.arity_of(entry.code) == entry.semantics.arity
+
+    def test_unknown_name_rejected(self, mixed_graph):
+        with pytest.raises(KeyError):
+            OpTable.from_graph(mixed_graph).code_of("nonexistent")
+
+
+class TestBuilder:
+    def test_every_op_recorded_once(self, mixed_graph, mixed_bundle):
+        assert mixed_bundle.num_ops == mixed_graph.num_ops
+
+    def test_slots_unique(self, mixed_bundle):
+        slots = [r.s for layer in mixed_bundle.layers for r in layer]
+        assert len(slots) == len(set(slots))
+
+    def test_operand_slots_valid(self, mixed_bundle):
+        for layer in mixed_bundle.layers:
+            for record in layer:
+                for r in record.operands:
+                    assert 0 <= r < mixed_bundle.num_slots
+
+    def test_layer_dependencies(self, mixed_bundle):
+        """An op's operands must be leaves or outputs of earlier layers."""
+        produced_in = {}
+        for index, layer in enumerate(mixed_bundle.layers):
+            for record in layer:
+                produced_in[record.s] = index
+        for index, layer in enumerate(mixed_bundle.layers):
+            for record in layer:
+                for r in record.operands:
+                    assert produced_in.get(r, -1) < index
+
+    def test_initial_values_have_constants(self, mixed_bundle):
+        values = mixed_bundle.initial_values()
+        for slot, value in mixed_bundle.const_slots:
+            assert values[slot] == value
+        for slot, init in mixed_bundle.register_inits:
+            assert values[slot] == init
+
+    def test_shape_reports_ranks(self, mixed_bundle):
+        shape = mixed_bundle.shape()
+        assert shape["I"] == mixed_bundle.num_layers
+        assert shape["S"] == shape["R"] == mixed_bundle.num_slots
+        assert shape["N"] == len(mixed_bundle.op_table)
+
+    def test_identity_mode_adds_ident_ops(self, mixed_graph):
+        elided = build_oim(mixed_graph)
+        materialised = build_oim(mixed_graph, include_identities=True)
+        assert materialised.num_ops > elided.num_ops
+        ident = materialised.op_table.code_of("ident")
+        ident_ops = [
+            r for layer in materialised.layers for r in layer if r.n == ident
+        ]
+        # Identity ops copy in place (source slot == destination slot):
+        # exactly the property that allows eliding them (Section 4.3).
+        assert ident_ops
+        assert all(r.operands == (r.s,) for r in ident_ops)
+
+
+class TestFormats:
+    def test_figure12_specs(self):
+        unopt = oim_format("unoptimized")
+        opt = oim_format("optimized")
+        swz = oim_format("swizzled")
+        # Fig 12a: everything materialised.
+        assert unopt.fmt("S").stores_payloads
+        # Fig 12b: one-hot and mask payloads elided.
+        assert not opt.fmt("S").stores_payloads
+        assert not opt.fmt("R").stores_payloads
+        assert opt.fmt("I").stores_payloads
+        # Fig 12c: swizzled order with uncompressed N carrying payloads.
+        assert swz.rank_order == ("I", "N", "S", "O", "R")
+        assert not swz.fmt("I").stores_payloads
+        assert swz.fmt("N").stores_payloads
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            oim_format("bogus")
+
+    @pytest.mark.parametrize("variant", ["unoptimized", "optimized", "swizzled"])
+    def test_fast_path_matches_generic(self, mixed_bundle, variant):
+        fast = lower_oim_fast(mixed_bundle, variant)
+        generic = lower_oim(mixed_bundle, variant)
+        for rank in fast.rank_order:
+            assert fast.ranks[rank].coords == generic.ranks[rank].coords, rank
+            assert fast.ranks[rank].payloads == generic.ranks[rank].payloads, rank
+            assert fast.ranks[rank].num_entries == generic.ranks[rank].num_entries
+        assert fast.storage_bits() == generic.storage_bits()
+
+    @pytest.mark.parametrize("variant", ["unoptimized", "optimized", "swizzled"])
+    def test_reconstruction_with_rules(self, mixed_bundle, variant):
+        lowered = lower_oim_fast(mixed_bundle, variant)
+        rules = occupancy_rules(mixed_bundle, variant)
+        rebuilt = lowered.to_tensor(occupancy_rules=rules)
+        expected = mixed_bundle.to_tensor(oim_format(variant).rank_order)
+        assert rebuilt == expected
+
+    def test_compression_monotone(self, mixed_bundle):
+        """Figure 12: each step strictly shrinks the OIM."""
+        unopt = oim_storage_bytes(mixed_bundle, "unoptimized")
+        opt = oim_storage_bytes(mixed_bundle, "optimized")
+        swz = oim_storage_bytes(mixed_bundle, "swizzled")
+        assert unopt > opt > 0
+        assert swz < unopt
+
+    def test_json_roundtrip_preserves_size(self, mixed_bundle):
+        lowered = lower_oim_fast(mixed_bundle, "optimized")
+        again = loads(dumps(lowered))
+        assert again.storage_bits() == lowered.storage_bits()
+        rules = occupancy_rules(mixed_bundle, "optimized")
+        assert again.to_tensor(occupancy_rules=rules) == mixed_bundle.to_tensor()
+
+
+class TestCascadeGoldenModel:
+    """Cascade 1 (with identities materialised) vs the elided kernel."""
+
+    @pytest.mark.parametrize("inputs", [(3, 250), (0, 0), (255, 255), (17, 4)])
+    def test_cascade_matches_kernel(self, mixed_graph, inputs):
+        bundle = build_oim(mixed_graph)
+        bundle_id = build_oim(mixed_graph, include_identities=True)
+        assert bundle_id.num_slots == bundle.num_slots
+
+        values = bundle.initial_values()
+        values[bundle.input_slots["a"]] = inputs[0]
+        values[bundle.input_slots["b"]] = inputs[1]
+        seeded = list(values)
+
+        kernel = make_kernel(bundle, "OU")
+        kernel.eval_comb(values)
+
+        final = run_cascade_cycle(bundle_id, seeded)
+        checked = 0
+        for slot, cascade_value in enumerate(final):
+            if cascade_value is not None:
+                assert cascade_value == values[slot], f"slot {slot}"
+                checked += 1
+        # Outputs and register next-values must all have been carried to LI_I.
+        assert checked >= len(bundle.output_slots) + len(bundle.register_commits)
+
+    def test_cascade_structure(self, mixed_bundle):
+        from repro.oim import build_cascade
+
+        cascade = build_cascade(mixed_bundle)
+        assert len(cascade) == 5
+        assert cascade.iterative_rank == "I"
+        text = cascade.describe()
+        assert "op_u[n]" in text and "op_r[n]" in text and "op_s[n]" in text
+        assert "n not in n_sel" in text and "n in n_sel" in text

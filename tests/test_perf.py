@@ -1,0 +1,236 @@
+"""Tests for the machine performance model: caches, sweep, estimator, compile."""
+
+import pytest
+
+from repro.perf import (
+    ALL_MACHINES,
+    CacheHierarchy,
+    CacheLevelSpec,
+    SetAssociativeCache,
+    StridePrefetcher,
+    compile_cost,
+    cyclic_sweep_misses,
+    estimate,
+    get_machine,
+    random_access_hit_rate,
+    random_miss_profile,
+    sweep_miss_profile,
+    with_llc_capacity,
+)
+from repro.perf.machines import INTEL_XEON, KIB, MIB
+
+
+class TestMachines:
+    def test_table2_cache_sizes(self):
+        """The four hosts carry the paper's Table 2 cache capacities."""
+        core = get_machine("intel-core")
+        assert core.l1i.capacity == 32 * KIB and core.l1d.capacity == 48 * KIB
+        assert core.l2.capacity == 2 * MIB and core.llc.capacity == 36 * MIB
+        xeon = get_machine("intel-xeon")
+        assert xeon.llc.capacity == int(52.5 * MIB)
+        amd = get_machine("amd")
+        assert amd.l2.capacity == 512 * KIB and amd.llc.capacity == 8 * MIB
+        aws = get_machine("aws")
+        assert aws.l1i.capacity == 64 * KIB and aws.l1d.capacity == 64 * KIB
+
+    def test_xeon_llc_latency_roughly_double_core(self):
+        """Section 7.2: Xeon LLC latency ~2x the Intel Core's."""
+        ratio = INTEL_XEON.llc.latency / get_machine("intel-core").llc.latency
+        assert 1.8 <= ratio <= 2.5
+
+    def test_graviton_predictor_quality(self):
+        """Section 7.5: 22% -> 0.22% misprediction moving to Graviton 4."""
+        assert get_machine("aws").predictor_quality == pytest.approx(0.01)
+
+    def test_llc_clamp(self):
+        clamped = with_llc_capacity(INTEL_XEON, int(3.5 * MIB))
+        assert clamped.llc.capacity == int(3.5 * MIB)
+        assert clamped.l2.capacity == INTEL_XEON.l2.capacity
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(KeyError):
+            get_machine("cray-1")
+
+
+class TestSetAssociativeCache:
+    def test_hit_after_fill(self):
+        cache = SetAssociativeCache(CacheLevelSpec("L1", 1024, 2, 64))
+        assert not cache.access(0)
+        assert cache.access(0)
+
+    def test_lru_eviction(self):
+        # 2-way, so a third distinct line mapping to the same set evicts LRU.
+        cache = SetAssociativeCache(CacheLevelSpec("L1", 2 * 64 * 4, 2, 64))
+        sets = cache.num_sets
+        lines = [0, sets, 2 * sets]  # all map to set 0
+        cache.access(lines[0])
+        cache.access(lines[1])
+        cache.access(lines[0])      # line0 now MRU
+        cache.access(lines[2])      # evicts line1
+        assert cache.contains(lines[0])
+        assert not cache.contains(lines[1])
+
+    def test_counters(self):
+        cache = SetAssociativeCache(CacheLevelSpec("L1", 1024, 2, 64))
+        cache.access(0)
+        cache.access(0)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+
+class TestPrefetcher:
+    def test_stride_detected_after_two_steps(self):
+        prefetcher = StridePrefetcher(degree=2)
+        assert prefetcher.observe(0, 10) == []
+        assert prefetcher.observe(0, 11) == []  # stride seen once
+        assert prefetcher.observe(0, 12) == [13, 14]
+
+    def test_streams_independent(self):
+        prefetcher = StridePrefetcher(degree=1)
+        prefetcher.observe(0, 0)
+        prefetcher.observe(0, 1)
+        assert prefetcher.observe(1, 100) == []
+
+
+class TestSweepModelVsSimulator:
+    """The analytic model's cliffs match the trace-driven simulator."""
+
+    def _steady_state_misses(self, footprint_lines, capacity_lines):
+        spec = CacheLevelSpec("L", capacity_lines * 64, 8, 64)
+        cache = SetAssociativeCache(spec)
+        for _ in range(3):  # warm up
+            for line in range(footprint_lines):
+                cache.access(line)
+        cache.reset_counters()
+        for line in range(footprint_lines):
+            cache.access(line)
+        return cache.misses
+
+    def test_fitting_sweep_never_misses(self):
+        simulated = self._steady_state_misses(100, 256)
+        assert simulated == 0
+        assert cyclic_sweep_misses(100, 256) == 0
+
+    def test_thrashing_sweep_misses_everything(self):
+        simulated = self._steady_state_misses(600, 256)
+        assert simulated == 600  # LRU cyclic pathology
+        # The analytic model saturates to the same value beyond 2x capacity.
+        assert cyclic_sweep_misses(600, 256) == pytest.approx(600, rel=0.05)
+
+    def test_model_is_upper_bounded_by_lru(self):
+        """In the ramp region the model stays below full LRU thrash."""
+        simulated = self._steady_state_misses(280, 256)
+        model = cyclic_sweep_misses(280, 256)
+        assert 0 <= model <= simulated
+
+    def test_miss_profile_levels_monotone(self):
+        misses = sweep_miss_profile(4 * MIB, INTEL_XEON, side="inst")
+        assert misses[0] >= misses[1] >= misses[2]
+
+    def test_random_hit_rate_bounds(self):
+        assert random_access_hit_rate(100, 200) == 1.0
+        assert 0.0 < random_access_hit_rate(10_000, 100) < 1.0
+
+    def test_random_profile_monotone_in_capacity(self):
+        small = random_miss_profile(1 * MIB, 1000, with_llc_capacity(INTEL_XEON, 2 * MIB))
+        large = random_miss_profile(1 * MIB, 1000, INTEL_XEON)
+        assert small[-1] >= large[-1]
+
+
+class TestEstimator:
+    def _profile(self, **overrides):
+        from repro.kernels.profile import KernelProfile
+
+        base = dict(
+            kernel="PSU", design="toy", ops=10_000, operands=23_000,
+            layers=40, num_slots=12_000, dyn_instr=165_000,
+            code_bytes=400_000, hot_code_bytes=40_000, oim_data_bytes=200_000,
+            value_bytes=48_000, v_reads=33_000, loads=80_000,
+            branches=7_000, mispredict_rate=0.0012, code_streamed=False,
+            ilp=5.0,
+        )
+        base.update(overrides)
+        return KernelProfile(**base)
+
+    def test_topdown_sums_to_one(self):
+        result = estimate(self._profile(), INTEL_XEON, 1000)
+        assert sum(result.topdown.values()) == pytest.approx(1.0)
+
+    def test_ipc_bounded_by_width_and_ilp(self):
+        result = estimate(self._profile(), INTEL_XEON, 1000)
+        assert 0 < result.ipc <= 5.0
+
+    def test_streamed_code_pays_frontend(self):
+        rolled = estimate(self._profile(), INTEL_XEON, 1000)
+        streamed = estimate(
+            self._profile(code_streamed=True, hot_code_bytes=6 * MIB,
+                          code_bytes=6 * MIB, kernel="SU"),
+            INTEL_XEON, 1000,
+        )
+        assert streamed.topdown["frontend"] > rolled.topdown["frontend"]
+        assert streamed.sim_time_s > rolled.sim_time_s
+
+    def test_branchy_profile_pays_bad_speculation(self):
+        quiet = estimate(self._profile(), INTEL_XEON, 1000)
+        branchy = estimate(
+            self._profile(branches=12_000, mispredict_rate=0.22), INTEL_XEON, 1000
+        )
+        assert branchy.topdown["bad_speculation"] > quiet.topdown["bad_speculation"]
+
+    def test_predictor_quality_rescues_branchy_code(self):
+        branchy = self._profile(branches=12_000, mispredict_rate=0.22)
+        xeon = estimate(branchy, INTEL_XEON, 1000)
+        aws = estimate(branchy, get_machine("aws"), 1000)
+        assert aws.branch_miss_rate < xeon.branch_miss_rate / 10
+
+    def test_time_scales_with_cycles(self):
+        one = estimate(self._profile(), INTEL_XEON, 1000)
+        ten = estimate(self._profile(), INTEL_XEON, 10_000)
+        assert ten.sim_time_s == pytest.approx(10 * one.sim_time_s)
+
+    def test_llc_cliff(self):
+        """Figure 21's mechanism: a big streamed binary hits the LLC wall."""
+        big = self._profile(
+            code_streamed=True, hot_code_bytes=5 * MIB, code_bytes=5 * MIB,
+            kernel="ESSENT",
+        )
+        roomy = estimate(big, INTEL_XEON, 1000)
+        tight = estimate(big, with_llc_capacity(INTEL_XEON, int(3.5 * MIB)), 1000)
+        assert tight.sim_time_s > 1.5 * roomy.sim_time_s
+
+
+class TestCompileModel:
+    def test_small_function_linear(self):
+        small = compile_cost(10_000, 3_000)
+        tiny = compile_cost(1_000, 1_000)
+        assert small.seconds > tiny.seconds
+        assert small.seconds < 30
+
+    def test_giant_function_superlinear(self):
+        """Table 7's ESSENT scaling: ~N^1.5 beyond the threshold."""
+        r1 = compile_cost(60_000, 60_000)
+        r24 = compile_cost(24 * 60_000, 24 * 60_000)
+        ratio = r24.seconds / r1.seconds
+        assert 24 ** 1.3 < ratio < 24 ** 1.7
+
+    def test_table7_essent_magnitudes(self):
+        """Calibration anchors: ~121 s / 2.8 GB at r1; ~13.7 Ks / 234 GB at r24."""
+        r1 = compile_cost(60_000 * 1.05, 60_000 * 1.05)
+        assert 60 < r1.seconds < 250
+        assert 1.5e9 < r1.peak_memory_bytes < 6e9
+        r24 = compile_cost(1_440_000 * 1.05, 1_440_000 * 1.05)
+        assert 8_000 < r24.seconds < 22_000
+        assert 120e9 < r24.peak_memory_bytes < 400e9
+
+    def test_o0_avoids_superlinear(self):
+        o3 = compile_cost(500_000, 500_000, "O3")
+        o0 = compile_cost(500_000, 500_000, "O0")
+        assert o0.seconds < o3.seconds / 5
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            compile_cost(1, 1, "O9")
+
+    def test_machine_speed_applied(self):
+        slow = compile_cost(100_000, 1_000, machine=get_machine("amd"))
+        fast = compile_cost(100_000, 1_000, machine=get_machine("intel-core"))
+        assert fast.seconds < slow.seconds

@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.perf.cache import CacheHierarchy, SetAssociativeCache
+from repro.perf.machines import CacheLevelSpec, INTEL_XEON
+from repro.perf.sweep import random_access_hit_rate
+from repro.tensor import Fiber, Tensor, TensorFormat, dumps, loads, lower
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+points_2d = st.dictionaries(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)),
+    st.integers(1, 1000),
+    max_size=30,
+)
+
+points_3d = st.dictionaries(
+    st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 4)),
+    st.integers(1, 100),
+    max_size=25,
+)
+
+
+class TestFibertreeProperties:
+    @given(st.lists(st.integers(0, 255), max_size=20))
+    def test_fiber_dense_roundtrip(self, values):
+        assert Fiber.from_dense(values).to_dense() == values
+
+    @given(points_2d)
+    def test_tensor_points_roundtrip(self, points):
+        tensor = Tensor.from_points(points, ["M", "K"], [8, 8])
+        assert dict(tensor.points()) == points
+
+    @given(points_2d)
+    def test_occupancy_equals_point_count(self, points):
+        tensor = Tensor.from_points(points, ["M", "K"], [8, 8])
+        assert tensor.occupancy == len(points)
+
+    @given(points_3d, st.permutations(["A", "B", "C"]))
+    def test_swizzle_preserves_points(self, points, order):
+        tensor = Tensor.from_points(points, ["A", "B", "C"], [5, 5, 5])
+        swizzled = tensor.swizzle(order)
+        perm = [["A", "B", "C"].index(r) for r in order]
+        expected = {
+            tuple(coords[i] for i in perm): value
+            for coords, value in points.items()
+        }
+        assert dict(swizzled.points()) == expected
+
+    @given(points_2d)
+    def test_csr_lowering_roundtrip(self, points):
+        tensor = Tensor.from_points(points, ["M", "K"], [8, 8])
+        lowered = lower(tensor, TensorFormat.csr())
+        assert lowered.to_tensor() == tensor
+
+    @given(points_2d)
+    def test_json_roundtrip(self, points):
+        tensor = Tensor.from_points(points, ["M", "K"], [8, 8])
+        lowered = lower(tensor, TensorFormat.csr())
+        assert loads(dumps(lowered)).to_tensor() == tensor
+
+    @given(points_2d)
+    def test_lowered_entries_match_occupancy(self, points):
+        tensor = Tensor.from_points(points, ["M", "K"], [8, 8])
+        lowered = lower(tensor, TensorFormat.csr())
+        assert lowered.ranks["K"].num_entries == len(points)
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(st.integers(0, 255), min_size=1, max_size=200),
+        st.sampled_from([2, 4, 8]),
+    )
+    def test_hits_plus_misses_is_accesses(self, lines, associativity):
+        cache = SetAssociativeCache(
+            CacheLevelSpec("L", 64 * 64, associativity, 64)
+        )
+        for line in lines:
+            cache.access(line)
+        assert cache.hits + cache.misses == len(lines)
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=100))
+    def test_repeat_access_hits(self, lines):
+        """Accessing the same line twice in a row always hits the second time."""
+        cache = SetAssociativeCache(CacheLevelSpec("L", 64 * 1024, 8, 64))
+        for line in lines:
+            cache.access(line)
+            assert cache.access(line)
+
+    @given(st.integers(1, 64))
+    def test_fitting_working_set_all_hits_steady_state(self, num_lines):
+        cache = SetAssociativeCache(CacheLevelSpec("L", 64 * 128, 8, 64))
+        for _ in range(2):
+            for line in range(num_lines):
+                cache.access(line)
+        cache.reset_counters()
+        for line in range(num_lines):
+            cache.access(line)
+        assert cache.misses == 0
+
+    @given(st.integers(100, 4000), st.integers(10, 900))
+    def test_random_hit_rate_matches_simulation_direction(self, working, capacity):
+        """The analytic skewed-random model is within the sim's ballpark."""
+        rate = random_access_hit_rate(working, capacity)
+        assert 0.0 <= rate <= 1.0
+        if capacity >= working:
+            assert rate == 1.0
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=300))
+    def test_hierarchy_miss_counts_monotone(self, addresses):
+        hierarchy = CacheHierarchy(INTEL_XEON, side="data")
+        for address in addresses:
+            hierarchy.access(address * 64)
+        misses = hierarchy.miss_counts()
+        assert misses[0] >= misses[1] >= misses[2]
+
+
+class TestRandomCircuitEquivalence:
+    """Random DFGs: every kernel and baseline agrees with direct evaluation."""
+
+    @staticmethod
+    def _random_graph(seed: int):
+        from repro.graph.dfg import DataflowGraph
+
+        rng = random.Random(seed)
+        graph = DataflowGraph(f"rand{seed}")
+        values = [graph.add_input(f"in{i}", rng.choice([1, 4, 8])) for i in range(3)]
+        for i in range(rng.randrange(1, 4)):
+            width = rng.choice([4, 8])
+            values.append(graph.add_register(f"r{i}", width, rng.randrange(1 << width)))
+        binary_ops = ["add", "sub", "and", "or", "xor", "mul", "eq", "lt"]
+        for _ in range(rng.randrange(4, 20)):
+            kind = rng.random()
+            if kind < 0.6:
+                op = rng.choice(binary_ops)
+                a, b = rng.choice(values), rng.choice(values)
+                wa, wb = graph.node(a).width, graph.node(b).width
+                from repro.graph.opsem import get_semantics
+                width = {"add": max(wa, wb) + 1, "sub": max(wa, wb) + 1,
+                         "mul": wa + wb, "eq": 1, "lt": 1}.get(op, max(wa, wb))
+                values.append(graph.add_op(op, (a, b), width))
+            elif kind < 0.8:
+                a = rng.choice(values)
+                values.append(graph.add_op("not", (a,), graph.node(a).width))
+            else:
+                s, a, b = (rng.choice(values) for _ in range(3))
+                width = max(graph.node(a).width, graph.node(b).width)
+                values.append(graph.add_op("mux", (s, a, b), width))
+        for i, name in enumerate(list(graph.registers)):
+            candidates = [v for v in values if graph.node(v).width
+                          == graph.registers[name].width]
+            graph.set_register_next(name, rng.choice(candidates or [graph.registers[name].state_nid]))
+        graph.set_output("out", values[-1])
+        graph.validate()
+        return graph
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 10_000))
+    def test_all_kernels_agree(self, seed):
+        from repro.graph.evaluate import GraphSimulator
+        from repro.sim import Simulator
+
+        graph = self._random_graph(seed)
+        golden = GraphSimulator(graph)
+        simulators = [
+            Simulator(graph, kernel=name, optimize_graph=False)
+            for name in ("RU", "NU", "SU", "TI")
+        ]
+        rng = random.Random(seed ^ 0x5EED)
+        for _ in range(8):
+            for name, nid in graph.inputs.items():
+                value = rng.randrange(1 << graph.node(nid).width)
+                golden.poke(name, value)
+                for simulator in simulators:
+                    simulator.poke(name, value)
+            expected = golden.peek("out")
+            for simulator in simulators:
+                assert simulator.peek("out") == expected
+            golden.step()
+            for simulator in simulators:
+                simulator.step()
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 10_000))
+    def test_optimizer_preserves_behaviour(self, seed):
+        from repro.graph.evaluate import GraphSimulator
+        from repro.graph.optimize import optimize
+
+        graph = self._random_graph(seed)
+        optimized, _ = optimize(graph)
+        a, b = GraphSimulator(graph), GraphSimulator(optimized)
+        rng = random.Random(seed ^ 0xBEEF)
+        for _ in range(8):
+            for name, nid in graph.inputs.items():
+                value = rng.randrange(1 << graph.node(nid).width)
+                a.poke(name, value)
+                b.poke(name, value)
+            assert a.peek("out") == b.peek("out")
+            a.step()
+            b.step()
+
+
+class TestFirrtlRoundtripProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 16), st.integers(0, 2 ** 16 - 1))
+    def test_literaccording_width(self, width, value):
+        from repro.firrtl import parse_expr_text
+        from repro.firrtl.ast import Literal
+
+        value = value % (1 << width)
+        expr = parse_expr_text(f"UInt<{width}>({value})")
+        assert isinstance(expr, Literal)
+        assert expr.value == value
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_counter_modular_arithmetic(self, start, steps):
+        """Counter wraps modulo 2^8 regardless of starting point."""
+        from repro.sim import Simulator
+        from repro.designs import library
+
+        simulator = Simulator(library.counter(8))
+        simulator.poke("enable", 1)
+        simulator.step(steps % 64)
+        assert simulator.peek("count") == (steps % 64) % 256

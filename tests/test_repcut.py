@@ -1,0 +1,126 @@
+"""Tests for RepCut-style partitioning, the RUM, and parallel simulation."""
+
+import pytest
+
+from repro.designs import compile_named_design, library
+from repro.designs.registry import compiled_graph
+from repro.firrtl import elaborate, parse
+from repro.graph import build_dfg, optimize
+from repro.repcut import (
+    RepCutSimulator,
+    build_rum,
+    partition_graph,
+)
+from repro.sim import Simulator
+
+from conftest import drive_random_inputs
+
+
+@pytest.fixture(scope="module")
+def gcd_graph():
+    graph, _ = optimize(build_dfg(elaborate(parse(library.gcd()))))
+    return graph
+
+
+class TestPartitioning:
+    def test_every_register_owned_once(self, gcd_graph):
+        result = partition_graph(gcd_graph, 3)
+        owners = [
+            name for p in result.partitions for name in p.owned_registers
+        ]
+        assert sorted(owners) == sorted(gcd_graph.registers)
+
+    def test_every_output_assigned_once(self, gcd_graph):
+        result = partition_graph(gcd_graph, 3)
+        outputs = [name for p in result.partitions for name in p.outputs]
+        assert sorted(outputs) == sorted(gcd_graph.outputs)
+
+    def test_partitions_are_valid_graphs(self, gcd_graph):
+        result = partition_graph(gcd_graph, 3)
+        for partition in result.partitions:
+            partition.graph.validate()
+
+    def test_external_registers_become_inputs(self, gcd_graph):
+        result = partition_graph(gcd_graph, 3)
+        for partition in result.partitions:
+            for name in partition.external_registers:
+                assert name in partition.graph.inputs
+                assert name not in partition.graph.registers
+
+    def test_replication_reported(self):
+        graph = compiled_graph("rocket-1")
+        result = partition_graph(graph, 4)
+        assert result.replication_overhead >= 0
+        total = sum(p.num_ops for p in result.partitions)
+        assert total >= graph.num_ops
+
+    def test_single_partition_no_replication(self, gcd_graph):
+        result = partition_graph(gcd_graph, 1)
+        assert result.replication_overhead == 0
+        assert result.partitions[0].external_registers == []
+
+    def test_zero_partitions_rejected(self, gcd_graph):
+        with pytest.raises(ValueError):
+            partition_graph(gcd_graph, 0)
+
+
+class TestRum:
+    def test_writer_reader_consistency(self, gcd_graph):
+        result = partition_graph(gcd_graph, 3)
+        rum = build_rum(result)
+        for name, readers in rum.readers.items():
+            assert rum.writer[name] not in readers  # writer reads locally
+
+    def test_rum_tensor_mask(self, gcd_graph):
+        result = partition_graph(gcd_graph, 3)
+        rum = build_rum(result)
+        tensor = rum.to_tensor()
+        assert tensor.rank_names == ("cw", "r", "cr")
+        assert tensor.occupancy == rum.total_transfers_per_cycle
+        for _, value in tensor.points():
+            assert value == 1
+
+
+class TestParallelSimulation:
+    @pytest.mark.parametrize("num_partitions", [1, 2, 3, 4])
+    def test_lockstep_with_single_simulator(self, num_partitions, rng):
+        src = library.gcd()
+        graph, _ = optimize(build_dfg(elaborate(parse(src))))
+        single = Simulator(graph, optimize_graph=False)
+        multi = RepCutSimulator(graph, num_partitions=num_partitions)
+        design = elaborate(parse(src))
+        drive_random_inputs([single, multi], design, rng, 40)
+
+    def test_lockstep_on_fifo(self, rng):
+        src = library.shift_fifo(depth=5)
+        graph, _ = optimize(build_dfg(elaborate(parse(src))))
+        single = Simulator(graph, optimize_graph=False)
+        multi = RepCutSimulator(graph, num_partitions=3)
+        design = elaborate(parse(src))
+        drive_random_inputs([single, multi], design, rng, 40)
+
+    def test_accepts_firrtl_text(self, rng):
+        multi = RepCutSimulator(library.counter(), num_partitions=2)
+        multi.poke("enable", 1)
+        multi.step(5)
+        assert multi.peek("count") == 5
+
+    def test_reset(self):
+        multi = RepCutSimulator(library.counter(), num_partitions=2)
+        multi.poke("enable", 1)
+        multi.step(3)
+        multi.reset()
+        assert multi.peek("count") == 0 and multi.cycle == 0
+
+    def test_sync_traffic_bounded_by_registers(self, gcd_graph):
+        multi = RepCutSimulator(gcd_graph, num_partitions=3)
+        assert multi.sync_traffic_per_cycle() <= (
+            len(gcd_graph.registers) * (multi.num_partitions - 1)
+        )
+
+    def test_unknown_signal_rejected(self):
+        multi = RepCutSimulator(library.counter(), num_partitions=2)
+        with pytest.raises(KeyError):
+            multi.peek("bogus")
+        with pytest.raises(KeyError):
+            multi.poke("bogus", 1)

@@ -1,0 +1,239 @@
+"""Tests for the simulator API: poke/peek/step, waveforms, DMI, clocks."""
+
+import pytest
+
+from repro.firrtl import ReferenceSimulator, elaborate, parse
+from repro.sim import (
+    ClockSchedule,
+    DmiPort,
+    FrontendServer,
+    Simulator,
+    Testbench,
+    VcdWriter,
+    compare_traces,
+    run_lockstep,
+)
+
+from conftest import drive_random_inputs
+
+
+class TestSimulatorApi:
+    def test_accepts_firrtl_text(self, counter_src):
+        simulator = Simulator(counter_src)
+        simulator.poke("enable", 1)
+        simulator.step(3)
+        assert simulator.peek("count") == 3
+
+    def test_accepts_flat_design(self, mixed_design):
+        assert Simulator(mixed_design).peek("out") == 7  # reset init
+
+    def test_accepts_graph_and_bundle(self, mixed_graph, mixed_bundle):
+        assert Simulator(mixed_graph, optimize_graph=False).peek("out") == 7
+        assert Simulator(mixed_bundle).peek("out") == 7
+
+    def test_unknown_design_type_rejected(self):
+        with pytest.raises(TypeError):
+            Simulator(12345)
+
+    def test_poke_unknown_input(self, counter_src):
+        with pytest.raises(KeyError):
+            Simulator(counter_src).poke("bogus", 1)
+
+    def test_peek_optimised_away_signal_message(self, mixed_src):
+        simulator = Simulator(mixed_src)
+        with pytest.raises(KeyError):
+            simulator.peek("definitely_not_a_signal")
+
+    def test_preserve_signals_keeps_intermediates(self, mixed_src):
+        simulator = Simulator(mixed_src, preserve_signals=True)
+        simulator.poke("a", 10)
+        simulator.poke("b", 20)
+        assert simulator.peek("s") == 30  # the internal adder node
+
+    def test_reset_preserves_pokes(self, counter_src):
+        simulator = Simulator(counter_src)
+        simulator.poke("enable", 1)
+        simulator.step(5)
+        simulator.reset()
+        assert simulator.cycle == 0
+        assert simulator.peek("count") == 0
+        simulator.step()
+        assert simulator.peek("count") == 1  # enable survived the reset
+
+    def test_run_alias(self, counter_src):
+        simulator = Simulator(counter_src)
+        simulator.poke("enable", 1)
+        simulator.run(4)
+        assert simulator.cycle == 4
+
+    def test_signals_listing(self, counter_src):
+        assert "count" in Simulator(counter_src).signals
+
+    def test_repr(self, counter_src):
+        assert "Counter" in repr(Simulator(counter_src))
+
+
+class TestMultiClock:
+    SRC = (
+        "circuit Dual :\n"
+        "  module Dual :\n"
+        "    input clock : Clock\n"
+        "    input clk2 : Clock\n"
+        "    input a : UInt<8>\n"
+        "    output fast_out : UInt<8>\n"
+        "    output slow_out : UInt<8>\n"
+        "    reg fast : UInt<8>, clock\n"
+        "    reg slow : UInt<8>, clk2\n"
+        "    fast <= a\n"
+        "    slow <= fast\n"
+        "    fast_out <= fast\n"
+        "    slow_out <= slow\n"
+    )
+
+    def test_domains_discovered(self):
+        simulator = Simulator(self.SRC)
+        assert simulator.clock_domains == ["clk2", "clock"]
+
+    def test_step_domain_only_commits_that_domain(self):
+        simulator = Simulator(self.SRC)
+        simulator.poke("a", 42)
+        simulator.step_domain("clock")
+        assert simulator.peek("fast_out") == 42
+        assert simulator.peek("slow_out") == 0  # clk2 has not ticked
+        simulator.step_domain("clk2")
+        assert simulator.peek("slow_out") == 42
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(KeyError):
+            Simulator(self.SRC).step_domain("clk9")
+
+    def test_clock_schedule_ratios(self):
+        simulator = Simulator(self.SRC)
+        schedule = ClockSchedule(simulator, {"clock": 1, "clk2": 2})
+        simulator.poke("a", 7)
+        schedule.advance(4)
+        # clock ticked 4x, clk2 2x: slow holds fast's value from earlier.
+        assert simulator.peek("fast_out") == 7
+        assert simulator.peek("slow_out") == 7
+
+    def test_schedule_requires_known_clocks(self):
+        simulator = Simulator(self.SRC)
+        with pytest.raises(KeyError):
+            ClockSchedule(simulator, {"nope": 1})
+
+    def test_edges_of(self):
+        simulator = Simulator(self.SRC)
+        schedule = ClockSchedule(simulator, {"clock": 1, "clk2": 2})
+        assert schedule.edges_of("clk2", 6) == [0, 2, 4]
+
+
+class TestWaveform:
+    def test_vcd_header_and_changes(self, counter_src):
+        simulator = Simulator(counter_src, preserve_signals=True)
+        simulator.poke("enable", 1)
+        writer = VcdWriter(simulator, {"count": 8, "enable": 1})
+        writer.run(4)
+        document = writer.document()
+        assert "$timescale" in document and "$enddefinitions" in document
+        assert "$var wire 8" in document
+        assert "#0" in document and "#3" in document
+
+    def test_only_changes_dumped(self, counter_src):
+        simulator = Simulator(counter_src, preserve_signals=True)
+        simulator.poke("enable", 0)  # counter frozen
+        writer = VcdWriter(simulator, {"count": 8})
+        changes = [writer.sample() for _ in range(3)]
+        assert changes[0] == 1   # initial dump
+        assert changes[1] == 0 and changes[2] == 0
+
+    def test_default_signals_from_bundle(self, counter_src):
+        simulator = Simulator(counter_src, preserve_signals=True)
+        writer = VcdWriter(simulator)
+        assert "count" in writer.signals
+
+    def test_save(self, tmp_path, counter_src):
+        simulator = Simulator(counter_src, preserve_signals=True)
+        writer = VcdWriter(simulator, {"count": 8})
+        writer.run(2)
+        path = tmp_path / "wave.vcd"
+        writer.save(path)
+        assert path.read_text().startswith("$timescale")
+
+    def test_dotted_names_sanitised(self, mixed_src):
+        simulator = Simulator(mixed_src, preserve_signals=True)
+        writer = VcdWriter(simulator)
+        assert "." not in writer.document().split("$enddefinitions")[0].split("$var")[1]
+
+
+class TestDmi:
+    def test_write_then_read(self):
+        from repro.designs.cores import rocket_soc
+
+        simulator = Simulator(rocket_soc(1))
+        server = FrontendServer(simulator)
+        simulator.poke("reset", 1)
+        simulator.step()
+        simulator.poke("reset", 0)
+        server.write(0, 0xDEADBEEF)
+        read = server.read(0)
+        cycles = server.run_until_idle()
+        assert read.complete
+        assert read.response == 0xDEADBEEF
+        assert cycles > 0
+
+    def test_load_image_queues_writes(self):
+        from repro.designs.cores import rocket_soc
+
+        simulator = Simulator(rocket_soc(1))
+        server = FrontendServer(simulator)
+        simulator.poke("reset", 1); simulator.step(); simulator.poke("reset", 0)
+        server.load_image(0, [11, 22, 33])
+        reads = [server.read(i) for i in range(3)]
+        server.run_until_idle()
+        # Our DTM has 4 registers addressed by the low address bits.
+        assert [r.response for r in reads] == [11, 22, 33]
+
+    def test_timeout(self, counter_src):
+        class NeverResponds:
+            cycle = 0
+            def poke(self, name, value): pass
+            def peek(self, name): return 0
+            def step(self): pass
+
+        server = FrontendServer(NeverResponds(), DmiPort())
+        server.read(0)
+        with pytest.raises(TimeoutError):
+            server.run_until_idle(max_cycles=10)
+
+
+class TestTestbench:
+    def test_stimulus_list_and_callable(self, counter_src):
+        simulator = Simulator(counter_src)
+        bench = Testbench(
+            simulator,
+            stimulus={"enable": lambda c: 1, "reset": [0, 0, 1]},
+            watch=["count"],
+        )
+        trace = bench.run(5)
+        assert trace["count"][:3] == [0, 1, 2]
+        assert trace["count"][3] == 0  # reset asserted at cycle 2
+
+    def test_run_lockstep_and_compare(self, mixed_src, mixed_design, rng):
+        stimulus = {
+            "a": [rng.randrange(256) for _ in range(20)],
+            "b": [rng.randrange(256) for _ in range(20)],
+            "reset": [1, 0],
+        }
+        traces = run_lockstep(
+            {
+                "reference": ReferenceSimulator(mixed_design),
+                "psu": Simulator(mixed_src, kernel="PSU"),
+            },
+            stimulus, ["out", "flag"], 20,
+        )
+        assert compare_traces(traces["reference"], traces["psu"]) == []
+
+    def test_compare_traces_reports_divergence(self):
+        diffs = compare_traces({"x": [1, 2]}, {"x": [1, 3]})
+        assert len(diffs) == 1
+        assert diffs[0].cycle == 1 and diffs[0].signal == "x"

@@ -1,0 +1,132 @@
+"""Unit tests for the fibertree Tensor (paper Section 2.2, Figure 2)."""
+
+import pytest
+
+from repro.tensor import Fiber, Tensor
+
+
+class TestConstruction:
+    def test_requires_ranks(self):
+        with pytest.raises(ValueError):
+            Tensor([])
+
+    def test_duplicate_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor(["M", "M"])
+
+    def test_shape_parallel_to_ranks(self):
+        with pytest.raises(ValueError):
+            Tensor(["M", "K"], [3])
+
+    def test_figure2_matrix(self):
+        """The matrix of Figure 2: A[0,2]=1, A[2,0]=2, A[2,1]=3, A[2,2]=4."""
+        a = Tensor.from_points(
+            {(0, 2): 1, (2, 0): 2, (2, 1): 3, (2, 2): 4}, ["M", "K"], [3, 3]
+        )
+        assert a.get((0, 2)) == 1
+        assert a.get((1, 1)) is None
+        # Rank M has one fiber with occupancy 2 (rows 0 and 2).
+        assert a.root.occupancy == 2
+        # The two K fibers have occupancies 1 and 3.
+        assert a.root.get(0).occupancy == 1
+        assert a.root.get(2).occupancy == 3
+
+    def test_from_dense(self):
+        a = Tensor.from_dense([[0, 1], [2, 0]], ["M", "K"])
+        assert dict(a.points()) == {(0, 1): 1, (1, 0): 2}
+        assert a.shape == (2, 2)
+
+    def test_to_dense_roundtrip(self):
+        dense = [[0, 1, 0], [2, 0, 3]]
+        assert Tensor.from_dense(dense, ["M", "K"]).to_dense() == dense
+
+    def test_to_dense_requires_shape(self):
+        tensor = Tensor(["M"])
+        tensor.set((0,), 5)
+        with pytest.raises(ValueError):
+            tensor.to_dense()
+
+
+class TestAccess:
+    def test_point_arity_checked(self):
+        tensor = Tensor(["M", "K"])
+        with pytest.raises(ValueError):
+            tensor.get((0,))
+        with pytest.raises(ValueError):
+            tensor.set((0, 1, 2), 5)
+
+    def test_set_creates_intermediate_fibers(self):
+        tensor = Tensor(["I", "J", "K"], [2, 2, 2])
+        tensor.set((1, 0, 1), 9)
+        assert isinstance(tensor.root.get(1), Fiber)
+        assert tensor.get((1, 0, 1)) == 9
+
+    def test_occupancy_counts_leaves(self):
+        tensor = Tensor.from_points({(0, 0): 1, (0, 1): 2, (1, 0): 3}, ["M", "K"])
+        assert tensor.occupancy == 3
+
+    def test_points_sorted_lexicographically(self):
+        tensor = Tensor.from_points(
+            {(1, 0): "c", (0, 1): "b", (0, 0): "a"}, ["M", "K"]
+        )
+        assert [c for c, _ in tensor.points()] == [(0, 0), (0, 1), (1, 0)]
+
+    def test_rank_index_and_shape(self):
+        tensor = Tensor(["M", "K"], [4, 5])
+        assert tensor.rank_index("K") == 1
+        assert tensor.rank_shape("M") == 4
+        with pytest.raises(KeyError):
+            tensor.rank_index("Z")
+
+
+class TestSwizzle:
+    def test_swizzle_transposes(self):
+        a = Tensor.from_dense([[1, 2], [3, 4]], ["M", "K"])
+        at = a.swizzle(["K", "M"])
+        assert at.get((0, 1)) == a.get((1, 0))
+        assert at.rank_names == ("K", "M")
+        assert at.shape == (2, 2)
+
+    def test_swizzle_is_involution(self):
+        a = Tensor.from_points({(0, 1, 2): 5, (1, 0, 0): 7}, ["I", "S", "N"])
+        assert a.swizzle(["N", "I", "S"]).swizzle(["I", "S", "N"]) == a
+
+    def test_swizzle_requires_permutation(self):
+        a = Tensor(["M", "K"])
+        with pytest.raises(ValueError):
+            a.swizzle(["M", "Z"])
+
+    def test_sn_swizzle_matches_paper(self):
+        """Section 5.1: the [I,S,N,O,R] -> [I,N,S,O,R] swizzle."""
+        tensor = Tensor.from_points(
+            {(0, 1, 0, 0, 2): 1, (0, 2, 3, 1, 0): 1},
+            ["I", "S", "N", "O", "R"],
+        )
+        swizzled = tensor.swizzle(["I", "N", "S", "O", "R"])
+        assert swizzled.get((0, 0, 1, 0, 2)) == 1
+        assert swizzled.get((0, 3, 2, 1, 0)) == 1
+
+
+class TestEquality:
+    def test_copy_independent(self):
+        a = Tensor.from_points({(0, 0): 1}, ["M", "K"])
+        b = a.copy()
+        b.set((1, 1), 2)
+        assert a.get((1, 1)) is None
+        assert a != b
+
+    def test_equality_ignores_shape(self):
+        a = Tensor.from_points({(0,): 1}, ["M"], [4])
+        b = Tensor.from_points({(0,): 1}, ["M"], [8])
+        assert a == b
+
+    def test_inequality_on_rank_names(self):
+        a = Tensor.from_points({(0,): 1}, ["M"])
+        b = Tensor.from_points({(0,): 1}, ["K"])
+        assert a != b
+
+    def test_explicit_zero_is_a_point(self):
+        """Values stored explicitly (even zero) are real points."""
+        a = Tensor(["M"], [3])
+        a.set((1,), 0)
+        assert (1,) in dict(a.points())
