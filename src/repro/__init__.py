@@ -11,8 +11,9 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from .batch import BatchSimulator
 from .sim.simulator import Simulator, compile_design
 
 __version__ = "0.1.0"
 
-__all__ = ["Simulator", "compile_design", "__version__"]
+__all__ = ["BatchSimulator", "Simulator", "compile_design", "__version__"]

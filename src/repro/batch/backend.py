@@ -1,0 +1,185 @@
+"""Storage backends for the batched value plane.
+
+The batched simulator widens the paper's value tensor ``V`` (the
+identity-elided ``LI``/``LO``: one persistent slot per value) by a lane
+rank ``B``: storage becomes a ``(num_slots, B)`` plane whose rows are the
+per-slot lane vectors.  Three backends realise the plane:
+
+* ``u64``    -- a NumPy ``uint64`` array; the fast path, valid whenever
+  every slot width fits 64 bits (wrap-around modulo 2**64 followed by the
+  slot-width mask is bit-exact for add/sub/mul, and shifts are guarded);
+* ``object`` -- a NumPy ``object`` array of Python ints; still vectorised
+  at the ufunc level, bit-exact at any width;
+* ``python`` -- plain list-of-lists, used when NumPy is absent so the
+  subsystem never breaks in an offline environment.
+
+NumPy is an *optional* dependency (the ``[batch]`` extra): everything in
+``repro.batch`` imports cleanly without it and falls back to ``python``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..oim.builder import OimBundle
+
+#: Widest slot the uint64 backend can hold exactly.
+U64_MAX_WIDTH = 64
+
+BACKENDS = ("u64", "object", "python")
+
+_UNSET = object()
+
+
+def numpy_or_none():
+    """The :mod:`numpy` module, or ``None`` when it is not installed."""
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised via pick_backend(np_module=None)
+        return None
+    return numpy
+
+
+_NUMPY = numpy_or_none()
+
+HAS_NUMPY = _NUMPY is not None
+
+
+def supports_u64(bundle: OimBundle) -> bool:
+    """True when every slot of ``bundle`` fits the uint64 fast path."""
+    return max(bundle.slot_width, default=0) <= U64_MAX_WIDTH
+
+
+def pick_backend(
+    bundle: OimBundle, requested: str = "auto", np_module=_UNSET
+) -> str:
+    """Resolve a backend request against NumPy availability and slot widths.
+
+    ``auto`` prefers ``u64``, degrades to ``object`` for designs with
+    >64-bit slots, and to ``python`` when NumPy is missing.  Explicitly
+    requesting ``u64`` on a too-wide design or a NumPy backend without
+    NumPy raises, so tests and benchmarks never silently measure the
+    wrong engine.
+    """
+    np = _NUMPY if np_module is _UNSET else np_module
+    if requested in ("auto", "numpy"):
+        if np is None:
+            return "python"
+        return "u64" if supports_u64(bundle) else "object"
+    if requested not in BACKENDS:
+        raise KeyError(
+            f"unknown batch backend {requested!r}; choose from "
+            f"{', '.join(BACKENDS)} or 'auto'"
+        )
+    if requested == "python":
+        return "python"
+    if np is None:
+        raise RuntimeError(
+            f"batch backend {requested!r} needs NumPy, which is not "
+            "installed; use backend='auto' or the [batch] extra"
+        )
+    if requested == "u64" and not supports_u64(bundle):
+        raise ValueError(
+            f"design {bundle.design_name!r} has slots wider than "
+            f"{U64_MAX_WIDTH} bits; use backend='object' (or 'auto')"
+        )
+    return requested
+
+
+# ----------------------------------------------------------------------
+# Value-plane allocation / copy
+# ----------------------------------------------------------------------
+def alloc_values(bundle: OimBundle, lanes: int, backend: str):
+    """The batched value plane at time zero (constants + register inits),
+    every lane identical."""
+    initial = bundle.initial_values()
+    if backend == "python":
+        return [[value] * lanes for value in initial]
+    np = _NUMPY
+    if backend == "u64":
+        plane = np.zeros((bundle.num_slots, lanes), dtype=np.uint64)
+    else:
+        plane = np.empty((bundle.num_slots, lanes), dtype=object)
+        plane[...] = 0
+    for slot, value in enumerate(initial):
+        if value:
+            plane[slot] = value
+    return plane
+
+
+def copy_values(values, backend: str):
+    """A deep copy of the value plane (snapshots, staged commits)."""
+    if backend == "python":
+        return [list(row) for row in values]
+    return values.copy()
+
+
+def row_to_ints(row) -> List[int]:
+    """One slot's lane vector as plain Python ints."""
+    return [int(value) for value in row]
+
+
+def write_row(values, slot: int, lane_values: Sequence[int], backend: str) -> None:
+    if backend == "python":
+        values[slot][:] = lane_values
+    else:
+        values[slot] = lane_values
+
+
+# ----------------------------------------------------------------------
+# Guarded vector helpers (shared by the walk and codegen kernels)
+# ----------------------------------------------------------------------
+def make_helpers(np, object_mode: bool = False) -> Dict[str, object]:
+    """Vector helpers injected into generated code / the walk semantics.
+
+    All are valid for both the uint64 and object backends: shift amounts
+    are clipped below the width guard before the hardware-UB region is
+    reachable, and division sanitises the divisor before dividing.
+    """
+
+    def _div(a, b):
+        nonzero = b != 0
+        return np.where(nonzero, a // np.where(nonzero, b, 1), 0)
+
+    def _rem(a, b):
+        nonzero = b != 0
+        return np.where(nonzero, a % np.where(nonzero, b, 1), 0)
+
+    def _dshl(a, s, out_width):
+        # mask(a << s, ow): any shift >= ow zeroes the masked result.
+        if out_width <= 0:
+            return a & 0
+        clipped = np.minimum(s, out_width - 1)
+        return np.where(s < out_width, a << clipped, 0)
+
+    def _dshr(a, s, in_width):
+        # a >> s with a < 2**in_width: any shift >= in_width yields zero.
+        if in_width <= 0:
+            return a & 0
+        clipped = np.minimum(s, in_width - 1)
+        return np.where(s < in_width, a >> clipped, 0)
+
+    def _head(a, n, in_width):
+        # mask(a >> max(in_width - n, 0), ow) with per-lane n.
+        if in_width <= 0:
+            return a & 0
+        shift = in_width - np.minimum(n, in_width)
+        clipped = np.minimum(shift, in_width - 1)
+        return np.where(shift < in_width, a >> clipped, 0)
+
+    if not object_mode and hasattr(np, "bitwise_count"):
+        def _pop(a):
+            return np.bitwise_count(a) & 1
+    else:
+        _pop = np.frompyfunc(lambda v: bin(int(v)).count("1") & 1, 1, 1)
+
+    return {
+        "_np": np,
+        "_where": np.where,
+        "_div": _div,
+        "_rem": _rem,
+        "_dshl": _dshl,
+        "_dshr": _dshr,
+        "_head": _head,
+        "_pop": _pop,
+    }

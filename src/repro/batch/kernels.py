@@ -1,0 +1,230 @@
+"""Executable batched kernels: one OIM pass evaluates B lanes.
+
+Two kernels are lowered from the existing :class:`OimBundle`, mirroring
+the scalar spectrum of Section 5.2 with the lane rank vectorised away:
+
+* :class:`BatchWalkKernel` -- a vectorised RU/OU-style map/reduce walk.
+  It traverses the *optimized*-format OIM arrays (Figure 12b) exactly as
+  the scalar ``RUKernel`` does, but every operand fetch pulls a lane
+  vector and every compute operator applies across all B lanes at once
+  (:mod:`repro.batch.vecsem`).  Serves both the uint64 fast path and the
+  arbitrary-width object path.
+* :class:`BatchCodegenKernel` -- a straight-line SU/TI-style variant:
+  the OIM is fully embedded in generated Python whose expressions are
+  NumPy lane-vector operations (:func:`repro.kernels.expr.numpy_expr`).
+  uint64-only; the simulator transparently drops to the walk kernel for
+  wider designs.
+
+:class:`BatchPyKernel` is the pure-Python list-of-lists fallback used
+when NumPy is absent: the same schedule, evaluated lane by lane with the
+scalar semantics, so the subsystem is always importable and bit-exact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..kernels.config import KernelConfig, get_kernel_config
+from ..kernels.expr import numpy_expr
+from ..kernels.pykernels import CODEGEN_CHUNK
+from ..oim.builder import OimBundle
+from ..oim.formats import lower_oim_fast
+from .backend import make_helpers, numpy_or_none, pick_backend
+from .vecsem import make_vec_table
+
+#: Kernel styles (how the OIM pass is executed), orthogonal to backends.
+WALK, CODEGEN, PYTHON = "walk", "codegen", "python"
+
+
+class BatchKernel:
+    """Base class: evaluates one cycle of combinational logic over the
+    ``(num_slots, B)`` value plane, for all lanes at once."""
+
+    style: str = "abstract"
+
+    def __init__(
+        self, bundle: OimBundle, config: KernelConfig, lanes: int, backend: str
+    ) -> None:
+        self.bundle = bundle
+        self.config = config
+        self.lanes = lanes
+        self.backend = backend
+
+    def eval_comb(self, values) -> None:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return f"{self.config.name}x{self.lanes}[{self.backend}]"
+
+
+def _walk_schedule(bundle: OimBundle, semantics_of: Callable[[int], Callable]):
+    """Flatten the optimized-format OIM walk into ``(fn, s, rs, ws, ow)``.
+
+    The traversal order is the RU kernel's: rank I outermost, rank S
+    concordant within each layer, operands in O order.  Resolving it at
+    build time keeps the per-cycle loop free of format bookkeeping -- the
+    lane rank is where the parallelism now comes from.
+    """
+    lowered = lower_oim_fast(bundle, "optimized")
+    i_payloads = lowered.ranks["I"].payloads
+    s_coords = lowered.ranks["S"].coords
+    n_coords = lowered.ranks["N"].coords
+    r_coords = lowered.ranks["R"].coords
+    width = bundle.slot_width
+
+    schedule = []
+    op_index = 0
+    r_index = 0
+    for layer_count in i_payloads:                    # Rank I
+        for _ in range(layer_count):                  # Rank S
+            s = s_coords[op_index]
+            entry = bundle.op_table.entry(n_coords[op_index])
+            op_index += 1
+            operands = tuple(r_coords[r_index:r_index + entry.arity])
+            r_index += entry.arity                    # Ranks O, R
+            schedule.append((
+                semantics_of(entry),
+                s,
+                operands,
+                tuple(width[r] for r in operands),
+                width[s],
+            ))
+    return schedule
+
+
+class BatchWalkKernel(BatchKernel):
+    """Vectorised RU-style map/reduce walk over the optimized OIM format."""
+
+    style = WALK
+
+    def __init__(
+        self, bundle: OimBundle, config: KernelConfig, lanes: int, backend: str
+    ) -> None:
+        super().__init__(bundle, config, lanes, backend)
+        np = numpy_or_none()
+        mode = "object" if backend == "object" else "u64"
+        table = make_vec_table(np, mode)
+        self._schedule = _walk_schedule(
+            bundle, lambda entry: table[entry.name]
+        )
+
+    def eval_comb(self, values) -> None:
+        for fn, s, operands, widths, out_width in self._schedule:
+            values[s] = fn([values[r] for r in operands], widths, out_width)
+
+
+class BatchPyKernel(BatchKernel):
+    """Pure-Python fallback: same walk, scalar semantics lane by lane."""
+
+    style = PYTHON
+
+    def __init__(
+        self, bundle: OimBundle, config: KernelConfig, lanes: int, backend: str
+    ) -> None:
+        super().__init__(bundle, config, lanes, backend)
+        self._schedule = _walk_schedule(bundle, lambda entry: entry.semantics)
+
+    def eval_comb(self, values) -> None:
+        lanes = range(self.lanes)
+        for fn, s, operands, widths, out_width in self._schedule:
+            rows = [values[r] for r in operands]
+            values[s] = [
+                fn([row[lane] for row in rows], widths, out_width)
+                for lane in lanes
+            ]
+
+
+class BatchCodegenKernel(BatchKernel):
+    """Straight-line SU-style code over lane vectors (uint64 only).
+
+    Every operation becomes one generated statement ``V[s] = <numpy
+    expression>``; like the scalar SU kernel the OIM is fully embedded in
+    the code, and like TI the guarded helpers keep the hot loop free of
+    Python-level branching.  Bool comparison results are normalised by
+    the uint64 row assignment itself.
+    """
+
+    style = CODEGEN
+
+    def __init__(
+        self, bundle: OimBundle, config: KernelConfig, lanes: int, backend: str
+    ) -> None:
+        if backend != "u64":
+            raise ValueError(
+                "the batched codegen kernel needs the uint64 backend; "
+                f"got {backend!r} (designs wider than 64 bits take the "
+                "walk kernel)"
+            )
+        super().__init__(bundle, config, lanes, backend)
+        const_values = dict(bundle.const_slots)
+        statements: List[str] = []
+        for layer in bundle.layers:
+            for record in layer:
+                entry = bundle.op_table.entry(record.n)
+                args: List[str] = []
+                widths: List[int] = []
+                for r in record.operands:
+                    args.append(
+                        str(const_values[r]) if r in const_values else f"V[{r}]"
+                    )
+                    widths.append(bundle.slot_width[r])
+                expression = numpy_expr(
+                    entry.name, args, widths, bundle.slot_width[record.s]
+                )
+                statements.append(f"    V[{record.s}] = {expression}")
+        self._functions = _compile_batch_chunks(statements)
+
+    def eval_comb(self, values) -> None:
+        for function in self._functions:
+            function(values)
+
+
+def _compile_batch_chunks(statements: List[str]) -> List[Callable]:
+    """Chunked compile (as the scalar SU kernel) with the vector helpers
+    available as globals of the generated functions."""
+    np = numpy_or_none()
+    helpers = make_helpers(np)
+    functions: List[Callable] = []
+    for start in range(0, max(len(statements), 1), CODEGEN_CHUNK):
+        chunk = statements[start:start + CODEGEN_CHUNK]
+        name = f"bsu_chunk_{start // CODEGEN_CHUNK}"
+        body = "\n".join(chunk) if chunk else "    pass"
+        namespace: Dict[str, object] = dict(helpers)
+        code = compile(f"def {name}(V):\n{body}\n", f"<batch-kernel:{name}>", "exec")
+        exec(code, namespace)
+        functions.append(namespace[name])  # type: ignore[index]
+    return functions
+
+
+#: Scalar kernel configurations mapped onto batched execution styles.
+#: Rolled-side configs keep the OIM in data (the walk); the fully
+#: unrolled SU/TI configs embed it in generated code.
+_STYLE_OF_CONFIG: Dict[str, str] = {
+    "RU": WALK, "OU": WALK, "NU": WALK, "PSU": WALK, "IU": WALK,
+    "SU": CODEGEN, "TI": CODEGEN,
+}
+
+
+def make_batch_kernel(
+    bundle: OimBundle,
+    config: KernelConfig | str,
+    lanes: int,
+    backend: str = "auto",
+) -> BatchKernel:
+    """Instantiate the batched kernel for a configuration and backend.
+
+    ``backend`` is resolved via :func:`repro.batch.backend.pick_backend`;
+    a codegen-style request transparently degrades to the walk kernel
+    when the uint64 fast path is unavailable (wide slots or no NumPy is
+    a property of the design/environment, not a user error).
+    """
+    if isinstance(config, str):
+        config = get_kernel_config(config)
+    backend = pick_backend(bundle, backend)
+    if backend == "python":
+        return BatchPyKernel(bundle, config, lanes, backend)
+    style = _STYLE_OF_CONFIG.get(config.name, WALK)
+    if style == CODEGEN and backend == "u64":
+        return BatchCodegenKernel(bundle, config, lanes, backend)
+    return BatchWalkKernel(bundle, config, lanes, backend)

@@ -1,0 +1,206 @@
+"""The batched full-cycle simulator: B independent lanes, one OIM pass.
+
+:class:`BatchSimulator` keeps the scalar :class:`repro.sim.Simulator`
+surface -- ``poke`` / ``peek`` / ``step`` / ``reset`` / ``step_domain`` /
+``snapshot`` -- but every slot holds a vector of B lanes.  Lanes are
+fully independent simulations (distinct stimulus, shared design), which
+is the tensor-algebra view of multi-seed regression and design-space
+sweeps: the lane rank rides along every Einsum for free.
+
+Register commit reuses the scalar simulator's per-clock-domain grouping
+(Section 6.2), staged two-phase so register-to-register moves stay
+hardware-accurate in every lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Union
+
+from ..firrtl.primops import mask
+from ..kernels.config import KernelConfig
+from ..sim.simulator import DesignLike, compile_design, group_commits_by_clock
+from .backend import alloc_values, copy_values, pick_backend, row_to_ints, write_row
+from .kernels import BatchKernel, make_batch_kernel
+
+LaneValues = Union[int, Sequence[int]]
+
+
+@dataclass
+class BatchSnapshot:
+    """A cheap checkpoint of the batched value plane (see ``snapshot``)."""
+
+    values: object
+    cycle: int
+
+
+class BatchSimulator:
+    """Full-cycle RTL simulation of B lanes through one batched kernel.
+
+    Parameters
+    ----------
+    design:
+        Anything :func:`repro.sim.simulator.compile_design` accepts.
+    lanes:
+        Number of independent stimulus lanes (B).
+    kernel:
+        Scalar kernel configuration name or :class:`KernelConfig`;
+        RU...IU map onto the vectorised walk kernel, SU/TI onto the
+        straight-line NumPy codegen kernel.
+    backend:
+        ``"auto"`` (default), ``"u64"``, ``"object"`` or ``"python"``;
+        see :mod:`repro.batch.backend`.
+    """
+
+    def __init__(
+        self,
+        design: DesignLike,
+        lanes: int = 8,
+        kernel: Union[str, KernelConfig] = "PSU",
+        backend: str = "auto",
+        optimize_graph: bool = True,
+        preserve_signals: bool = False,
+    ) -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        if isinstance(kernel, str) and kernel.strip().lower().startswith("activity"):
+            raise ValueError(
+                "activity-aware cascades are not batched yet (lanes diverge "
+                "in activity); see ROADMAP open items"
+            )
+        self.bundle = compile_design(design, optimize_graph, preserve_signals)
+        self.lanes = lanes
+        self.backend = pick_backend(self.bundle, backend)
+        self.kernel: BatchKernel = make_batch_kernel(
+            self.bundle, kernel, lanes, self.backend
+        )
+        self.values = alloc_values(self.bundle, lanes, self.backend)
+        self.cycle = 0
+        self._dirty = True
+        self._commits_by_clock = group_commits_by_clock(self.bundle)
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+    def poke(self, name: str, value: LaneValues) -> None:
+        """Drive an input: a scalar broadcasts, a sequence is per-lane."""
+        slot = self.bundle.input_slots.get(name)
+        if slot is None:
+            raise KeyError(f"{name!r} is not an input of {self.bundle.design_name}")
+        width = self.bundle.slot_width[slot]
+        if isinstance(value, int):
+            lane_values = [mask(value, width)] * self.lanes
+        else:
+            lane_values = [mask(int(v), width) for v in value]
+            if len(lane_values) != self.lanes:
+                raise ValueError(
+                    f"poke({name!r}) got {len(lane_values)} values for "
+                    f"{self.lanes} lanes"
+                )
+        write_row(self.values, slot, lane_values, self.backend)
+        self._dirty = True
+
+    def peek(self, name: str) -> List[int]:
+        """All B lanes of a signal, as plain Python ints."""
+        slot = self.bundle.signal_slots.get(name)
+        if slot is None:
+            raise KeyError(
+                f"unknown signal {name!r}; it may have been optimised away "
+                "(construct the BatchSimulator with preserve_signals=True)"
+            )
+        self._settle()
+        return row_to_ints(self.values[slot])
+
+    def peek_lane(self, name: str, lane: int) -> int:
+        """One lane of a signal."""
+        return self.peek(name)[lane]
+
+    def peek_slot(self, slot: int) -> List[int]:
+        self._settle()
+        return row_to_ints(self.values[slot])
+
+    def reset(self) -> None:
+        """Restore registers and constants to their initial values in every
+        lane; poked input values are preserved per lane (scalar parity)."""
+        inputs = {
+            name: row_to_ints(self.values[slot])
+            for name, slot in self.bundle.input_slots.items()
+        }
+        self.values = alloc_values(self.bundle, self.lanes, self.backend)
+        for name, lane_values in inputs.items():
+            write_row(
+                self.values, self.bundle.input_slots[name], lane_values, self.backend
+            )
+        self.cycle = 0
+        self._dirty = True
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance all clock domains of all lanes by ``cycles`` edges."""
+        for _ in range(cycles):
+            self._settle()
+            self._commit(self.bundle.register_commits)
+            self.cycle += 1
+            self._dirty = True
+
+    def step_domain(self, clock: str) -> None:
+        """Advance a single clock domain by one edge (Section 6.2)."""
+        commits = self._commits_by_clock.get(clock)
+        if commits is None:
+            raise KeyError(
+                f"unknown clock domain {clock!r}; domains: "
+                f"{sorted(self._commits_by_clock)}"
+            )
+        self._settle()
+        self._commit(commits)
+        self.cycle += 1
+        self._dirty = True
+
+    def run(self, cycles: int) -> None:
+        """Alias for :meth:`step`, for testbench readability."""
+        self.step(cycles)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> BatchSnapshot:
+        """Checkpoint the value plane + cycle (copy; O(slots * lanes))."""
+        self._settle()
+        return BatchSnapshot(copy_values(self.values, self.backend), self.cycle)
+
+    def restore(self, snapshot: BatchSnapshot) -> None:
+        """Return to a :meth:`snapshot` checkpoint."""
+        self.values = copy_values(snapshot.values, self.backend)
+        self.cycle = snapshot.cycle
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    @property
+    def clock_domains(self) -> List[str]:
+        return sorted(self._commits_by_clock)
+
+    @property
+    def signals(self) -> List[str]:
+        return sorted(self.bundle.signal_slots)
+
+    def _settle(self) -> None:
+        if not self._dirty:
+            return
+        self.kernel.eval_comb(self.values)
+        self._dirty = False
+
+    def _commit(self, commits: Iterable) -> None:
+        values = self.values
+        if self.backend == "python":
+            staged = [(state, list(values[next_slot])) for state, next_slot in commits]
+            for state, lane_values in staged:
+                values[state][:] = lane_values
+        else:
+            staged = [(state, values[next_slot].copy()) for state, next_slot in commits]
+            for state, lane_values in staged:
+                values[state] = lane_values
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchSimulator({self.bundle.design_name!r}, lanes={self.lanes}, "
+            f"kernel={self.kernel.name}, cycle={self.cycle})"
+        )

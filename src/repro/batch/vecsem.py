@@ -1,0 +1,133 @@
+"""Lane-vectorised operation semantics for the batched walk kernel.
+
+This is :mod:`repro.graph.opsem` lifted over the lane rank: every
+evaluator keeps the scalar signature ``fn(args, widths, out_width)`` but
+consumes and produces lane *vectors* (NumPy arrays of B lanes) instead of
+scalars.  The paper's map/reduce structure is preserved -- the map compute
+operator now maps over lanes as well as coordinates, and the reduce
+operator folds the ``O`` rank pairwise exactly as Algorithm 3 does --
+which is what makes the lane rank free: it rides along every Einsum
+without changing the traversal.
+
+Two modes share the formulas:
+
+* ``u64``    -- operands are uint64 lane vectors.  Wrap-around modulo
+  2**64 followed by the output-width mask is exact for every arithmetic
+  op once shifts are guarded (see :func:`repro.batch.backend.make_helpers`).
+* ``object`` -- operands are object arrays of Python ints, bit-exact at
+  any width.  Comparison results are normalised back to Python ints so
+  fixed-width NumPy scalars can never leak into the unbounded arithmetic.
+
+Bit-exactness against the scalar table is asserted op-by-op in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..graph.opsem import MAX_CHAIN
+from .backend import make_helpers
+
+#: Vector evaluator signature, mirroring :data:`repro.graph.opsem.Evaluator`.
+VecEvaluator = Callable[[Sequence[object], Sequence[int], int], object]
+
+
+def make_vec_table(np, mode: str = "u64") -> Dict[str, VecEvaluator]:
+    """Build the ``op name -> lane-vector evaluator`` table for one mode."""
+    object_mode = mode == "object"
+    helpers = make_helpers(np, object_mode=object_mode)
+    where = helpers["_where"]
+    vdiv, vrem = helpers["_div"], helpers["_rem"]
+    dshl, dshr, vhead, pop = (
+        helpers["_dshl"], helpers["_dshr"], helpers["_head"], helpers["_pop"],
+    )
+
+    def m(x, width):
+        """The slot-width mask, applied exactly where the scalar table does."""
+        if width <= 0:
+            return x & 0
+        return x & ((1 << width) - 1)
+
+    if object_mode:
+        def ii(comparison):
+            # bool ndarray -> object ndarray of Python ints (0/1), so that
+            # downstream unbounded arithmetic never sees numpy scalars.
+            return comparison.astype(object) * 1
+    else:
+        def ii(comparison):
+            return comparison  # storage rows cast bool -> uint64
+
+    table: Dict[str, VecEvaluator] = {}
+
+    def define(name: str, fn: VecEvaluator) -> None:
+        table[name] = fn
+
+    # -- reduce-class (binary) ops, same shapes as graph/opsem ----------
+    define("add", lambda a, w, ow: m(a[0] + a[1], ow))
+    define("sub", lambda a, w, ow: m(a[0] - a[1], ow))
+    define("mul", lambda a, w, ow: m(a[0] * a[1], ow))
+    define("div", lambda a, w, ow: m(vdiv(a[0], a[1]), ow))
+    define("rem", lambda a, w, ow: m(vrem(a[0], a[1]), ow))
+    define("lt", lambda a, w, ow: ii(a[0] < a[1]))
+    define("leq", lambda a, w, ow: ii(a[0] <= a[1]))
+    define("gt", lambda a, w, ow: ii(a[0] > a[1]))
+    define("geq", lambda a, w, ow: ii(a[0] >= a[1]))
+    define("eq", lambda a, w, ow: ii(a[0] == a[1]))
+    define("neq", lambda a, w, ow: ii(a[0] != a[1]))
+    define("and", lambda a, w, ow: a[0] & a[1])
+    define("or", lambda a, w, ow: a[0] | a[1])
+    define("xor", lambda a, w, ow: a[0] ^ a[1])
+    def cat(a, w, ow):
+        # A 64-bit lhs shift (only possible with a zero-width lhs) would be
+        # UB on uint64; the lhs is then constant zero, so pass rhs through.
+        if object_mode or w[1] < 64:
+            return m((a[0] << w[1]) | a[1], ow)
+        return m(a[1], ow)
+
+    define("cat", cat)
+    define("dshl", lambda a, w, ow: m(dshl(a[0], a[1], ow), ow))
+    define("shl", lambda a, w, ow: m(dshl(a[0], a[1], ow), ow))
+    define("dshr", lambda a, w, ow: m(dshr(a[0], a[1], w[0]), ow))
+    define("shr", lambda a, w, ow: m(dshr(a[0], a[1], w[0]), ow))
+    define("pad", lambda a, w, ow: m(a[0], ow))
+    define("head", lambda a, w, ow: m(vhead(a[0], a[1], w[0]), ow))
+    define("tail", lambda a, w, ow: m(a[0], ow))
+
+    # -- unary (map-class) ops ------------------------------------------
+    define("not", lambda a, w, ow: m(~a[0], ow))
+    define("neg", lambda a, w, ow: m(-a[0], ow))
+    define("cvt", lambda a, w, ow: m(a[0], ow))
+    define("andr", lambda a, w, ow: ii(a[0] == ((1 << w[0]) - 1)))
+    define("orr", lambda a, w, ow: ii(a[0] != 0))
+    define("xorr", lambda a, w, ow: pop(a[0]))
+    define("asUInt", lambda a, w, ow: m(a[0], ow))
+    define("asSInt", lambda a, w, ow: m(a[0], ow))
+    define("ident", lambda a, w, ow: m(a[0], ow))
+
+    # -- select (gather-all) ops ----------------------------------------
+    define("mux", lambda a, w, ow: m(where(a[0], a[1], a[2]), ow))
+    define("bits", lambda a, w, ow: m(dshr(a[0], a[2], w[0]), ow))
+
+    def muxchain(a, w, ow):
+        # [s1, v1, s2, v2, ..., default]: fold from the innermost out.
+        result = a[-1]
+        for position in range(len(a) - 3, -1, -2):
+            result = where(a[position], a[position + 1], result)
+        return m(result, ow)
+
+    def logic_chain(op):
+        def fn(a, w, ow):
+            result = a[0]
+            for value in a[1:]:
+                result = op(result, value)
+            return m(result, ow)
+
+        return fn
+
+    for k in range(2, MAX_CHAIN + 1):
+        define(f"muxchain{k}", muxchain)
+        define(f"orchain{k}", logic_chain(lambda x, y: x | y))
+        define(f"andchain{k}", logic_chain(lambda x, y: x & y))
+        define(f"xorchain{k}", logic_chain(lambda x, y: x ^ y))
+
+    return table

@@ -6,10 +6,19 @@ Public API::
     from repro.experiments import scalability, main_eval, ablations
 """
 
-from . import ablations, common, kernel_study, main_eval, motivation, scalability
+from . import (
+    ablations,
+    batch_throughput,
+    common,
+    kernel_study,
+    main_eval,
+    motivation,
+    scalability,
+)
 
 __all__ = [
     "ablations",
+    "batch_throughput",
     "common",
     "kernel_study",
     "main_eval",

@@ -12,7 +12,14 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict
 
-from . import ablations, kernel_study, main_eval, motivation, scalability
+from . import (
+    ablations,
+    batch_throughput,
+    kernel_study,
+    main_eval,
+    motivation,
+    scalability,
+)
 
 RENDERERS: Dict[str, Callable[[], str]] = {
     "fig7": motivation.render_fig07,
@@ -33,6 +40,7 @@ RENDERERS: Dict[str, Callable[[], str]] = {
     "ablation-identity": ablations.render_identity_elision,
     "ablation-fusion": ablations.render_mux_fusion,
     "ablation-repcut": ablations.render_repcut,
+    "batch-throughput": batch_throughput.render_batch_throughput,
 }
 
 

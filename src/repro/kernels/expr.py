@@ -57,6 +57,123 @@ def cpp_expr(
     return expr
 
 
+def numpy_expr(
+    op: str, args: Sequence[str], widths: Sequence[int], out_width: int
+) -> str:
+    """Render one operation as a NumPy expression over lane-vector ``args``.
+
+    Used by the batched straight-line kernel (:mod:`repro.batch.kernels`):
+    each arg names a uint64 lane vector (one row of the batched value
+    plane), so Python conditionals become ``_where`` and the data-dependent
+    or shift-guarded operations call helpers (``_div``, ``_rem``, ``_dshl``,
+    ``_dshr``, ``_head``, ``_pop``) that the kernel injects into the
+    generated namespace.  Only valid when every slot width fits uint64;
+    wider designs take the object-array walk kernel instead.
+    """
+    expr = _numpy_core(op, args, widths, out_width)
+    if needs_mask(op):
+        return f"({expr}) & {_mask_literal(out_width, 'py')}"
+    return expr
+
+
+def _const_shift(text: str) -> int | None:
+    """Shift amounts reach codegen as inlined decimal constants."""
+    try:
+        return int(text, 0)
+    except ValueError:
+        return None
+
+
+def _numpy_core(
+    op: str, args: Sequence[str], widths: Sequence[int], out_width: int
+) -> str:
+    a = list(args)
+    if op == "add":
+        return f"{a[0]} + {a[1]}"
+    if op == "sub":
+        return f"{a[0]} - {a[1]}"
+    if op == "mul":
+        return f"{a[0]} * {a[1]}"
+    if op == "div":
+        return f"_div({a[0]}, {a[1]})"
+    if op == "rem":
+        return f"_rem({a[0]}, {a[1]})"
+    if op in ("lt", "leq", "gt", "geq", "eq", "neq"):
+        symbol = {"lt": "<", "leq": "<=", "gt": ">", "geq": ">=", "eq": "==", "neq": "!="}[op]
+        return f"({a[0]} {symbol} {a[1]})"
+    if op == "and":
+        return f"{a[0]} & {a[1]}"
+    if op == "or":
+        return f"{a[0]} | {a[1]}"
+    if op == "xor":
+        return f"{a[0]} ^ {a[1]}"
+    if op == "cat":
+        if widths[1] >= 64:
+            return a[1]  # a 64-bit shift only arises with a zero-width lhs
+        return f"({a[0]} << {widths[1]}) | {a[1]}"
+    if op in ("dshl", "shl"):
+        shift = _const_shift(a[1])
+        if shift is None:
+            return f"_dshl({a[0]}, {a[1]}, {out_width})"
+        if shift >= out_width:
+            return f"{a[0]} & 0"
+        return f"{a[0]} << {shift}"
+    if op in ("dshr", "shr"):
+        shift = _const_shift(a[1])
+        if shift is None:
+            return f"_dshr({a[0]}, {a[1]}, {widths[0]})"
+        if shift >= widths[0]:
+            return f"{a[0]} & 0"
+        return f"{a[0]} >> {shift}"
+    if op == "pad":
+        return a[0]
+    if op == "tail":
+        return a[0]
+    if op == "head":
+        head = _const_shift(a[1])
+        if head is None:
+            return f"_head({a[0]}, {a[1]}, {widths[0]})"
+        shift = max(widths[0] - head, 0)
+        if shift >= widths[0] and widths[0] > 0:
+            return f"{a[0]} & 0"
+        return f"{a[0]} >> {shift}" if shift else a[0]
+    if op == "not":
+        return f"~{a[0]}"
+    if op == "neg":
+        return f"-{a[0]}"
+    if op in ("cvt", "asUInt", "asSInt", "ident"):
+        return a[0]
+    if op == "andr":
+        full = (1 << widths[0]) - 1
+        return f"({a[0]} == {hex(full)})"
+    if op == "orr":
+        return f"({a[0]} != 0)"
+    if op == "xorr":
+        return f"_pop({a[0]})"
+    if op == "mux":
+        return f"_where({a[0]}, {a[1]}, {a[2]})"
+    if op == "bits":
+        # a = [value, hi, lo]; hi/lo reach codegen as inline constants.
+        shift = _const_shift(a[2])
+        if shift is None:
+            return f"_dshr({a[0]}, {a[2]}, {widths[0]})"
+        if shift >= widths[0] and widths[0] > 0:
+            return f"{a[0]} & 0"
+        return f"({a[0]} >> {shift})"
+
+    base = op.rstrip("0123456789")
+    if base == "muxchain":
+        # a = [s1, v1, s2, v2, ..., default]; build from the innermost out.
+        expression = a[-1]
+        for position in range(len(a) - 3, -1, -2):
+            expression = f"_where({a[position]}, {a[position + 1]}, {expression})"
+        return expression
+    if base in ("orchain", "andchain", "xorchain"):
+        symbol = {"orchain": "|", "andchain": "&", "xorchain": "^"}[base]
+        return f" {symbol} ".join(a)
+    raise KeyError(f"no numpy expression template for op {op!r}")
+
+
 def _core_expr(
     op: str, args: Sequence[str], widths: Sequence[int], out_width: int, lang: str
 ) -> str:

@@ -7,7 +7,7 @@ Public API::
 
 from .clocks import ClockSchedule, ClockSpec
 from .dmi import DmiPort, DmiTransaction, FrontendServer
-from .simulator import Simulator, compile_design
+from .simulator import SimSnapshot, Simulator, compile_design
 from .testbench import Testbench, TraceDiff, compare_traces, run_lockstep
 from .waveform import VcdWriter
 
@@ -17,6 +17,7 @@ __all__ = [
     "DmiPort",
     "DmiTransaction",
     "FrontendServer",
+    "SimSnapshot",
     "Simulator",
     "Testbench",
     "TraceDiff",

@@ -12,7 +12,8 @@ synchronising at cycle end (Section 6.2).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from ..firrtl.elaborate import FlatDesign, elaborate
 from ..firrtl.parser import parse
@@ -44,6 +45,26 @@ def compile_design(
             design, _ = optimize(design, preserve_signals=preserve_signals)
         return build_oim(design)
     raise TypeError(f"cannot compile {type(design).__name__} into a design")
+
+
+def group_commits_by_clock(bundle: OimBundle) -> Dict[str, List[Tuple[int, int]]]:
+    """Partition register commits per clock domain (Section 6.2).
+
+    Shared by the scalar simulator and :class:`repro.batch.BatchSimulator`.
+    """
+    groups: Dict[str, List[Tuple[int, int]]] = {}
+    clocks = bundle.register_clocks or ["clock"] * len(bundle.register_commits)
+    for commit, clock in zip(bundle.register_commits, clocks):
+        groups.setdefault(clock, []).append(commit)
+    return groups
+
+
+@dataclass
+class SimSnapshot:
+    """A cheap checkpoint of simulator state (see ``Simulator.snapshot``)."""
+
+    values: List[int]
+    cycle: int
 
 
 class Simulator:
@@ -93,17 +114,7 @@ class Simulator:
         self.values: List[int] = self.bundle.initial_values()
         self.cycle = 0
         self._dirty = True
-        self._commits_by_clock = self._group_commits()
-
-    # ------------------------------------------------------------------
-    def _group_commits(self) -> Dict[str, List]:
-        groups: Dict[str, List] = {}
-        clocks = self.bundle.register_clocks or ["clock"] * len(
-            self.bundle.register_commits
-        )
-        for commit, clock in zip(self.bundle.register_commits, clocks):
-            groups.setdefault(clock, []).append(commit)
-        return groups
+        self._commits_by_clock = group_commits_by_clock(self.bundle)
 
     # ------------------------------------------------------------------
     # Host interface
@@ -175,6 +186,25 @@ class Simulator:
     def run(self, cycles: int) -> None:
         """Alias for :meth:`step`, for testbench readability."""
         self.step(cycles)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SimSnapshot:
+        """Checkpoint the value array + cycle, cheaply (one list copy).
+
+        Lets testbenches and the batch engine fork simulation state --
+        e.g. settle a common preamble once, then replay divergent suffixes
+        from the checkpoint via :meth:`restore`.
+        """
+        self._settle()
+        return SimSnapshot(list(self.values), self.cycle)
+
+    def restore(self, snapshot: SimSnapshot) -> None:
+        """Return to a :meth:`snapshot` checkpoint."""
+        self.values = list(snapshot.values)
+        self.cycle = snapshot.cycle
+        self._dirty = True
 
     # ------------------------------------------------------------------
     def _settle(self) -> None:

@@ -7,7 +7,9 @@ Public API::
 
 from .stimulus import (
     SIM_CYCLES,
+    BatchWorkload,
     Workload,
+    batched_workload_for,
     dhrystone_stimulus,
     matrix_add_stimulus,
     sha3_rocc_stimulus,
@@ -17,7 +19,9 @@ from .stimulus import (
 
 __all__ = [
     "SIM_CYCLES",
+    "BatchWorkload",
     "Workload",
+    "batched_workload_for",
     "dhrystone_stimulus",
     "matrix_add_stimulus",
     "sha3_rocc_stimulus",

@@ -17,7 +17,7 @@ Table 3's simulation cycle counts are reproduced (scaled) in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 #: Paper Table 3: simulated cycles per design (thousands), full scale.
 PAPER_SIM_CYCLES_K: Dict[str, int] = {
@@ -173,13 +173,74 @@ def sha3_rocc_stimulus(
     return Workload("sha3-rocc", drivers)
 
 
-def workload_for(design_name: str) -> Workload:
-    """The paper's workload pairing: Table 3."""
+def workload_for(design_name: str, seed: Optional[int] = None) -> Workload:
+    """The paper's workload pairing: Table 3.
+
+    ``seed`` reseeds the stimulus stream (used by batched stimulus to give
+    every lane an independent stream); ``None`` keeps each family's
+    historical default seed.
+    """
     family = design_name.split("-")[0]
+    kwargs = {} if seed is None else {"seed": seed}
     if family in ("rocket", "small", "r", "s"):
-        return dhrystone_stimulus()
+        return dhrystone_stimulus(**kwargs)
     if family in ("gemmini", "g"):
-        return matrix_add_stimulus()
+        return matrix_add_stimulus(**kwargs)
     if family == "sha3":
-        return sha3_rocc_stimulus()
+        return sha3_rocc_stimulus(**kwargs)
     raise KeyError(f"no workload mapping for design {design_name!r}")
+
+
+# ----------------------------------------------------------------------
+# Batched stimulus: one independent seed per lane
+# ----------------------------------------------------------------------
+
+#: Weyl-style lane seed spacing: adjacent lanes get well-separated streams.
+LANE_SEED_STRIDE = 0x9E3779B9
+
+
+@dataclass
+class BatchWorkload:
+    """Per-lane stimulus for a :class:`repro.batch.BatchSimulator`.
+
+    Holds one scalar :class:`Workload` per lane (each with its own seed)
+    and pokes per-lane input *vectors* in one call per input.  ``lane(i)``
+    exposes the underlying scalar workload so lockstep tests can drive a
+    scalar simulator with exactly lane ``i``'s stream.
+    """
+
+    name: str
+    lanes: List[Workload]
+
+    @property
+    def lane_count(self) -> int:
+        return len(self.lanes)
+
+    def lane(self, index: int) -> Workload:
+        return self.lanes[index]
+
+    def apply(self, simulator, cycle: int) -> None:
+        for name in self.lanes[0].drivers:
+            simulator.poke(
+                name, [lane.drivers[name](cycle) for lane in self.lanes]
+            )
+
+
+def batched_workload_for(
+    design_name: str, lanes: int, base_seed: int = 0xB47C4
+) -> BatchWorkload:
+    """Table 3's workload for ``design_name``, widened to ``lanes`` seeds.
+
+    Lane ``i`` receives the scalar workload reseeded with
+    ``base_seed + i * LANE_SEED_STRIDE`` (mod 2**32): the multi-seed
+    regression sweep the batch engine is built for.
+    """
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
+    per_lane = [
+        workload_for(
+            design_name, seed=(base_seed + index * LANE_SEED_STRIDE) & 0xFFFFFFFF
+        )
+        for index in range(lanes)
+    ]
+    return BatchWorkload(f"{per_lane[0].name}x{lanes}", per_lane)

@@ -1,0 +1,278 @@
+"""Tests for repro.batch: lane-wise lockstep equivalence with the scalar
+simulator, backend selection/fallback, and checkpointing."""
+
+import pytest
+
+from repro.batch import BatchSimulator, HAS_NUMPY, pick_backend
+from repro.batch.backend import supports_u64
+from repro.designs.registry import compile_named_design
+from repro.sim import Simulator
+from repro.workloads.stimulus import batched_workload_for
+
+LANES = 3
+CYCLES = 24
+
+#: >=3 registry designs; sha3 has 65-bit slots, exercising the object
+#: backend (and the codegen->walk degrade) on the NumPy path.
+DESIGNS = ("rocket-1", "gemmini-8", "sha3")
+#: >=2 kernel configs: one walk-style, one codegen-style.
+KERNELS = ("PSU", "SU")
+
+
+def assert_lockstep(design, kernel, lanes, cycles, backend="auto"):
+    """B-lane batch run must be bit-exact with B scalar runs, per cycle."""
+    bundle = compile_named_design(design)
+    workload = batched_workload_for(design, lanes)
+    batch = BatchSimulator(bundle, lanes=lanes, kernel=kernel, backend=backend)
+    scalars = [Simulator(bundle, kernel=kernel) for _ in range(lanes)]
+    outputs = sorted(set(bundle.output_slots) & set(bundle.signal_slots))
+    assert outputs, f"no observable outputs on {bundle.design_name}"
+    for cycle in range(cycles):
+        workload.apply(batch, cycle)
+        for lane, scalar in enumerate(scalars):
+            workload.lane(lane).apply(scalar, cycle)
+        for name in outputs:
+            got = batch.peek(name)
+            want = [scalar.peek(name) for scalar in scalars]
+            assert got == want, (
+                f"{design}/{kernel}/{backend}: lane divergence on {name!r} "
+                f"at cycle {cycle}: {got} != {want}"
+            )
+        batch.step()
+        for scalar in scalars:
+            scalar.step()
+    return batch
+
+
+class TestLockstepEquivalence:
+    @pytest.mark.parametrize("design", DESIGNS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_registry_designs(self, design, kernel):
+        assert_lockstep(design, kernel, LANES, CYCLES)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_python_fallback_backend(self, kernel):
+        batch = assert_lockstep("gemmini-8", kernel, LANES, 12, backend="python")
+        assert batch.backend == "python"
+        assert batch.kernel.style == "python"
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="NumPy not installed")
+    def test_backend_auto_selection(self):
+        rocket = compile_named_design("rocket-1")
+        sha3 = compile_named_design("sha3")
+        assert supports_u64(rocket) and not supports_u64(sha3)
+        assert BatchSimulator(rocket, lanes=2).backend == "u64"
+        assert BatchSimulator(sha3, lanes=2).backend == "object"
+        # SU on a wide design transparently takes the walk kernel.
+        assert BatchSimulator(sha3, lanes=2, kernel="SU").kernel.style == "walk"
+        assert BatchSimulator(rocket, lanes=2, kernel="SU").kernel.style == "codegen"
+
+    def test_pick_backend_without_numpy(self):
+        bundle = compile_named_design("rocket-1")
+        assert pick_backend(bundle, "auto", np_module=None) == "python"
+        with pytest.raises(RuntimeError):
+            pick_backend(bundle, "u64", np_module=None)
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="NumPy not installed")
+    def test_u64_rejected_for_wide_design(self):
+        with pytest.raises(ValueError):
+            BatchSimulator(compile_named_design("sha3"), lanes=2, backend="u64")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError):
+            BatchSimulator(compile_named_design("rocket-1"), lanes=2, backend="gpu")
+
+
+class TestBatchApi:
+    def test_poke_broadcast_and_vector(self, counter_src):
+        batch = BatchSimulator(counter_src, lanes=4)
+        batch.poke("enable", 1)                 # broadcast
+        batch.step(2)
+        assert batch.peek("count") == [2, 2, 2, 2]
+        batch.poke("enable", [1, 0, 1, 0])      # per lane
+        batch.step()
+        assert batch.peek("count") == [3, 2, 3, 2]
+        assert batch.peek_lane("count", 1) == 2
+
+    def test_poke_wrong_lane_count(self, counter_src):
+        batch = BatchSimulator(counter_src, lanes=4)
+        with pytest.raises(ValueError):
+            batch.poke("enable", [1, 0])
+
+    def test_poke_unknown_input(self, counter_src):
+        with pytest.raises(KeyError):
+            BatchSimulator(counter_src, lanes=2).poke("bogus", 1)
+
+    def test_peek_unknown_signal(self, counter_src):
+        with pytest.raises(KeyError):
+            BatchSimulator(counter_src, lanes=2).peek("bogus")
+
+    def test_peek_returns_python_ints(self, counter_src):
+        batch = BatchSimulator(counter_src, lanes=2)
+        batch.poke("enable", 1)
+        batch.step()
+        values = batch.peek("count")
+        assert all(type(value) is int for value in values)
+
+    def test_lanes_validated(self, counter_src):
+        with pytest.raises(ValueError):
+            BatchSimulator(counter_src, lanes=0)
+
+    def test_activity_kernel_rejected(self, counter_src):
+        with pytest.raises(ValueError):
+            BatchSimulator(counter_src, lanes=2, kernel="activity:PSU")
+
+    def test_reset_preserves_per_lane_pokes(self, counter_src):
+        batch = BatchSimulator(counter_src, lanes=3)
+        batch.poke("enable", [1, 0, 1])
+        batch.step(5)
+        batch.reset()
+        assert batch.cycle == 0
+        assert batch.peek("count") == [0, 0, 0]
+        batch.step()
+        assert batch.peek("count") == [1, 0, 1]  # pokes survived the reset
+
+    def test_preserve_signals(self, mixed_src):
+        batch = BatchSimulator(mixed_src, lanes=2, preserve_signals=True)
+        batch.poke("a", [10, 1])
+        batch.poke("b", [20, 2])
+        assert batch.peek("s") == [30, 3]  # the internal adder node
+
+    def test_repr(self, counter_src):
+        text = repr(BatchSimulator(counter_src, lanes=2))
+        assert "Counter" in text and "lanes=2" in text
+
+
+class TestMultiClock:
+    SRC = (
+        "circuit Dual :\n"
+        "  module Dual :\n"
+        "    input clock : Clock\n"
+        "    input clk2 : Clock\n"
+        "    input a : UInt<8>\n"
+        "    output fast_out : UInt<8>\n"
+        "    output slow_out : UInt<8>\n"
+        "    reg fast : UInt<8>, clock\n"
+        "    reg slow : UInt<8>, clk2\n"
+        "    fast <= a\n"
+        "    slow <= fast\n"
+        "    fast_out <= fast\n"
+        "    slow_out <= slow\n"
+    )
+
+    def test_domains_discovered(self):
+        assert BatchSimulator(self.SRC, lanes=2).clock_domains == ["clk2", "clock"]
+
+    def test_step_domain_only_commits_that_domain(self):
+        batch = BatchSimulator(self.SRC, lanes=2)
+        batch.poke("a", [42, 7])
+        batch.step_domain("clock")
+        assert batch.peek("fast_out") == [42, 7]
+        assert batch.peek("slow_out") == [0, 0]  # clk2 has not ticked
+        batch.step_domain("clk2")
+        assert batch.peek("slow_out") == [42, 7]
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(KeyError):
+            BatchSimulator(self.SRC, lanes=2).step_domain("clk9")
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_step_domain_lockstep_with_scalar(self, kernel, rng):
+        lanes = 3
+        batch = BatchSimulator(self.SRC, lanes=lanes, kernel=kernel)
+        scalars = [Simulator(self.SRC, kernel=kernel) for _ in range(lanes)]
+        for cycle in range(16):
+            values = [rng.randrange(256) for _ in range(lanes)]
+            batch.poke("a", values)
+            for lane, scalar in enumerate(scalars):
+                scalar.poke("a", values[lane])
+            domain = ("clock", "clk2")[cycle % 2]
+            batch.step_domain(domain)
+            for scalar in scalars:
+                scalar.step_domain(domain)
+            for name in ("fast_out", "slow_out"):
+                assert batch.peek(name) == [s.peek(name) for s in scalars]
+
+
+class TestSnapshotRestore:
+    def test_scalar_snapshot_roundtrip(self, counter_src):
+        simulator = Simulator(counter_src)
+        simulator.poke("enable", 1)
+        simulator.step(3)
+        checkpoint = simulator.snapshot()
+        simulator.step(4)
+        assert simulator.peek("count") == 7
+        simulator.restore(checkpoint)
+        assert simulator.cycle == 3
+        assert simulator.peek("count") == 3
+        simulator.step(4)
+        assert simulator.peek("count") == 7  # deterministic replay
+
+    def test_scalar_snapshot_is_isolated(self, counter_src):
+        simulator = Simulator(counter_src)
+        simulator.poke("enable", 1)
+        checkpoint = simulator.snapshot()
+        simulator.step(5)
+        assert checkpoint.cycle == 0
+        simulator.restore(checkpoint)
+        assert simulator.peek("count") == 0
+
+    @pytest.mark.parametrize("backend", ("auto", "python"))
+    def test_batch_snapshot_roundtrip(self, counter_src, backend):
+        batch = BatchSimulator(counter_src, lanes=3, backend=backend)
+        batch.poke("enable", [1, 1, 0])
+        batch.step(2)
+        checkpoint = batch.snapshot()
+        batch.step(3)
+        assert batch.peek("count") == [5, 5, 0]
+        batch.restore(checkpoint)
+        assert batch.cycle == 2
+        assert batch.peek("count") == [2, 2, 0]
+        batch.step(3)
+        assert batch.peek("count") == [5, 5, 0]
+
+    def test_batch_snapshot_is_isolated(self, counter_src):
+        batch = BatchSimulator(counter_src, lanes=2)
+        batch.poke("enable", 1)
+        checkpoint = batch.snapshot()
+        batch.step(4)  # must not corrupt the checkpoint's plane
+        batch.restore(checkpoint)
+        assert batch.peek("count") == [0, 0]
+
+
+class TestWideDesigns:
+    WIDE_SRC = (
+        "circuit Wide :\n"
+        "  module Wide :\n"
+        "    input clock : Clock\n"
+        "    input lo : UInt<64>\n"
+        "    input hi : UInt<16>\n"
+        "    output out : UInt<80>\n"
+        "    output folded : UInt<64>\n"
+        "    reg acc : UInt<80>, clock\n"
+        "    node wide = cat(hi, lo)\n"
+        "    acc <= xor(acc, wide)\n"
+        "    out <= acc\n"
+        "    folded <= bits(acc, 63, 0)\n"
+    )
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="NumPy not installed")
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_object_backend_lockstep(self, kernel, rng):
+        lanes = 3
+        batch = BatchSimulator(self.WIDE_SRC, lanes=lanes, kernel=kernel)
+        assert batch.backend == "object"
+        scalars = [Simulator(self.WIDE_SRC, kernel=kernel) for _ in range(lanes)]
+        for cycle in range(16):
+            lo = [rng.randrange(1 << 64) for _ in range(lanes)]
+            hi = [rng.randrange(1 << 16) for _ in range(lanes)]
+            batch.poke("lo", lo)
+            batch.poke("hi", hi)
+            for lane, scalar in enumerate(scalars):
+                scalar.poke("lo", lo[lane])
+                scalar.poke("hi", hi[lane])
+            for name in ("out", "folded"):
+                assert batch.peek(name) == [s.peek(name) for s in scalars]
+            batch.step()
+            for scalar in scalars:
+                scalar.step()
