@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: fresh bench JSON vs the checked-in baseline.
+
+Loose by design -- benches run on whatever host CI hands us, so the gate
+only fails when a row's lane-cycles/sec drops more than ``--factor``
+(default 5x) below the recorded baseline: it catches order-of-magnitude
+regressions (an accidentally de-vectorised kernel, a quadratic sync
+loop), not scheduling noise.
+
+    python benchmarks/perf_gate.py --baseline BENCH_batch.json \
+        --current /tmp/batch_tiny.json --factor 5
+
+Rows are matched on their identity fields (design / kernel / lanes /
+partitions / executor -- whichever are present); rows only one side has
+are ignored, so a ``--tiny`` sweep gates against the full recorded grid.
+A NumPy-availability mismatch between baseline and current skips the
+gate (the engines measured are not comparable), as does a missing
+baseline file, so new benches can land before their first baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Tuple
+
+#: Fields identifying a row (used when present, in this order).
+KEY_FIELDS = ("design", "kernel", "lanes", "partitions", "executor")
+#: The gated metric, by preference: sharded rows record ``lane_cps``,
+#: batched rows ``batch_lane_cps``.
+METRIC_FIELDS = ("lane_cps", "batch_lane_cps")
+
+
+def row_key(row: Dict[str, object]) -> Tuple:
+    return tuple((field, row[field]) for field in KEY_FIELDS if field in row)
+
+
+def row_metric(row: Dict[str, object]):
+    for field in METRIC_FIELDS:
+        if field in row:
+            return field, float(row[field])
+    return None, None
+
+
+def gate(baseline: dict, current: dict, factor: float) -> int:
+    if bool(baseline.get("numpy")) != bool(current.get("numpy")):
+        print(
+            f"perf-gate: numpy availability differs (baseline="
+            f"{baseline.get('numpy')}, current={current.get('numpy')}); "
+            "engines are not comparable -- skipping"
+        )
+        return 0
+    base_rows = {row_key(row): row for row in baseline.get("rows", [])}
+    compared = 0
+    failures = []
+    for row in current.get("rows", []):
+        reference = base_rows.get(row_key(row))
+        if reference is None:
+            continue
+        metric, value = row_metric(row)
+        ref_metric, ref_value = row_metric(reference)
+        if metric is None or ref_metric is None or ref_value is None:
+            continue
+        compared += 1
+        floor = ref_value / factor
+        status = "ok" if value >= floor else "FAIL"
+        label = ", ".join(f"{k}={v}" for k, v in row_key(row))
+        print(
+            f"  [{status}] {label}: {metric} {value:.1f} "
+            f"(baseline {ref_value:.1f}, floor {floor:.1f})"
+        )
+        if value < floor:
+            failures.append(label)
+    if compared == 0:
+        print("perf-gate: no comparable rows between baseline and current")
+        return 0
+    if failures:
+        print(
+            f"perf-gate: {len(failures)}/{compared} rows regressed more "
+            f"than {factor}x below baseline"
+        )
+        return 1
+    print(f"perf-gate: {compared} rows within {factor}x of baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_*.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured bench JSON")
+    parser.add_argument("--factor", type=float, default=5.0,
+                        help="allowed slowdown before failing (default 5x)")
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"perf-gate: no baseline at {baseline_path} -- skipping")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    current = json.loads(Path(args.current).read_text())
+    return gate(baseline, current, args.factor)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,8 +12,15 @@ paper-vs-measured record.
 """
 
 from .batch import BatchSimulator
+from .shard import ShardedBatchSimulator
 from .sim.simulator import Simulator, compile_design
 
 __version__ = "0.1.0"
 
-__all__ = ["BatchSimulator", "Simulator", "compile_design", "__version__"]
+__all__ = [
+    "BatchSimulator",
+    "ShardedBatchSimulator",
+    "Simulator",
+    "compile_design",
+    "__version__",
+]

@@ -15,7 +15,7 @@ hardware-accurate in every lane.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Union
+from typing import Iterable, List, Sequence, Tuple, Union
 
 from ..firrtl.primops import mask
 from ..kernels.config import KernelConfig
@@ -28,10 +28,16 @@ LaneValues = Union[int, Sequence[int]]
 
 @dataclass
 class BatchSnapshot:
-    """A cheap checkpoint of the batched value plane (see ``snapshot``)."""
+    """A cheap checkpoint of the batched value plane (see ``snapshot``).
+
+    Backend-native (a NumPy plane or list-of-lists): restorable only onto
+    a simulator with the same backend and plane shape.  Use
+    ``export_state`` for a portable checkpoint.
+    """
 
     values: object
     cycle: int
+    backend: str = ""
 
 
 class BatchSimulator:
@@ -119,6 +125,45 @@ class BatchSimulator:
         self._settle()
         return row_to_ints(self.values[slot])
 
+    # ------------------------------------------------------------------
+    # Raw lane-row access (the sharded RUM exchange path)
+    # ------------------------------------------------------------------
+    def peek_row(self, name: str, settle: bool = True) -> List[int]:
+        """One signal's lane vector, optionally without settling.
+
+        ``settle=False`` is only valid for slots whose value does not
+        depend on the pending combinational pass -- register state and
+        input slots.  The sharded simulator reads owned registers right
+        after the commit with it, which keeps the per-cycle exchange from
+        paying a second full ``eval_comb``.
+        """
+        slot = self.bundle.signal_slots.get(name)
+        if slot is None:
+            raise KeyError(
+                f"unknown signal {name!r} on {self.bundle.design_name}"
+            )
+        if settle:
+            self._settle()
+        return row_to_ints(self.values[slot])
+
+    def poke_row(self, name: str, lane_values: Sequence[int]) -> None:
+        """Refresh an input slot with an already-masked lane vector.
+
+        The replica-refresh half of the RUM exchange: a replica input
+        mirrors a register of identical width in another partition, so the
+        per-lane masking of :meth:`poke` is skipped.
+        """
+        slot = self.bundle.input_slots.get(name)
+        if slot is None:
+            raise KeyError(f"{name!r} is not an input of {self.bundle.design_name}")
+        if len(lane_values) != self.lanes:
+            raise ValueError(
+                f"poke_row({name!r}) got {len(lane_values)} values for "
+                f"{self.lanes} lanes"
+            )
+        write_row(self.values, slot, lane_values, self.backend)
+        self._dirty = True
+
     def reset(self) -> None:
         """Restore registers and constants to their initial values in every
         lane; poked input values are preserved per lane (scalar parity)."""
@@ -165,12 +210,53 @@ class BatchSimulator:
     def snapshot(self) -> BatchSnapshot:
         """Checkpoint the value plane + cycle (copy; O(slots * lanes))."""
         self._settle()
-        return BatchSnapshot(copy_values(self.values, self.backend), self.cycle)
+        return BatchSnapshot(
+            copy_values(self.values, self.backend), self.cycle, self.backend
+        )
 
     def restore(self, snapshot: BatchSnapshot) -> None:
-        """Return to a :meth:`snapshot` checkpoint."""
-        self.values = copy_values(snapshot.values, self.backend)
+        """Return to a :meth:`snapshot` checkpoint (same backend/shape)."""
+        if snapshot.backend and snapshot.backend != self.backend:
+            raise ValueError(
+                f"snapshot uses the {snapshot.backend!r} backend, this "
+                f"simulator uses {self.backend!r}"
+            )
+        values = snapshot.values
+        if len(values) != self.bundle.num_slots:
+            raise ValueError(
+                f"snapshot has {len(values)} slots, design "
+                f"{self.bundle.design_name!r} has {self.bundle.num_slots}"
+            )
+        if len(values) and len(values[0]) != self.lanes:
+            raise ValueError(
+                f"snapshot has {len(values[0])} lanes, simulator has "
+                f"{self.lanes}"
+            )
+        self.values = copy_values(values, self.backend)
         self.cycle = snapshot.cycle
+        self._dirty = True
+
+    def export_state(self) -> Tuple[List[List[int]], int]:
+        """The value plane as nested Python ints, plus the cycle count.
+
+        Unlike :class:`BatchSnapshot` (backend-native, cheap, same
+        process), the exported form is portable: plain lists pickle across
+        process boundaries, which is how the sharded process executor
+        checkpoints its workers.
+        """
+        self._settle()
+        return [row_to_ints(row) for row in self.values], self.cycle
+
+    def import_state(self, rows: List[List[int]], cycle: int) -> None:
+        """Load a plane previously produced by :meth:`export_state`."""
+        if len(rows) != self.bundle.num_slots:
+            raise ValueError(
+                f"state has {len(rows)} slots, design has "
+                f"{self.bundle.num_slots}"
+            )
+        for slot, row in enumerate(rows):
+            write_row(self.values, slot, row, self.backend)
+        self.cycle = cycle
         self._dirty = True
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from . import (
     main_eval,
     motivation,
     scalability,
+    shard_throughput,
 )
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "main_eval",
     "motivation",
     "scalability",
+    "shard_throughput",
 ]

@@ -19,6 +19,7 @@ from . import (
     main_eval,
     motivation,
     scalability,
+    shard_throughput,
 )
 
 RENDERERS: Dict[str, Callable[[], str]] = {
@@ -41,6 +42,7 @@ RENDERERS: Dict[str, Callable[[], str]] = {
     "ablation-fusion": ablations.render_mux_fusion,
     "ablation-repcut": ablations.render_repcut,
     "batch-throughput": batch_throughput.render_batch_throughput,
+    "shard-throughput": shard_throughput.render_shard_throughput,
 }
 
 

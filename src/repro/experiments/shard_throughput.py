@@ -1,0 +1,193 @@
+"""Sharded-batched throughput: lane-cycles/sec over a B × P grid.
+
+Measures the ROADMAP's sharding direction on *this* reproduction: how
+fast does a :class:`repro.shard.ShardedBatchSimulator` (B lanes × P
+RepCut partitions) advance, per executor?  As with
+:mod:`~repro.experiments.batch_throughput`, these are measured
+wall-clock numbers of the executable Python kernels -- absolute rates
+are host-dependent.
+
+Each row also records the measured *critical path* rate: lane-cycles/sec
+against the sum over cycles of the slowest partition's kernel time.
+That is the per-cycle cost a host with >= P free cores pays; on a
+single-CPU host the wall-clock ``process``/``thread`` rates degenerate
+to time-slicing (no parallel win is physically possible there), while
+the critical path stays an honest measurement of the exposed
+parallelism.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..designs.registry import compiled_graph
+from ..workloads.stimulus import batched_workload_for
+from .common import format_table
+
+DEFAULT_DESIGNS: Tuple[str, ...] = ("rocket-1", "gemmini-8")
+DEFAULT_LANES: Tuple[int, ...] = (8, 32)
+DEFAULT_PARTITIONS: Tuple[int, ...] = (1, 2, 4)
+DEFAULT_EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process")
+DEFAULT_CYCLES = 12
+
+
+@dataclass
+class ShardRow:
+    """One (design, B, P, executor) measurement."""
+
+    design: str
+    kernel: str
+    lanes: int
+    partitions: int
+    executor: str
+    cycles: int
+    lane_cps: float
+    critical_path_lane_cps: float
+    replication_overhead: float
+    styles: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "design": self.design,
+            "kernel": self.kernel,
+            "lanes": self.lanes,
+            "partitions": self.partitions,
+            "executor": self.executor,
+            "cycles": self.cycles,
+            "lane_cps": self.lane_cps,
+            "critical_path_lane_cps": self.critical_path_lane_cps,
+            "replication_overhead": self.replication_overhead,
+            "styles": self.styles,
+        }
+
+
+def measure(
+    design_name: str,
+    kernel: str = "PSU",
+    lanes: int = 8,
+    partitions: int = 2,
+    executor: str = "serial",
+    cycles: int = DEFAULT_CYCLES,
+    base_seed: int = 0xB47C4,
+) -> ShardRow:
+    """Measure one grid point (one warm-up cycle, then ``cycles`` timed)."""
+    from ..shard import ShardedBatchSimulator
+
+    graph = compiled_graph(design_name)
+    workload = batched_workload_for(design_name, lanes, base_seed=base_seed)
+    with ShardedBatchSimulator(
+        graph,
+        lanes=lanes,
+        num_partitions=partitions,
+        kernel=kernel,
+        executor=executor,
+    ) as sim:
+        workload.apply(sim, 0)
+        sim.step()  # warm-up: first settle builds nothing, but be uniform
+        mark_max = sim.step_max_seconds
+        start = time.perf_counter()
+        for cycle in range(1, cycles + 1):
+            workload.apply(sim, cycle)
+            sim.step()
+        elapsed = time.perf_counter() - start
+        critical = sim.step_max_seconds - mark_max
+        styles = ",".join(sorted(set(sim.describe_partitions())))
+        overhead = sim.replication_overhead
+
+    lane_cycles = lanes * cycles
+    return ShardRow(
+        design=design_name,
+        kernel=kernel,
+        lanes=lanes,
+        partitions=partitions,
+        executor=executor,
+        cycles=cycles,
+        lane_cps=lane_cycles / max(elapsed, 1e-12),
+        critical_path_lane_cps=lane_cycles / max(critical, 1e-12),
+        replication_overhead=overhead,
+        styles=styles,
+    )
+
+
+def throughput_rows(
+    designs: Sequence[str] = DEFAULT_DESIGNS,
+    lanes_list: Sequence[int] = DEFAULT_LANES,
+    partitions_list: Sequence[int] = DEFAULT_PARTITIONS,
+    executors: Sequence[str] = DEFAULT_EXECUTORS,
+    kernel: str = "PSU",
+    cycles: int = DEFAULT_CYCLES,
+) -> List[ShardRow]:
+    """The full B × P × executor grid, one row per point."""
+    rows: List[ShardRow] = []
+    for design in designs:
+        for lanes in lanes_list:
+            for partitions in partitions_list:
+                for executor in executors:
+                    rows.append(
+                        measure(design, kernel, lanes, partitions, executor,
+                                cycles)
+                    )
+    return rows
+
+
+def _serial_reference(
+    rows: Sequence[ShardRow],
+) -> Dict[Tuple[str, str, int, int], float]:
+    return {
+        (row.design, row.kernel, row.lanes, row.partitions): row.lane_cps
+        for row in rows
+        if row.executor == "serial"
+    }
+
+
+def render_rows(rows: Sequence[ShardRow], title: str) -> str:
+    """The grid as a table, with each row's speedup over the matching
+    serial-executor point (shared with ``benchmarks/bench_shard.py``)."""
+    serial = _serial_reference(rows)
+    body = []
+    for row in rows:
+        reference = serial.get((row.design, row.kernel, row.lanes, row.partitions))
+        ratio = f"{row.lane_cps / reference:.2f}x" if reference else "-"
+        body.append([
+            row.design,
+            row.kernel,
+            row.lanes,
+            row.partitions,
+            row.executor,
+            row.styles,
+            row.lane_cps,
+            row.critical_path_lane_cps,
+            ratio,
+        ])
+    return format_table(
+        ["design", "kernel", "B", "P", "executor", "backend/style",
+         "lane c/s", "crit-path lane c/s", "vs serial"],
+        body,
+        title=title,
+    )
+
+
+def render_shard_throughput(
+    designs: Sequence[str] = DEFAULT_DESIGNS,
+    lanes_list: Sequence[int] = DEFAULT_LANES,
+    partitions_list: Sequence[int] = DEFAULT_PARTITIONS,
+    executors: Sequence[str] = DEFAULT_EXECUTORS,
+    kernel: str = "PSU",
+    cycles: int = DEFAULT_CYCLES,
+) -> str:
+    text = render_rows(
+        throughput_rows(designs, lanes_list, partitions_list, executors,
+                        kernel, cycles),
+        title=f"Sharded batched throughput (measured, {cycles} cycles/lane): "
+        "B lanes x P partitions per executor",
+    )
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        text += (
+            f"\n(host has {cpus} CPU: thread/process wall-clock rates are "
+            "time-sliced; the crit-path column is the >=P-core rate)"
+        )
+    return text

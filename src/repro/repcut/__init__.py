@@ -5,7 +5,7 @@ Public API::
     from repro.repcut import partition_graph, build_rum, RepCutSimulator
 """
 
-from .parallel import RepCutSimulator
+from .parallel import RepCutSimulator, RepCutSnapshot
 from .partition import Partition, PartitionResult, partition_graph
 from .rum import RegisterUpdateMap, build_rum
 
@@ -14,6 +14,7 @@ __all__ = [
     "PartitionResult",
     "RegisterUpdateMap",
     "RepCutSimulator",
+    "RepCutSnapshot",
     "build_rum",
     "partition_graph",
 ]

@@ -12,12 +12,23 @@ The test suite checks lockstep equivalence with the single-partition
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, List, Union
 
 from ..graph.dfg import DataflowGraph
-from ..sim.simulator import DesignLike, Simulator, compile_design
+from ..sim.simulator import DesignLike, SimSnapshot, Simulator, compile_graph
 from .partition import PartitionResult, partition_graph
 from .rum import RegisterUpdateMap, build_rum
+
+
+@dataclass
+class RepCutSnapshot:
+    """A checkpoint of a :class:`RepCutSimulator`: one per-partition
+    scalar snapshot plus the synchronisation state."""
+
+    partitions: List[SimSnapshot]
+    cycle: int
+    last_synced: Dict[str, int]
 
 
 class RepCutSimulator:
@@ -40,21 +51,7 @@ class RepCutSimulator:
         num_partitions: int = 2,
         kernel: str = "PSU",
     ) -> None:
-        if isinstance(design, DataflowGraph):
-            graph = design
-        else:
-            # Reuse the standard frontend, then recover the graph.
-            from ..firrtl.elaborate import FlatDesign, elaborate
-            from ..firrtl.parser import parse
-            from ..graph.build import build_dfg
-            from ..graph.optimize import optimize
-
-            if isinstance(design, str):
-                design = elaborate(parse(design))
-            if isinstance(design, FlatDesign):
-                design = build_dfg(design)
-                design, _ = optimize(design)
-            graph = design
+        graph = compile_graph(design)
         self.result: PartitionResult = partition_graph(graph, num_partitions)
         self.rum: RegisterUpdateMap = build_rum(self.result)
         self.simulators: List[Simulator] = [
@@ -115,6 +112,30 @@ class RepCutSimulator:
         self._last_synced.clear()
         self._sync_replicas()
         self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # Checkpointing (delegates to the per-partition scalar snapshots)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RepCutSnapshot:
+        """Checkpoint every partition plus the differential-exchange
+        history, so :meth:`restore` resumes bit-exactly mid-run."""
+        return RepCutSnapshot(
+            partitions=[simulator.snapshot() for simulator in self.simulators],
+            cycle=self.cycle,
+            last_synced=dict(self._last_synced),
+        )
+
+    def restore(self, snapshot: RepCutSnapshot) -> None:
+        """Return to a :meth:`snapshot` checkpoint."""
+        if len(snapshot.partitions) != len(self.simulators):
+            raise ValueError(
+                f"snapshot has {len(snapshot.partitions)} partitions, "
+                f"simulator has {len(self.simulators)}"
+            )
+        for simulator, state in zip(self.simulators, snapshot.partitions):
+            simulator.restore(state)
+        self.cycle = snapshot.cycle
+        self._last_synced = dict(snapshot.last_synced)
 
     # ------------------------------------------------------------------
     def _sync_replicas(self) -> None:

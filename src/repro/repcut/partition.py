@@ -38,6 +38,18 @@ class Partition:
     def num_ops(self) -> int:
         return self.graph.num_ops
 
+    @property
+    def clock_domains(self) -> List[str]:
+        """Clock domains this partition commits (its owned registers').
+
+        Replica inputs have no clock; a partition only participates in an
+        edge of a domain it owns registers in, which is what lets the
+        sharded scheduler skip idle partitions on ``step_domain``.
+        """
+        return sorted(
+            {self.graph.registers[name].clock for name in self.owned_registers}
+        )
+
 
 @dataclass
 class PartitionResult:

@@ -1,0 +1,56 @@
+"""Sharded batched simulation: B lanes × P partitions on parallel workers.
+
+This package composes the repository's two scaling axes:
+
+* :mod:`repro.repcut` partitions the dataflow graph RepCut-style, so
+  each partition updates a disjoint register set with no intra-cycle
+  dependencies (replicated fan-in cones buy the decoupling);
+* :mod:`repro.batch` vectorises each partition's kernel across B
+  independent stimulus lanes.
+
+:class:`ShardedBatchSimulator` runs one lane-vectorised
+:class:`~repro.batch.BatchSimulator` per partition and realises the
+per-cycle RUM synchronisation (Cascade 2's ``LI[c+1] = LI[c,I] . RUM``)
+as batched lane-vector exchanges -- one row per crossing register per
+cycle, whatever B is.  A pluggable executor layer chooses how the P
+per-partition kernels run each cycle::
+
+    from repro.shard import ShardedBatchSimulator
+
+    sim = ShardedBatchSimulator(
+        firrtl_text, lanes=32, num_partitions=4, executor="process",
+    )
+    sim.poke("enable", 1)            # broadcasts across lanes
+    sim.step(100)
+    print(sim.peek("count"))         # -> list of 32 ints
+    sim.close()                      # or use it as a context manager
+
+Executors: ``serial`` (in-process, deterministic reference), ``thread``
+(shared-memory thread pool), ``process`` (one ``multiprocessing`` worker
+per partition with pickled lane buffers -- the configuration that buys
+real wall-clock parallelism; see ``BENCH_shard.json``).  All three are
+bit-exact with the scalar :class:`~repro.sim.Simulator` lane by lane;
+``tests/test_shard.py`` asserts lockstep equivalence across executors,
+partition counts, and designs, including multi-clock ``step_domain``.
+"""
+
+from .executors import (
+    EXECUTORS,
+    BaseExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from .simulator import ShardedBatchSimulator, ShardSnapshot
+
+__all__ = [
+    "EXECUTORS",
+    "BaseExecutor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardSnapshot",
+    "ShardedBatchSimulator",
+    "ThreadExecutor",
+    "make_executor",
+]

@@ -1,0 +1,434 @@
+"""Pluggable executors: P partition workers per cycle, one barrier each.
+
+The sharded simulator's bulk-synchronous schedule needs a small command
+set per partition -- poke, step-and-collect-exports, apply-sync, peek,
+reset, checkpoint.  Three executors realise it:
+
+* :class:`SerialExecutor` -- every partition stepped in-process, in
+  index order.  The deterministic reference: zero concurrency, zero IPC,
+  bit-exact with the others by construction.
+* :class:`ThreadExecutor` -- a ``concurrent.futures`` thread pool steps
+  the partitions concurrently.  Same address space (lane rows never
+  leave the process); throughput is GIL-bound for the Python-level walk
+  loops but the executor exists as the shared-memory rung of the ladder
+  and for NumPy builds that release the GIL.
+* :class:`ProcessExecutor` -- one ``multiprocessing`` worker process per
+  partition, each hosting its own lane-vectorised
+  :class:`~repro.batch.BatchSimulator` built from the pickled partition
+  graph.  Commands travel over pipes; lane rows cross as plain int lists
+  (pickled lane buffers).  This is the executor that actually buys
+  wall-clock parallelism for heavy partitions.
+
+All three expose the same interface, so the sharded simulator's exchange
+logic is written once.  The per-cycle protocol is two phases: broadcast
+``step`` to every worker, gather each worker's export rows (its owned
+registers that other partitions read), then scatter the per-reader sync
+updates.  That is Cascade 2's ``LI[c+1] = LI[c,I] . RUM`` realised as
+batched lane-vector exchanges.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence
+
+from ..batch.simulator import BatchSimulator
+from ..kernels.config import KernelConfig
+from ..repcut.partition import Partition
+
+EXECUTORS = ("serial", "thread", "process")
+
+#: One partition's exported register rows: ``{register: [lane values]}``.
+ExportRows = Dict[str, List[int]]
+
+
+def _make_partition_sim(
+    partition: Partition, lanes: int, kernel, backend: str
+) -> BatchSimulator:
+    # Partition graphs come out of partition_graph already optimised;
+    # re-optimising could eliminate the replica inputs the sync needs.
+    return BatchSimulator(
+        partition.graph,
+        lanes=lanes,
+        kernel=kernel,
+        backend=backend,
+        optimize_graph=False,
+    )
+
+
+def _step_one(sim: BatchSimulator, clock: Optional[str]) -> None:
+    """One edge on one partition: all domains, or one domain if present.
+
+    A partition owning no register in ``clock`` simply sits the edge out;
+    its combinational logic settles lazily at the next observation.
+    """
+    if clock is None:
+        sim.step()
+    elif clock in sim.clock_domains:
+        sim.step_domain(clock)
+
+
+class BaseExecutor:
+    """The command set the sharded simulator drives (see module docs).
+
+    Executors also keep two measured step-time accumulators:
+    ``step_total_seconds`` (sum of every partition's kernel time) and
+    ``step_max_seconds`` (sum over cycles of the *slowest* partition's
+    time -- the barrier critical path, i.e. what a host with >= P free
+    cores pays per cycle).
+    """
+
+    name = "abstract"
+    step_total_seconds: float = 0.0
+    step_max_seconds: float = 0.0
+
+    def _account(self, durations: Sequence[float]) -> None:
+        self.step_total_seconds += sum(durations)
+        self.step_max_seconds += max(durations, default=0.0)
+
+    def poke(self, index: int, name: str, value) -> None:
+        raise NotImplementedError
+
+    def peek(self, index: int, name: str) -> List[int]:
+        raise NotImplementedError
+
+    def collect(self) -> List[ExportRows]:
+        """Every partition's current export rows, without stepping."""
+        raise NotImplementedError
+
+    def step_collect(self, clock: Optional[str] = None) -> List[ExportRows]:
+        """Advance every partition one edge and gather export rows."""
+        raise NotImplementedError
+
+    def apply_sync(self, updates: Sequence[ExportRows]) -> None:
+        """Refresh replica inputs: ``updates[i]`` goes to partition i."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def snapshot(self) -> List[object]:
+        raise NotImplementedError
+
+    def restore(self, states: Sequence[object]) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> List[str]:
+        """Per-partition ``backend/style`` strings (reporting only)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# In-process executors
+# ----------------------------------------------------------------------
+class SerialExecutor(BaseExecutor):
+    """Deterministic in-process reference: partitions step in index order."""
+
+    name = "serial"
+
+    def __init__(
+        self,
+        partitions: Sequence[Partition],
+        lanes: int,
+        kernel,
+        backend: str,
+        exports: Sequence[Sequence[str]],
+    ) -> None:
+        self.exports = [list(names) for names in exports]
+        self.sims = [
+            _make_partition_sim(p, lanes, kernel, backend) for p in partitions
+        ]
+
+    def poke(self, index: int, name: str, value) -> None:
+        self.sims[index].poke(name, value)
+
+    def peek(self, index: int, name: str) -> List[int]:
+        return self.sims[index].peek(name)
+
+    def _exports_of(self, index: int) -> ExportRows:
+        sim = self.sims[index]
+        # Exported names are register state slots: valid post-commit
+        # without settling, so the exchange never pays an extra comb pass.
+        return {
+            name: sim.peek_row(name, settle=False)
+            for name in self.exports[index]
+        }
+
+    def collect(self) -> List[ExportRows]:
+        return [self._exports_of(i) for i in range(len(self.sims))]
+
+    def step_collect(self, clock: Optional[str] = None) -> List[ExportRows]:
+        results = []
+        durations = []
+        for index, sim in enumerate(self.sims):
+            start = time.perf_counter()
+            _step_one(sim, clock)
+            results.append(self._exports_of(index))
+            durations.append(time.perf_counter() - start)
+        self._account(durations)
+        return results
+
+    def apply_sync(self, updates: Sequence[ExportRows]) -> None:
+        for sim, rows in zip(self.sims, updates):
+            for name, row in rows.items():
+                sim.poke_row(name, row)
+
+    def reset(self) -> None:
+        for sim in self.sims:
+            sim.reset()
+
+    def snapshot(self) -> List[object]:
+        return [sim.snapshot() for sim in self.sims]
+
+    def restore(self, states: Sequence[object]) -> None:
+        for sim, state in zip(self.sims, states):
+            sim.restore(state)
+
+    def describe(self) -> List[str]:
+        return [f"{sim.backend}/{sim.kernel.style}" for sim in self.sims]
+
+
+class ThreadExecutor(SerialExecutor):
+    """Thread-pool barrier step; everything else as the serial executor.
+
+    Each worker thread touches only its own partition simulator, and the
+    barrier in :meth:`step_collect` serialises against the main thread's
+    pokes/syncs, so no locking is needed.
+    """
+
+    name = "thread"
+
+    def __init__(self, partitions, lanes, kernel, backend, exports) -> None:
+        super().__init__(partitions, lanes, kernel, backend, exports)
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self.sims), thread_name_prefix="shard"
+        )
+
+    def step_collect(self, clock: Optional[str] = None) -> List[ExportRows]:
+        def run(index: int):
+            start = time.perf_counter()
+            _step_one(self.sims[index], clock)
+            exports = self._exports_of(index)
+            return exports, time.perf_counter() - start
+
+        results = list(self._pool.map(run, range(len(self.sims))))
+        self._account([duration for _, duration in results])
+        return [exports for exports, _ in results]
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Process-pool executor
+# ----------------------------------------------------------------------
+def _shard_worker_main(conn, graph, lanes, kernel, backend, export_names):
+    """One worker process: host a partition's BatchSimulator over a pipe.
+
+    Replies ``("ok", payload)`` or ``("err", traceback)`` to every
+    command; the first message is the construction handshake carrying the
+    resolved ``backend/style`` string.
+    """
+    try:
+        sim = BatchSimulator(
+            graph, lanes=lanes, kernel=kernel, backend=backend,
+            optimize_graph=False,
+        )
+    except Exception:
+        conn.send(("err", traceback.format_exc()))
+        conn.close()
+        return
+    conn.send(("ok", f"{sim.backend}/{sim.kernel.style}"))
+    while True:
+        try:
+            op, args = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            result = None
+            if op == "close":
+                conn.send(("ok", None))
+                break
+            if op == "step":
+                start = time.perf_counter()
+                _step_one(sim, args)
+                exports = {
+                    name: sim.peek_row(name, settle=False)
+                    for name in export_names
+                }
+                result = (exports, time.perf_counter() - start)
+            elif op == "sync":
+                for name, row in args.items():
+                    sim.poke_row(name, row)
+            elif op == "poke":
+                sim.poke(*args)
+            elif op == "peek":
+                result = sim.peek(args)
+            elif op == "collect":
+                result = {
+                    name: sim.peek_row(name, settle=False)
+                    for name in export_names
+                }
+            elif op == "reset":
+                sim.reset()
+            elif op == "snapshot":
+                result = sim.export_state()
+            elif op == "restore":
+                sim.import_state(*args)
+            else:
+                raise ValueError(f"unknown shard worker command {op!r}")
+            conn.send(("ok", result))
+        except Exception:
+            conn.send(("err", traceback.format_exc()))
+    conn.close()
+
+
+def _mp_context():
+    """Prefer fork (no re-import, cheap COW of the compiled frontend);
+    fall back to spawn where fork does not exist."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+class ProcessExecutor(BaseExecutor):
+    """One worker process per partition, pickled lane buffers over pipes."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        partitions: Sequence[Partition],
+        lanes: int,
+        kernel,
+        backend: str,
+        exports: Sequence[Sequence[str]],
+    ) -> None:
+        # KernelConfig instances carry only data, but the name round-trips
+        # through get_kernel_config identically and pickles smaller.
+        kernel_arg = kernel.name if isinstance(kernel, KernelConfig) else kernel
+        ctx = _mp_context()
+        self._conns = []
+        self._procs = []
+        try:
+            for partition, names in zip(partitions, exports):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child, partition.graph, lanes, kernel_arg, backend,
+                          list(names)),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+            # Construction handshake: surfaces worker-side compile errors
+            # (e.g. an explicit u64 request on a wide partition) here.
+            self._styles = [self._recv(conn) for conn in self._conns]
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _recv(conn):
+        status, payload = conn.recv()
+        if status == "err":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def _call(self, index: int, op: str, args=None):
+        self._conns[index].send((op, args))
+        return self._recv(self._conns[index])
+
+    def _broadcast(self, op: str, args=None) -> List[object]:
+        for conn in self._conns:
+            conn.send((op, args))
+        return [self._recv(conn) for conn in self._conns]
+
+    # ------------------------------------------------------------------
+    def poke(self, index: int, name: str, value) -> None:
+        self._call(index, "poke", (name, value))
+
+    def peek(self, index: int, name: str) -> List[int]:
+        return self._call(index, "peek", name)
+
+    def collect(self) -> List[ExportRows]:
+        return self._broadcast("collect")
+
+    def step_collect(self, clock: Optional[str] = None) -> List[ExportRows]:
+        results = self._broadcast("step", clock)
+        self._account([duration for _, duration in results])
+        return [exports for exports, _ in results]
+
+    def apply_sync(self, updates: Sequence[ExportRows]) -> None:
+        active = [i for i, rows in enumerate(updates) if rows]
+        for i in active:
+            self._conns[i].send(("sync", updates[i]))
+        for i in active:
+            self._recv(self._conns[i])
+
+    def reset(self) -> None:
+        self._broadcast("reset")
+
+    def snapshot(self) -> List[object]:
+        return self._broadcast("snapshot")
+
+    def restore(self, states: Sequence[object]) -> None:
+        for i, state in enumerate(states):
+            self._conns[i].send(("restore", state))
+        for i in range(len(states)):
+            self._recv(self._conns[i])
+
+    def describe(self) -> List[str]:
+        return list(self._styles)
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close", None))
+                conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        self._conns = []
+        self._procs = []
+
+
+# ----------------------------------------------------------------------
+_EXECUTOR_CLASSES = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def make_executor(
+    name: str,
+    partitions: Sequence[Partition],
+    lanes: int,
+    kernel,
+    backend: str,
+    exports: Sequence[Sequence[str]],
+) -> BaseExecutor:
+    """Instantiate an executor by name (``serial``/``thread``/``process``)."""
+    cls = _EXECUTOR_CLASSES.get(name)
+    if cls is None:
+        raise KeyError(
+            f"unknown executor {name!r}; choose from {', '.join(EXECUTORS)}"
+        )
+    return cls(partitions, lanes, kernel, backend, exports)

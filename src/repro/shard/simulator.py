@@ -1,0 +1,313 @@
+"""The sharded batched simulator: B lanes × P partitions per cycle.
+
+:class:`ShardedBatchSimulator` composes the two scaling axes this
+reproduction has built so far: RepCut-style partitioning
+(:mod:`repro.repcut`) decouples the design into P independent
+per-cycle kernels, and lane batching (:mod:`repro.batch`) advances B
+stimulus seeds through each kernel at once.  Every cycle is one
+bulk-synchronous round: P workers each run their partition's batched
+kernel, then the Register Update Map synchronisation -- Cascade 2's
+``LI[c+1] = LI[c,I] . RUM`` Einsum -- exchanges the updated registers'
+*lane vectors* between partitions, one row per register instead of one
+scalar per (register, lane).
+
+The surface stays scalar-compatible (``poke`` / ``peek`` / ``step`` /
+``step_domain`` / ``reset`` / ``snapshot`` / ``restore``), with ``peek``
+returning B-lane lists exactly like :class:`~repro.batch.BatchSimulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..graph.dfg import DataflowGraph
+from ..kernels.config import KernelConfig
+from ..sim.simulator import DesignLike, compile_graph
+from ..repcut.partition import PartitionResult, partition_graph
+from ..repcut.rum import RegisterUpdateMap, build_rum
+from .executors import BaseExecutor, ExportRows, make_executor
+
+LaneValues = Union[int, Sequence[int]]
+
+
+@dataclass
+class ShardSnapshot:
+    """A checkpoint of all P partitions plus the exchange history.
+
+    Partition states are executor-native (cheap in-process snapshots for
+    serial/thread, portable exported planes for process workers), so a
+    snapshot restores only onto a simulator using the same executor.
+    """
+
+    partition_states: List[object]
+    cycle: int
+    last_synced: Dict[str, Tuple[int, ...]]
+    executor: str
+    lanes: int
+
+
+class ShardedBatchSimulator:
+    """B-lane batched simulation sharded over P RepCut partitions.
+
+    Parameters
+    ----------
+    design:
+        FIRRTL text, a :class:`FlatDesign`, or a (pre-optimised)
+        :class:`DataflowGraph` -- anything
+        :func:`repro.sim.compile_graph` accepts.
+    lanes:
+        Number of independent stimulus lanes (B).
+    num_partitions:
+        RepCut partition count (P); one worker per partition.
+    kernel:
+        Per-partition kernel configuration (as
+        :class:`~repro.batch.BatchSimulator`).
+    backend:
+        Value-plane storage request, resolved *per partition* -- sharding
+        a wide design can leave most partitions on the u64 fast path with
+        only the wide partition on object rows.
+    executor:
+        ``"serial"`` (deterministic reference), ``"thread"``, or
+        ``"process"`` (one worker process per partition, pickled lane
+        buffers); see :mod:`repro.shard.executors`.
+    """
+
+    def __init__(
+        self,
+        design: Union[DesignLike, DataflowGraph],
+        lanes: int = 8,
+        num_partitions: int = 2,
+        kernel: Union[str, KernelConfig] = "PSU",
+        backend: str = "auto",
+        executor: str = "serial",
+    ) -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        graph = compile_graph(design)
+        self.lanes = lanes
+        self.result: PartitionResult = partition_graph(graph, num_partitions)
+        self.rum: RegisterUpdateMap = build_rum(self.result)
+        self._routes = self.rum.routes()
+        exports_map = self.rum.exports_of()
+        self._exports = [exports_map[i] for i in range(num_partitions)]
+        self.executor: BaseExecutor = make_executor(
+            executor, self.result.partitions, lanes, kernel, backend,
+            self._exports,
+        )
+        self._closed = False
+
+        # Input fan-out and signal homes, as the scalar RepCut simulator.
+        self._known_inputs = set(graph.inputs)
+        self._input_sinks: Dict[str, List[int]] = {}
+        for index, partition in enumerate(self.result.partitions):
+            for name in partition.graph.inputs:
+                if name in partition.external_registers:
+                    continue
+                self._input_sinks.setdefault(name, []).append(index)
+        self._signal_home: Dict[str, int] = {}
+        for index, partition in enumerate(self.result.partitions):
+            for name in partition.graph.signal_map:
+                self._signal_home.setdefault(name, index)
+        for name, home in self.rum.writer.items():
+            self._signal_home[name] = home
+        self._clock_domains = sorted(
+            {clock for p in self.result.partitions for clock in p.clock_domains}
+        )
+
+        self.cycle = 0
+        self._last_synced: Dict[str, Tuple[int, ...]] = {}
+        self.sync_sent = 0
+        self.sync_suppressed = 0
+        # Replica inputs start at zero; registers may not.  Prime them.
+        self._exchange(self.executor.collect())
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+    def poke(self, name: str, value: LaneValues) -> None:
+        """Drive an input in every partition reading it: a scalar
+        broadcasts across lanes, a sequence is per-lane."""
+        sinks = self._input_sinks.get(name)
+        if not sinks:
+            if name in self._known_inputs:
+                return  # input exists but feeds no partition's logic
+            raise KeyError(f"{name!r} is not an input of any partition")
+        for index in sinks:
+            self.executor.poke(index, name, value)
+
+    def peek(self, name: str) -> List[int]:
+        """All B lanes of a signal, from its home partition."""
+        home = self._signal_home.get(name)
+        if home is None:
+            raise KeyError(f"unknown signal {name!r}")
+        return self.executor.peek(home, name)
+
+    def peek_lane(self, name: str, lane: int) -> int:
+        return self.peek(name)[lane]
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance all clock domains of all lanes by ``cycles`` edges:
+        P parallel partition steps, then one RUM exchange per edge."""
+        for _ in range(cycles):
+            self._exchange(self.executor.step_collect())
+            self.cycle += 1
+
+    def step_domain(self, clock: str) -> None:
+        """Advance a single clock domain by one edge (Section 6.2).
+
+        Partitions owning no register in ``clock`` sit the edge out; the
+        differential exchange then suppresses their unchanged exports.
+        """
+        if clock not in self._clock_domains:
+            raise KeyError(
+                f"unknown clock domain {clock!r}; domains: "
+                f"{self._clock_domains}"
+            )
+        self._exchange(self.executor.step_collect(clock))
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Alias for :meth:`step`, for testbench readability."""
+        self.step(cycles)
+
+    def reset(self) -> None:
+        """Reset every partition (poked inputs survive, as the scalar
+        simulators) and refresh all replicas unconditionally."""
+        self.executor.reset()
+        self._last_synced.clear()
+        self._exchange(self.executor.collect())
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ShardSnapshot:
+        """Checkpoint all partitions plus the exchange history."""
+        return ShardSnapshot(
+            partition_states=self.executor.snapshot(),
+            cycle=self.cycle,
+            last_synced=dict(self._last_synced),
+            executor=self.executor.name,
+            lanes=self.lanes,
+        )
+
+    def restore(self, snapshot: ShardSnapshot) -> None:
+        """Return to a :meth:`snapshot` checkpoint (same executor,
+        partitioning, and lane count)."""
+        if snapshot.executor != self.executor.name:
+            raise ValueError(
+                f"snapshot was taken under the {snapshot.executor!r} "
+                f"executor, this simulator runs {self.executor.name!r}"
+            )
+        if snapshot.lanes != self.lanes:
+            raise ValueError(
+                f"snapshot has {snapshot.lanes} lanes, simulator has "
+                f"{self.lanes}"
+            )
+        if len(snapshot.partition_states) != self.num_partitions:
+            raise ValueError(
+                f"snapshot has {len(snapshot.partition_states)} partitions, "
+                f"simulator has {self.num_partitions}"
+            )
+        self.executor.restore(snapshot.partition_states)
+        self.cycle = snapshot.cycle
+        self._last_synced = dict(snapshot.last_synced)
+
+    # ------------------------------------------------------------------
+    # The batched RUM exchange
+    # ------------------------------------------------------------------
+    def _exchange(self, exports: List[ExportRows]) -> None:
+        """Propagate updated register lane-rows via the RUM.
+
+        Differential exchange (Box 1), lane-vectorised: a register's row
+        is sent to its readers only when *any* lane changed.  The first
+        exchange (no history) sends everything.
+        """
+        merged: Dict[str, List[int]] = {}
+        for rows in exports:
+            merged.update(rows)
+        updates: List[ExportRows] = [
+            {} for _ in range(len(self.result.partitions))
+        ]
+        for name, _writer, readers in self._routes:
+            row = tuple(merged[name])
+            if self._last_synced.get(name) == row:
+                self.sync_suppressed += len(readers)
+                continue
+            self._last_synced[name] = row
+            self.sync_sent += len(readers)
+            lane_values = list(row)
+            for reader in readers:
+                updates[reader][name] = lane_values
+        self.executor.apply_sync(updates)
+
+    # ------------------------------------------------------------------
+    # Introspection / stats
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return len(self.result.partitions)
+
+    @property
+    def clock_domains(self) -> List[str]:
+        return list(self._clock_domains)
+
+    @property
+    def replication_overhead(self) -> float:
+        """Fraction of extra ops the partitioning replicated."""
+        return self.result.replication_overhead
+
+    def sync_traffic_per_cycle(self) -> int:
+        """Register *rows* exchanged per cycle without differential
+        exchange (each row carries B lane values)."""
+        return self.rum.total_transfers_per_cycle
+
+    @property
+    def differential_savings(self) -> float:
+        """Fraction of synchronisation traffic suppressed so far."""
+        total = self.sync_sent + self.sync_suppressed
+        return self.sync_suppressed / total if total else 0.0
+
+    def describe_partitions(self) -> List[str]:
+        """Per-partition ``backend/style`` strings."""
+        return self.executor.describe()
+
+    @property
+    def step_total_seconds(self) -> float:
+        """Measured kernel time summed over all partitions and cycles."""
+        return self.executor.step_total_seconds
+
+    @property
+    def step_max_seconds(self) -> float:
+        """Measured barrier critical path: sum over cycles of the slowest
+        partition's kernel time (the per-cycle cost on >= P free cores)."""
+        return self.executor.step_max_seconds
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down worker threads/processes (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self.executor.close()
+
+    def __enter__(self) -> "ShardedBatchSimulator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedBatchSimulator(lanes={self.lanes}, "
+            f"partitions={self.num_partitions}, "
+            f"executor={self.executor.name}, cycle={self.cycle})"
+        )

@@ -7,7 +7,7 @@ Public API::
 
 from .clocks import ClockSchedule, ClockSpec
 from .dmi import DmiPort, DmiTransaction, FrontendServer
-from .simulator import SimSnapshot, Simulator, compile_design
+from .simulator import SimSnapshot, Simulator, compile_design, compile_graph
 from .testbench import Testbench, TraceDiff, compare_traces, run_lockstep
 from .waveform import VcdWriter
 
@@ -24,5 +24,6 @@ __all__ = [
     "VcdWriter",
     "compare_traces",
     "compile_design",
+    "compile_graph",
     "run_lockstep",
 ]

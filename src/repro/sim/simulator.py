@@ -47,6 +47,38 @@ def compile_design(
     raise TypeError(f"cannot compile {type(design).__name__} into a design")
 
 
+def compile_graph(
+    design: DesignLike,
+    optimize_graph: bool = True,
+    preserve_signals: bool = False,
+) -> DataflowGraph:
+    """Lower any accepted design form to an (optionally optimised)
+    :class:`DataflowGraph`, stopping *before* OIM lowering.
+
+    The partitioned simulators (:mod:`repro.repcut`,
+    :mod:`repro.shard`) partition the graph itself, so they need the
+    frontend pipeline up to -- but not past -- the graph.  A
+    :class:`DataflowGraph` argument is passed through untouched (callers
+    hand over pre-optimised graphs); an :class:`OimBundle` has already
+    been lowered past the graph and is rejected.
+    """
+    if isinstance(design, OimBundle):
+        raise TypeError(
+            "an OimBundle has already been lowered past the dataflow "
+            "graph; pass FIRRTL text, a FlatDesign, or a DataflowGraph"
+        )
+    if isinstance(design, DataflowGraph):
+        return design
+    if isinstance(design, str):
+        design = elaborate(parse(design))
+    if isinstance(design, FlatDesign):
+        design = build_dfg(design)
+        if optimize_graph:
+            design, _ = optimize(design, preserve_signals=preserve_signals)
+        return design
+    raise TypeError(f"cannot compile {type(design).__name__} into a design")
+
+
 def group_commits_by_clock(bundle: OimBundle) -> Dict[str, List[Tuple[int, int]]]:
     """Partition register commits per clock domain (Section 6.2).
 
@@ -201,7 +233,12 @@ class Simulator:
         return SimSnapshot(list(self.values), self.cycle)
 
     def restore(self, snapshot: SimSnapshot) -> None:
-        """Return to a :meth:`snapshot` checkpoint."""
+        """Return to a :meth:`snapshot` checkpoint (same design shape)."""
+        if len(snapshot.values) != self.bundle.num_slots:
+            raise ValueError(
+                f"snapshot has {len(snapshot.values)} slots, design "
+                f"{self.bundle.design_name!r} has {self.bundle.num_slots}"
+            )
         self.values = list(snapshot.values)
         self.cycle = snapshot.cycle
         self._dirty = True

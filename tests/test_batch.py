@@ -239,6 +239,26 @@ class TestSnapshotRestore:
         batch.restore(checkpoint)
         assert batch.peek("count") == [0, 0]
 
+    def test_restore_rejects_mismatched_snapshot(self, counter_src, mixed_src):
+        batch = BatchSimulator(counter_src, lanes=2)
+        with pytest.raises(ValueError):
+            batch.restore(BatchSimulator(mixed_src, lanes=2).snapshot())
+        with pytest.raises(ValueError):
+            batch.restore(BatchSimulator(counter_src, lanes=3).snapshot())
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="NumPy not installed")
+    def test_restore_rejects_other_backend(self, counter_src):
+        batch = BatchSimulator(counter_src, lanes=2, backend="python")
+        checkpoint = batch.snapshot()
+        with pytest.raises(ValueError):
+            BatchSimulator(counter_src, lanes=2, backend="u64").restore(
+                checkpoint
+            )
+
+    def test_scalar_restore_rejects_other_design(self, counter_src, mixed_src):
+        with pytest.raises(ValueError):
+            Simulator(counter_src).restore(Simulator(mixed_src).snapshot())
+
 
 class TestWideDesigns:
     WIDE_SRC = (
