@@ -26,8 +26,11 @@ import sys
 from pathlib import Path
 from typing import Dict, Tuple
 
-#: Fields identifying a row (used when present, in this order).
-KEY_FIELDS = ("design", "kernel", "lanes", "partitions", "executor")
+#: Fields identifying a row (used when present, in this order).  The
+#: backend is part of the identity: a ``u64xN`` fast-path row and an
+#: ``object`` comparison row of the same design/kernel/B are different
+#: measurements and must never gate against each other.
+KEY_FIELDS = ("design", "kernel", "lanes", "backend", "partitions", "executor")
 #: The gated metric, by preference: sharded rows record ``lane_cps``,
 #: batched rows ``batch_lane_cps``.
 METRIC_FIELDS = ("lane_cps", "batch_lane_cps")
@@ -38,9 +41,20 @@ def row_key(row: Dict[str, object]) -> Tuple:
 
 
 def row_metric(row: Dict[str, object]):
+    """The first present, non-null, non-zero metric of a row.
+
+    ``None`` and ``0`` both mean "nothing comparable was measured" (a
+    skipped arm, a failed timer): comparing against a missing value or
+    dividing by a zero baseline would crash or divide by zero, so such
+    rows are skipped with a notice in :func:`gate` instead.
+    """
     for field in METRIC_FIELDS:
-        if field in row:
-            return field, float(row[field])
+        value = row.get(field)
+        if value is None:
+            continue
+        value = float(value)
+        if value != 0.0:
+            return field, value
     return None, None
 
 
@@ -61,7 +75,10 @@ def gate(baseline: dict, current: dict, factor: float) -> int:
             continue
         metric, value = row_metric(row)
         ref_metric, ref_value = row_metric(reference)
-        if metric is None or ref_metric is None or ref_value is None:
+        if metric is None or ref_metric is None:
+            label = ", ".join(f"{k}={v}" for k, v in row_key(row))
+            side = "current" if metric is None else "baseline"
+            print(f"  [skip] {label}: no usable metric on the {side} side")
             continue
         compared += 1
         floor = ref_value / factor

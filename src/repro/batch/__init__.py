@@ -33,11 +33,16 @@ Two batched kernels are lowered from the existing ``OimBundle``
 over the optimized OIM format (kernel names ``RU``/``OU``/``NU``/
 ``PSU``/``IU``), and a straight-line SU/TI-style *codegen* variant whose
 generated statements are NumPy lane-vector expressions (``SU``/``TI``).
-Storage (:mod:`repro.batch.backend`) is a ``(num_slots, B)`` plane:
-``u64`` NumPy arrays when every slot fits 64 bits, ``object`` arrays of
-Python ints for wider designs, and a pure-Python list-of-lists fallback
-when NumPy is absent -- NumPy is strictly optional (the ``[batch]``
-extra) and this package always imports cleanly without it.
+Storage (:mod:`repro.batch.backend`) is a batched value plane: ``u64``
+NumPy ``(num_slots, B)`` arrays when every slot fits 64 bits, the
+split-limb ``u64xN`` plane (``ceil(width/64)`` uint64 limb rows per
+slot, carry-propagating limb kernels) for wider designs, ``object``
+arrays of Python ints as the arbitrary-width reference, and a
+pure-Python list-of-lists fallback when NumPy is absent -- NumPy is
+strictly optional (the ``[batch]`` extra) and this package always
+imports cleanly without it.  ``auto`` resolves to ``u64``/``u64xN``
+with NumPy and ``python`` without; >64-bit designs such as sha3 stay on
+the vectorised fast path instead of silently degrading to object rows.
 
 All paths are bit-exact with B independent scalar ``Simulator`` runs,
 including multi-clock ``step_domain``, ``reset`` and checkpointing;

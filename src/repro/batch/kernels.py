@@ -7,13 +7,19 @@ the scalar spectrum of Section 5.2 with the lane rank vectorised away:
   It traverses the *optimized*-format OIM arrays (Figure 12b) exactly as
   the scalar ``RUKernel`` does, but every operand fetch pulls a lane
   vector and every compute operator applies across all B lanes at once
-  (:mod:`repro.batch.vecsem`).  Serves both the uint64 fast path and the
-  arbitrary-width object path.
+  (:mod:`repro.batch.vecsem`).  Serves the uint64 fast path, the
+  split-limb ``u64xN`` fast path, and the arbitrary-width object path.
+  On ``u64xN`` the schedule is *mixed*: operations whose operand and
+  result widths all fit 64 bits run the plain single-row evaluators over
+  their (single) limb rows, and only genuinely wide operations take the
+  carry-propagating limb evaluators -- so a design with a handful of
+  65-bit slots pays limb arithmetic for exactly those slots.
 * :class:`BatchCodegenKernel` -- a straight-line SU/TI-style variant:
   the OIM is fully embedded in generated Python whose expressions are
   NumPy lane-vector operations (:func:`repro.kernels.expr.numpy_expr`).
-  uint64-only; the simulator transparently drops to the walk kernel for
-  wider designs.
+  On ``u64xN`` planes the generated statements are limb-aware: narrow
+  operations address single limb rows, wide ones assign limb-row slices
+  from :func:`repro.kernels.expr.numpy_limb_expr` calls.
 
 :class:`BatchPyKernel` is the pure-Python list-of-lists fallback used
 when NumPy is absent: the same schedule, evaluated lane by lane with the
@@ -22,23 +28,35 @@ scalar semantics, so the subsystem is always importable and bit-exact.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..kernels.config import KernelConfig, get_kernel_config
-from ..kernels.expr import numpy_expr
+from ..kernels.expr import LIMB_OP_BASES, numpy_expr, numpy_limb_expr
 from ..kernels.pykernels import CODEGEN_CHUNK
 from ..oim.builder import OimBundle
 from ..oim.formats import lower_oim_fast
-from .backend import make_helpers, numpy_or_none, pick_backend
-from .vecsem import make_vec_table
+from .backend import (
+    U64_MAX_WIDTH,
+    limb_layout,
+    make_helpers,
+    numpy_or_none,
+    pick_backend,
+    popcount_parity,
+)
+from .vecsem import make_limb_table, make_vec_table
 
 #: Kernel styles (how the OIM pass is executed), orthogonal to backends.
 WALK, CODEGEN, PYTHON = "walk", "codegen", "python"
 
 
+def _is_narrow(widths, out_width) -> bool:
+    """True when an op never sees a >64-bit operand or result."""
+    return out_width <= U64_MAX_WIDTH and all(w <= U64_MAX_WIDTH for w in widths)
+
+
 class BatchKernel:
     """Base class: evaluates one cycle of combinational logic over the
-    ``(num_slots, B)`` value plane, for all lanes at once."""
+    batched value plane, for all lanes at once."""
 
     style: str = "abstract"
 
@@ -58,13 +76,16 @@ class BatchKernel:
         return f"{self.config.name}x{self.lanes}[{self.backend}]"
 
 
-def _walk_schedule(bundle: OimBundle, semantics_of: Callable[[int], Callable]):
-    """Flatten the optimized-format OIM walk into ``(fn, s, rs, ws, ow)``.
+def _walk_layers(bundle: OimBundle):
+    """The optimized-format OIM walk as per-layer ``(entry, s, rs, ws, ow)``
+    record lists.
 
     The traversal order is the RU kernel's: rank I outermost, rank S
     concordant within each layer, operands in O order.  Resolving it at
     build time keeps the per-cycle loop free of format bookkeeping -- the
-    lane rank is where the parallelism now comes from.
+    lane rank is where the parallelism now comes from.  Layers are
+    dependence levels, so records within one layer never read each
+    other's outputs (what makes the blocked groups below legal).
     """
     lowered = lower_oim_fast(bundle, "optimized")
     i_payloads = lowered.ranks["I"].payloads
@@ -73,24 +94,216 @@ def _walk_schedule(bundle: OimBundle, semantics_of: Callable[[int], Callable]):
     r_coords = lowered.ranks["R"].coords
     width = bundle.slot_width
 
-    schedule = []
+    layers = []
     op_index = 0
     r_index = 0
     for layer_count in i_payloads:                    # Rank I
+        layer = []
         for _ in range(layer_count):                  # Rank S
             s = s_coords[op_index]
             entry = bundle.op_table.entry(n_coords[op_index])
             op_index += 1
             operands = tuple(r_coords[r_index:r_index + entry.arity])
             r_index += entry.arity                    # Ranks O, R
-            schedule.append((
-                semantics_of(entry),
+            layer.append((
+                entry,
                 s,
                 operands,
                 tuple(width[r] for r in operands),
                 width[s],
             ))
-    return schedule
+        layers.append(layer)
+    return layers
+
+
+def _walk_records(bundle: OimBundle):
+    """The flattened walk (see :func:`_walk_layers`)."""
+    return [record for layer in _walk_layers(bundle) for record in layer]
+
+
+def _walk_schedule(bundle: OimBundle, semantics_of: Callable):
+    """The slot-indexed walk schedule (one plane row per slot)."""
+    return [
+        (semantics_of(entry), s, operands, widths, out_width)
+        for entry, s, operands, widths, out_width in _walk_records(bundle)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Layer-blocked narrow groups (the u64xN walk)
+# ----------------------------------------------------------------------
+#: Narrow base ops with a blocked builder in :func:`_blocked_step` -- the
+#: same vocabulary as the split-limb evaluators (one canonical set, so
+#: the three layers cannot drift apart).  ``mul`` stays per-record only
+#: when wide; ``div``/``rem`` block via the guarded helpers exactly like
+#: the per-record table.
+_BLOCKABLE_BASES = LIMB_OP_BASES
+
+
+def _blockable(name: str, widths, out_width) -> bool:
+    """True when a narrow record can join a layer-blocked group.
+
+    The blocked builders replace the per-record Python-level width
+    branches with broadcast ``(k, 1)`` width columns, so records that
+    would take those branches (zero-width shift sources, a zero-width
+    ``cat`` lhs) stay on the per-record path.
+    """
+    base = name.rstrip("0123456789")
+    if base not in _BLOCKABLE_BASES:
+        return False
+    if base == "cat" and widths[1] >= U64_MAX_WIDTH:
+        return False  # zero-width lhs idiom: per-record table passes rhs through
+    if base in ("bits", "dshr", "shr", "head") and widths[0] <= 0:
+        return False
+    if base in ("dshl", "shl") and out_width <= 0:
+        return False
+    return True
+
+
+def _blocked_step(np, name: str, group: List, layout, pop) -> Callable:
+    """One evaluator for ``k`` same-op narrow records of one layer.
+
+    Layers are dependence levels (operands always live in earlier
+    layers), so same-layer records are independent: gather their operand
+    rows into ``(k, B)`` blocks, apply the op once with per-record widths
+    broadcast as ``(k, 1)`` columns, and scatter to the output rows.
+    This turns the walk's per-record NumPy dispatch into per-(layer, op)
+    dispatch -- the S rank vectorised alongside the lane rank.
+    """
+    base = name.rstrip("0123456789")
+    ZERO, ONE = np.uint64(0), np.uint64(1)
+    out = np.array([layout.offsets[s] for _, s, *_ in group], dtype=np.intp)
+
+    def rows(position: int):
+        return np.array(
+            [layout.offsets[operands[position]] for _, _, operands, _, _ in group],
+            dtype=np.intp,
+        )
+
+    def col(values) -> object:
+        return np.array(list(values), dtype=np.uint64).reshape(-1, 1)
+
+    ow_col = col(ow for *_, ow in group)
+    mask_col = col((1 << ow) - 1 for *_, ow in group)
+    w0_col = col(widths[0] if widths else 0 for *_, widths, _ in group)
+
+    s0 = rows(0)
+    if base in ("and", "or", "xor"):
+        s1 = rows(1)
+        fn = {"and": np.bitwise_and, "or": np.bitwise_or, "xor": np.bitwise_xor}[base]
+
+        def step(V):
+            V[out] = fn(V[s0], V[s1])
+    elif base in ("add", "sub", "mul"):
+        s1 = rows(1)
+        fn = {"add": np.add, "sub": np.subtract, "mul": np.multiply}[base]
+
+        def step(V):
+            V[out] = fn(V[s0], V[s1]) & mask_col
+    elif base in ("div", "rem"):
+        s1 = rows(1)
+        fn = np.floor_divide if base == "div" else np.remainder
+
+        def step(V):
+            b = V[s1]
+            nonzero = b != ZERO
+            V[out] = np.where(nonzero, fn(V[s0], np.where(nonzero, b, ONE)), ZERO) & mask_col
+    elif base in ("lt", "leq", "gt", "geq", "eq", "neq"):
+        s1 = rows(1)
+        fn = {
+            "lt": np.less, "leq": np.less_equal, "gt": np.greater,
+            "geq": np.greater_equal, "eq": np.equal, "neq": np.not_equal,
+        }[base]
+
+        def step(V):
+            V[out] = fn(V[s0], V[s1])
+    elif base == "cat":
+        s1 = rows(1)
+        w1_col = col(widths[1] for *_, widths, _ in group)
+
+        def step(V):
+            V[out] = ((V[s0] << w1_col) | V[s1]) & mask_col
+    elif base in ("dshl", "shl"):
+        s1 = rows(1)
+
+        def step(V):
+            shift = V[s1]
+            clipped = np.minimum(shift, ow_col - ONE)
+            V[out] = np.where(shift < ow_col, V[s0] << clipped, ZERO) & mask_col
+    elif base in ("dshr", "shr", "bits"):
+        # bits(value, hi, lo) reads its shift from the lo operand (index 2).
+        s1 = rows(2 if base == "bits" else 1)
+
+        def step(V):
+            shift = V[s1]
+            clipped = np.minimum(shift, w0_col - ONE)
+            V[out] = np.where(shift < w0_col, V[s0] >> clipped, ZERO) & mask_col
+    elif base == "head":
+        s1 = rows(1)
+
+        def step(V):
+            shift = w0_col - np.minimum(V[s1], w0_col)
+            clipped = np.minimum(shift, w0_col - ONE)
+            V[out] = np.where(shift < w0_col, V[s0] >> clipped, ZERO) & mask_col
+    elif base in ("pad", "tail", "cvt", "asUInt", "asSInt", "ident"):
+        def step(V):
+            V[out] = V[s0] & mask_col
+    elif base == "not":
+        def step(V):
+            V[out] = ~V[s0] & mask_col
+    elif base == "neg":
+        def step(V):
+            V[out] = (ZERO - V[s0]) & mask_col
+    elif base == "andr":
+        full_col = col((1 << widths[0]) - 1 for *_, widths, _ in group)
+
+        def step(V):
+            V[out] = V[s0] == full_col
+    elif base == "orr":
+        def step(V):
+            V[out] = V[s0] != ZERO
+    elif base == "xorr":
+        def step(V):
+            V[out] = pop(V[s0])
+    elif base == "mux":
+        s1, s2 = rows(1), rows(2)
+
+        def step(V):
+            V[out] = np.where(V[s0] != ZERO, V[s1], V[s2])
+    elif base == "muxchain":
+        arity = len(group[0][2])
+        selectors = [rows(p) for p in range(0, arity - 1, 2)]
+        values = [rows(p) for p in range(1, arity - 1, 2)]
+        default = rows(arity - 1)
+
+        def step(V):
+            result = V[default]
+            for sel, val in zip(reversed(selectors), reversed(values)):
+                result = np.where(V[sel] != ZERO, V[val], result)
+            V[out] = result
+    else:  # or/and/xorchain
+        fn = {
+            "orchain": np.bitwise_or,
+            "andchain": np.bitwise_and,
+            "xorchain": np.bitwise_xor,
+        }[base]
+        sources = [rows(p) for p in range(len(group[0][2]))]
+
+        def step(V):
+            result = V[sources[0]]
+            for src in sources[1:]:
+                result = fn(result, V[src])
+            V[out] = result
+
+    return step
+
+
+def _record_step(fn: Callable, s, operands, widths, out_width) -> Callable:
+    """One per-record evaluator (wide ops, non-blockable narrow ops)."""
+    def step(V):
+        V[s] = fn([V[r] for r in operands], widths, out_width)
+
+    return step
 
 
 class BatchWalkKernel(BatchKernel):
@@ -103,13 +316,75 @@ class BatchWalkKernel(BatchKernel):
     ) -> None:
         super().__init__(bundle, config, lanes, backend)
         np = numpy_or_none()
-        mode = "object" if backend == "object" else "u64"
-        table = make_vec_table(np, mode)
-        self._schedule = _walk_schedule(
-            bundle, lambda entry: table[entry.name]
-        )
+        if backend == "u64xN":
+            self._steps = self._limb_steps(bundle, np)
+            self._schedule = None
+        else:
+            mode = "object" if backend == "object" else "u64"
+            table = make_vec_table(np, mode)
+            self._schedule = _walk_schedule(bundle, lambda entry: table[entry.name])
+            self._steps = None
+
+    @staticmethod
+    def _limb_steps(bundle: OimBundle, np) -> List[Callable]:
+        """The mixed split-limb schedule over the flat limb-row plane.
+
+        Three record classes per layer, in execution order:
+
+        * blockable narrow records group per (layer, op) into one gathered
+          ``(k, B)`` evaluation (:func:`_blocked_step`);
+        * remaining narrow records keep the single-row ``u64`` evaluators
+          over integer row coordinates;
+        * wide records take the carry-propagating limb evaluators over
+          limb-row slices.
+
+        Reordering within a layer is safe -- layers are dependence levels.
+        """
+        layout = limb_layout(bundle)
+        narrow_table = make_vec_table(np, "u64")
+        limb_table = make_limb_table(np)
+        pop = popcount_parity(np)
+        steps: List[Callable] = []
+        for layer in _walk_layers(bundle):
+            groups: Dict[str, List] = {}
+            leftovers = []
+            for record in layer:
+                entry, _s, _operands, widths, out_width = record
+                if _is_narrow(widths, out_width) and _blockable(
+                    entry.name, widths, out_width
+                ):
+                    groups.setdefault(entry.name, []).append(record)
+                else:
+                    leftovers.append(record)
+            for name, group in groups.items():
+                if len(group) == 1:
+                    leftovers.extend(group)
+                else:
+                    steps.append(_blocked_step(np, name, group, layout, pop))
+            for entry, s, operands, widths, out_width in leftovers:
+                if _is_narrow(widths, out_width):
+                    steps.append(_record_step(
+                        narrow_table[entry.name],
+                        layout.offsets[s],
+                        tuple(layout.offsets[r] for r in operands),
+                        widths,
+                        out_width,
+                    ))
+                else:
+                    steps.append(_record_step(
+                        limb_table[entry.name],
+                        layout.slices[s],
+                        tuple(layout.slices[r] for r in operands),
+                        widths,
+                        out_width,
+                    ))
+        return steps
 
     def eval_comb(self, values) -> None:
+        if self._steps is not None:
+            for step in self._steps:
+                step(values)
+            return
         for fn, s, operands, widths, out_width in self._schedule:
             values[s] = fn([values[r] for r in operands], widths, out_width)
 
@@ -136,13 +411,20 @@ class BatchPyKernel(BatchKernel):
 
 
 class BatchCodegenKernel(BatchKernel):
-    """Straight-line SU-style code over lane vectors (uint64 only).
+    """Straight-line SU-style code over lane vectors (native-width planes).
 
     Every operation becomes one generated statement ``V[s] = <numpy
     expression>``; like the scalar SU kernel the OIM is fully embedded in
     the code, and like TI the guarded helpers keep the hot loop free of
     Python-level branching.  Bool comparison results are normalised by
     the uint64 row assignment itself.
+
+    On a ``u64xN`` plane the generated code is limb-aware: narrow
+    statements index single limb rows (``V[17] = ...``) with constants
+    inlined exactly as on ``u64``, while wide statements assign limb-row
+    slices from split-limb evaluator calls
+    (``V[40:42] = _limb_mul((V[12:13], V[38:39]), (64, 1), 65)``); wide
+    constant operands are read from their preloaded limb rows.
     """
 
     style = CODEGEN
@@ -150,41 +432,65 @@ class BatchCodegenKernel(BatchKernel):
     def __init__(
         self, bundle: OimBundle, config: KernelConfig, lanes: int, backend: str
     ) -> None:
-        if backend != "u64":
+        if backend not in ("u64", "u64xN"):
             raise ValueError(
-                "the batched codegen kernel needs the uint64 backend; "
-                f"got {backend!r} (designs wider than 64 bits take the "
-                "walk kernel)"
+                "the batched codegen kernel needs a native uint64 plane "
+                f"('u64' or 'u64xN'); got {backend!r}"
             )
         super().__init__(bundle, config, lanes, backend)
+        layout = limb_layout(bundle) if backend == "u64xN" else None
         const_values = dict(bundle.const_slots)
         statements: List[str] = []
         for layer in bundle.layers:
             for record in layer:
                 entry = bundle.op_table.entry(record.n)
-                args: List[str] = []
-                widths: List[int] = []
-                for r in record.operands:
-                    args.append(
-                        str(const_values[r]) if r in const_values else f"V[{r}]"
+                widths = [bundle.slot_width[r] for r in record.operands]
+                out_width = bundle.slot_width[record.s]
+                if layout is None or _is_narrow(widths, out_width):
+                    args = [
+                        str(const_values[r]) if r in const_values else
+                        f"V[{r if layout is None else layout.offsets[r]}]"
+                        for r in record.operands
+                    ]
+                    expression = numpy_expr(entry.name, args, widths, out_width)
+                    target = record.s if layout is None else layout.offsets[record.s]
+                    statements.append(f"    V[{target}] = {expression}")
+                else:
+                    args = [
+                        f"V[{layout.slices[r].start}:{layout.slices[r].stop}]"
+                        for r in record.operands
+                    ]
+                    expression = numpy_limb_expr(
+                        entry.name, args, widths, out_width
                     )
-                    widths.append(bundle.slot_width[r])
-                expression = numpy_expr(
-                    entry.name, args, widths, bundle.slot_width[record.s]
-                )
-                statements.append(f"    V[{record.s}] = {expression}")
-        self._functions = _compile_batch_chunks(statements)
+                    target = layout.slices[record.s]
+                    statements.append(
+                        f"    V[{target.start}:{target.stop}] = {expression}"
+                    )
+        extra = None
+        if layout is not None:
+            np = numpy_or_none()
+            extra = {
+                f"_limb_{name}": fn
+                for name, fn in make_limb_table(np).items()
+            }
+        self._functions = _compile_batch_chunks(statements, extra)
 
     def eval_comb(self, values) -> None:
         for function in self._functions:
             function(values)
 
 
-def _compile_batch_chunks(statements: List[str]) -> List[Callable]:
+def _compile_batch_chunks(
+    statements: List[str], extra_namespace: Optional[Dict[str, object]] = None
+) -> List[Callable]:
     """Chunked compile (as the scalar SU kernel) with the vector helpers
-    available as globals of the generated functions."""
+    -- and, for limb-aware code, the split-limb evaluators -- available
+    as globals of the generated functions."""
     np = numpy_or_none()
     helpers = make_helpers(np)
+    if extra_namespace:
+        helpers = {**helpers, **extra_namespace}
     functions: List[Callable] = []
     for start in range(0, max(len(statements), 1), CODEGEN_CHUNK):
         chunk = statements[start:start + CODEGEN_CHUNK]
@@ -216,8 +522,9 @@ def make_batch_kernel(
 
     ``backend`` is resolved via :func:`repro.batch.backend.pick_backend`;
     a codegen-style request transparently degrades to the walk kernel
-    when the uint64 fast path is unavailable (wide slots or no NumPy is
-    a property of the design/environment, not a user error).
+    when no native uint64 plane is available (an explicit ``object``
+    request or no NumPy is a property of the design/environment, not a
+    user error).
     """
     if isinstance(config, str):
         config = get_kernel_config(config)
@@ -225,6 +532,6 @@ def make_batch_kernel(
     if backend == "python":
         return BatchPyKernel(bundle, config, lanes, backend)
     style = _STYLE_OF_CONFIG.get(config.name, WALK)
-    if style == CODEGEN and backend == "u64":
+    if style == CODEGEN and backend in ("u64", "u64xN"):
         return BatchCodegenKernel(bundle, config, lanes, backend)
     return BatchWalkKernel(bundle, config, lanes, backend)

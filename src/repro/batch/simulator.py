@@ -10,6 +10,11 @@ sweeps: the lane rank rides along every Einsum for free.
 Register commit reuses the scalar simulator's per-clock-domain grouping
 (Section 6.2), staged two-phase so register-to-register moves stay
 hardware-accurate in every lane.
+
+Storage is backend-native (:mod:`repro.batch.backend`): one plane row
+per slot on ``u64``/``object``/``python``, and ``ceil(width/64)`` limb
+rows per slot on the split-limb ``u64xN`` fast path -- the host surface
+(ints in, ints out) is identical either way.
 """
 
 from __future__ import annotations
@@ -20,7 +25,15 @@ from typing import Iterable, List, Sequence, Tuple, Union
 from ..firrtl.primops import mask
 from ..kernels.config import KernelConfig
 from ..sim.simulator import DesignLike, compile_design, group_commits_by_clock
-from .backend import alloc_values, copy_values, pick_backend, row_to_ints, write_row
+from .backend import (
+    alloc_values,
+    copy_values,
+    limb_layout,
+    pick_backend,
+    plane_rows,
+    read_slot,
+    write_slot,
+)
 from .kernels import BatchKernel, make_batch_kernel
 
 LaneValues = Union[int, Sequence[int]]
@@ -54,8 +67,8 @@ class BatchSimulator:
         RU...IU map onto the vectorised walk kernel, SU/TI onto the
         straight-line NumPy codegen kernel.
     backend:
-        ``"auto"`` (default), ``"u64"``, ``"object"`` or ``"python"``;
-        see :mod:`repro.batch.backend`.
+        ``"auto"`` (default), ``"u64"``, ``"u64xN"``, ``"object"`` or
+        ``"python"``; see :mod:`repro.batch.backend`.
     """
 
     def __init__(
@@ -77,10 +90,11 @@ class BatchSimulator:
         self.bundle = compile_design(design, optimize_graph, preserve_signals)
         self.lanes = lanes
         self.backend = pick_backend(self.bundle, backend)
+        self.layout = limb_layout(self.bundle) if self.backend == "u64xN" else None
         self.kernel: BatchKernel = make_batch_kernel(
             self.bundle, kernel, lanes, self.backend
         )
-        self.values = alloc_values(self.bundle, lanes, self.backend)
+        self.values = alloc_values(self.bundle, lanes, self.backend, self.layout)
         self.cycle = 0
         self._dirty = True
         self._commits_by_clock = group_commits_by_clock(self.bundle)
@@ -103,7 +117,7 @@ class BatchSimulator:
                     f"poke({name!r}) got {len(lane_values)} values for "
                     f"{self.lanes} lanes"
                 )
-        write_row(self.values, slot, lane_values, self.backend)
+        write_slot(self.values, slot, lane_values, self.backend, self.layout)
         self._dirty = True
 
     def peek(self, name: str) -> List[int]:
@@ -115,7 +129,7 @@ class BatchSimulator:
                 "(construct the BatchSimulator with preserve_signals=True)"
             )
         self._settle()
-        return row_to_ints(self.values[slot])
+        return read_slot(self.values, slot, self.backend, self.layout)
 
     def peek_lane(self, name: str, lane: int) -> int:
         """One lane of a signal."""
@@ -123,7 +137,7 @@ class BatchSimulator:
 
     def peek_slot(self, slot: int) -> List[int]:
         self._settle()
-        return row_to_ints(self.values[slot])
+        return read_slot(self.values, slot, self.backend, self.layout)
 
     # ------------------------------------------------------------------
     # Raw lane-row access (the sharded RUM exchange path)
@@ -144,14 +158,17 @@ class BatchSimulator:
             )
         if settle:
             self._settle()
-        return row_to_ints(self.values[slot])
+        return read_slot(self.values, slot, self.backend, self.layout)
 
     def poke_row(self, name: str, lane_values: Sequence[int]) -> None:
         """Refresh an input slot with an already-masked lane vector.
 
         The replica-refresh half of the RUM exchange: a replica input
-        mirrors a register of identical width in another partition, so the
-        per-lane masking of :meth:`poke` is skipped.
+        mirrors a register of identical width in another partition, so
+        per-lane *masking* is skipped -- but the vector is still
+        validated, because an over-width or negative value would silently
+        corrupt a fixed-width plane (uint64 rows wrap; limb rows drop the
+        overflow) in ways ``poke`` would have masked away.
         """
         slot = self.bundle.input_slots.get(name)
         if slot is None:
@@ -161,20 +178,29 @@ class BatchSimulator:
                 f"poke_row({name!r}) got {len(lane_values)} values for "
                 f"{self.lanes} lanes"
             )
-        write_row(self.values, slot, lane_values, self.backend)
+        width = self.bundle.slot_width[slot]
+        for lane, value in enumerate(lane_values):
+            if value < 0 or (value >> width):
+                raise ValueError(
+                    f"poke_row({name!r}) lane {lane} value {value} does not "
+                    f"fit the slot's {width} bits; use poke() for unmasked "
+                    "values"
+                )
+        write_slot(self.values, slot, lane_values, self.backend, self.layout)
         self._dirty = True
 
     def reset(self) -> None:
         """Restore registers and constants to their initial values in every
         lane; poked input values are preserved per lane (scalar parity)."""
         inputs = {
-            name: row_to_ints(self.values[slot])
+            name: read_slot(self.values, slot, self.backend, self.layout)
             for name, slot in self.bundle.input_slots.items()
         }
-        self.values = alloc_values(self.bundle, self.lanes, self.backend)
+        self.values = alloc_values(self.bundle, self.lanes, self.backend, self.layout)
         for name, lane_values in inputs.items():
-            write_row(
-                self.values, self.bundle.input_slots[name], lane_values, self.backend
+            write_slot(
+                self.values, self.bundle.input_slots[name], lane_values,
+                self.backend, self.layout,
             )
         self.cycle = 0
         self._dirty = True
@@ -208,7 +234,7 @@ class BatchSimulator:
     # Checkpointing
     # ------------------------------------------------------------------
     def snapshot(self) -> BatchSnapshot:
-        """Checkpoint the value plane + cycle (copy; O(slots * lanes))."""
+        """Checkpoint the value plane + cycle (copy; O(rows * lanes))."""
         self._settle()
         return BatchSnapshot(
             copy_values(self.values, self.backend), self.cycle, self.backend
@@ -222,10 +248,11 @@ class BatchSimulator:
                 f"simulator uses {self.backend!r}"
             )
         values = snapshot.values
-        if len(values) != self.bundle.num_slots:
+        expected = plane_rows(self.bundle, self.backend, self.layout)
+        if len(values) != expected:
             raise ValueError(
-                f"snapshot has {len(values)} slots, design "
-                f"{self.bundle.design_name!r} has {self.bundle.num_slots}"
+                f"snapshot has {len(values)} plane rows, design "
+                f"{self.bundle.design_name!r} needs {expected}"
             )
         if len(values) and len(values[0]) != self.lanes:
             raise ValueError(
@@ -237,15 +264,20 @@ class BatchSimulator:
         self._dirty = True
 
     def export_state(self) -> Tuple[List[List[int]], int]:
-        """The value plane as nested Python ints, plus the cycle count.
+        """The value plane as per-slot lane vectors of Python ints, plus
+        the cycle count.
 
         Unlike :class:`BatchSnapshot` (backend-native, cheap, same
         process), the exported form is portable: plain lists pickle across
-        process boundaries, which is how the sharded process executor
-        checkpoints its workers.
+        process boundaries -- and slot-indexed ints are backend-agnostic,
+        so a ``u64xN`` worker can hand its state to an ``object`` peer --
+        which is how the sharded process executor checkpoints workers.
         """
         self._settle()
-        return [row_to_ints(row) for row in self.values], self.cycle
+        return [
+            read_slot(self.values, slot, self.backend, self.layout)
+            for slot in range(self.bundle.num_slots)
+        ], self.cycle
 
     def import_state(self, rows: List[List[int]], cycle: int) -> None:
         """Load a plane previously produced by :meth:`export_state`."""
@@ -255,7 +287,7 @@ class BatchSimulator:
                 f"{self.bundle.num_slots}"
             )
         for slot, row in enumerate(rows):
-            write_row(self.values, slot, row, self.backend)
+            write_slot(self.values, slot, row, self.backend, self.layout)
         self.cycle = cycle
         self._dirty = True
 
@@ -280,6 +312,14 @@ class BatchSimulator:
             staged = [(state, list(values[next_slot])) for state, next_slot in commits]
             for state, lane_values in staged:
                 values[state][:] = lane_values
+        elif self.backend == "u64xN":
+            slices = self.layout.slices
+            staged = [
+                (slices[state], values[slices[next_slot]].copy())
+                for state, next_slot in commits
+            ]
+            for target, lane_rows in staged:
+                values[target] = lane_rows
         else:
             staged = [(state, values[next_slot].copy()) for state, next_slot in commits]
             for state, lane_values in staged:

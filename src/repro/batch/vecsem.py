@@ -9,7 +9,7 @@ operator folds the ``O`` rank pairwise exactly as Algorithm 3 does --
 which is what makes the lane rank free: it rides along every Einsum
 without changing the traversal.
 
-Two modes share the formulas:
+Two single-row modes share the formulas (:func:`make_vec_table`):
 
 * ``u64``    -- operands are uint64 lane vectors.  Wrap-around modulo
   2**64 followed by the output-width mask is exact for every arithmetic
@@ -18,15 +18,23 @@ Two modes share the formulas:
   any width.  Comparison results are normalised back to Python ints so
   fixed-width NumPy scalars can never leak into the unbounded arithmetic.
 
+:func:`make_limb_table` is the split-limb ``u64xN`` variant: operands and
+results are ``(limbs, B)`` uint64 matrices (little-endian limb rows of
+the flat plane, :class:`repro.batch.backend.LimbLayout`).  Arithmetic
+propagates carries/borrows limb by limb, multiplication runs schoolbook
+over 32-bit halves, comparisons fold from the most-significant limb, and
+shifts/cat/bits move bits across limb rows -- all still one vectorised
+NumPy expression per limb, so the lane rank stays free on >64-bit slots.
+
 Bit-exactness against the scalar table is asserted op-by-op in the tests.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from ..graph.opsem import MAX_CHAIN
-from .backend import make_helpers
+from .backend import LIMB_BITS, combine_limbs, limbs_for_width, make_helpers, popcount_parity, split_limbs
 
 #: Vector evaluator signature, mirroring :data:`repro.graph.opsem.Evaluator`.
 VecEvaluator = Callable[[Sequence[object], Sequence[int], int], object]
@@ -129,5 +137,373 @@ def make_vec_table(np, mode: str = "u64") -> Dict[str, VecEvaluator]:
         define(f"orchain{k}", logic_chain(lambda x, y: x | y))
         define(f"andchain{k}", logic_chain(lambda x, y: x & y))
         define(f"xorchain{k}", logic_chain(lambda x, y: x ^ y))
+
+    return table
+
+
+# ----------------------------------------------------------------------
+# Split-limb (u64xN) evaluators
+# ----------------------------------------------------------------------
+def make_limb_table(np) -> Dict[str, VecEvaluator]:
+    """The ``op name -> limb-matrix evaluator`` table for the ``u64xN``
+    backend.
+
+    Every evaluator consumes ``(limbs, B)`` uint64 matrices (operand limb
+    counts follow the operand widths) and returns a
+    ``(limbs_for_width(out_width), B)`` matrix masked to ``out_width``.
+    Only ops that actually see a >64-bit operand or result are routed
+    here; single-limb ops stay on the plain ``u64`` table (see
+    :func:`repro.batch.kernels._walk_schedule`).
+    """
+    u64 = np.uint64
+    ZERO, ONE = u64(0), u64(1)
+    M32 = u64(0xFFFFFFFF)
+    HALF = u64(32)
+    pop = popcount_parity(np)
+
+    def nl(width: int) -> int:
+        return limbs_for_width(width)
+
+    def ext(x, count: int):
+        """Zero-extend (or truncate) a limb matrix to ``count`` rows.
+
+        Truncation is only reached when the result is re-masked by the
+        caller, so dropping already-masked high limbs is exact.
+        """
+        rows = x.shape[0]
+        if rows == count:
+            return x
+        if rows > count:
+            return x[:count]
+        out = np.zeros((count, x.shape[1]), dtype=np.uint64)
+        out[:rows] = x
+        return out
+
+    _mask_vectors: Dict[int, object] = {}
+
+    def mask_vector(width: int, count: int):
+        key = (width, count)
+        cached = _mask_vectors.get(key)
+        if cached is None:
+            cached = np.array(
+                [split_limbs((1 << max(width, 0)) - 1, count)], dtype=np.uint64
+            ).reshape(count, 1)
+            _mask_vectors[key] = cached
+        return cached
+
+    def m(x, width: int):
+        """The slot-width mask over ``limbs_for_width(width)`` rows."""
+        count = nl(width)
+        x = ext(x, count)
+        if width == count * LIMB_BITS:
+            return x  # every representable bit is in-width: mask is a no-op
+        return x & mask_vector(width, count)
+
+    def bit(condition):
+        """A (B,) bool vector as a 1-limb 0/1 matrix."""
+        return condition[None, :].astype(np.uint64)
+
+    def nonzero(x):
+        """Per-lane truthiness of a limb matrix, as a (B,) bool vector."""
+        flag = x[0] != ZERO
+        for row in range(1, x.shape[0]):
+            flag = flag | (x[row] != ZERO)
+        return flag
+
+    # -- carry / borrow arithmetic --------------------------------------
+    def ladd(a, b, ow):
+        count = nl(ow)
+        a, b = ext(a, count), ext(b, count)
+        out = np.empty_like(a)
+        carry = np.zeros(a.shape[1], dtype=np.uint64)
+        for i in range(count):
+            partial = a[i] + b[i]
+            overflow = partial < a[i]
+            total = partial + carry
+            out[i] = total
+            carry = (overflow | (total < partial)).astype(np.uint64)
+        return m(out, ow)
+
+    def lsub(a, b, ow):
+        count = nl(ow)
+        a, b = ext(a, count), ext(b, count)
+        out = np.empty_like(a)
+        borrow = np.zeros(a.shape[1], dtype=np.uint64)
+        for i in range(count):
+            partial = a[i] - b[i]
+            underflow = a[i] < b[i]
+            total = partial - borrow
+            out[i] = total
+            borrow = (underflow | (partial < borrow)).astype(np.uint64)
+        return m(out, ow)
+
+    def lmul(a, b, wa: int, wb: int, ow):
+        # Width-aware schoolbook over 32-bit halves: partial products are
+        # only formed for half-words the operand widths can populate (the
+        # common RTL mask idiom ``mul(wide, onebit)`` costs one select,
+        # not a full multi-limb multiply), and every column accumulator
+        # stays below 2**64, so uint64 wrap-around is never hit before
+        # the explicit carry extraction.
+        count = nl(ow)
+        if wa == 1 or wb == 1:
+            gate, value = (a, b) if wa == 1 else (b, a)
+            return m(
+                np.where(gate[0][None, :].astype(bool), ext(value, count), ZERO),
+                ow,
+            )
+        a, b = ext(a, count), ext(b, count)
+        halves = 2 * count
+        halves_a = min(halves, max(1, (wa + 31) // 32))
+        halves_b = min(halves, max(1, (wb + 31) // 32))
+        a_half: List[object] = []
+        b_half: List[object] = []
+        for i in range(count):
+            a_half.extend((a[i] & M32, a[i] >> HALF))
+            b_half.extend((b[i] & M32, b[i] >> HALF))
+        out_halves: List[object] = []
+        carry = np.zeros(a.shape[1], dtype=np.uint64)
+        for k in range(halves):
+            low = carry & M32
+            high = carry >> HALF
+            for i in range(max(0, k - halves_b + 1), min(k + 1, halves_a)):
+                product = a_half[i] * b_half[k - i]
+                low = low + (product & M32)
+                high = high + (product >> HALF)
+            out_halves.append(low & M32)
+            carry = high + (low >> HALF)
+        out = np.empty_like(a)
+        for i in range(count):
+            out[i] = out_halves[2 * i] | (out_halves[2 * i + 1] << HALF)
+        return m(out, ow)
+
+    # -- >64-bit div/rem: exact via per-lane unbounded ints -------------
+    # Long division is not worth vectorising for the rare wide divider;
+    # correctness comes first, and the conversion cost is O(limbs * B).
+    def to_ints(x) -> List[int]:
+        rows = [row.tolist() for row in x]
+        return [
+            combine_limbs([rows[i][lane] for i in range(len(rows))])
+            for lane in range(x.shape[1])
+        ]
+
+    def from_ints(values: Sequence[int], count: int):
+        return np.array(
+            [split_limbs(value, count) for value in values], dtype=np.uint64
+        ).T
+
+    def ldiv(a, b, ow):
+        quotients = [
+            (x // y if y else 0)
+            for x, y in zip(to_ints(a), to_ints(b))
+        ]
+        return m(from_ints(quotients, nl(ow)), ow)
+
+    def lrem(a, b, ow):
+        remainders = [
+            (x % y if y else 0)
+            for x, y in zip(to_ints(a), to_ints(b))
+        ]
+        return m(from_ints(remainders, nl(ow)), ow)
+
+    # -- comparisons: fold from the most-significant limb ---------------
+    def compare(a, b):
+        count = max(a.shape[0], b.shape[0])
+        a, b = ext(a, count), ext(b, count)
+        less = a[count - 1] < b[count - 1]
+        equal = a[count - 1] == b[count - 1]
+        for i in range(count - 2, -1, -1):
+            less = less | (equal & (a[i] < b[i]))
+            equal = equal & (a[i] == b[i])
+        return less, equal
+
+    # -- cross-limb shifts ----------------------------------------------
+    def shift_left_const(a, amount: int, ow):
+        count = nl(ow)
+        a = ext(a, count)
+        word, bits = divmod(amount, LIMB_BITS)
+        out = np.zeros_like(a)
+        for i in range(count):
+            j = i - word
+            if j < 0:
+                continue
+            row = a[j] << u64(bits) if bits else a[j]
+            if bits and j >= 1:
+                row = row | (a[j - 1] >> u64(LIMB_BITS - bits))
+            out[i] = row
+        return out
+
+    def shift_amounts(s, limit: int):
+        """Per-lane (word, bit, too_big) split of a shift-amount matrix.
+
+        ``too_big`` marks lanes whose shift reaches ``limit`` (the width
+        guard): any set bit would leave the masked result, so those lanes
+        are zeroed exactly as the scalar ``_dshl``/``_dshr`` helpers do.
+        """
+        s0 = s[0]
+        too_big = s0 >= u64(max(limit, 1))
+        for row in range(1, s.shape[0]):
+            too_big = too_big | (s[row] != ZERO)
+        word = s0 >> u64(6)
+        bits = s0 & u64(63)
+        return word, bits, too_big
+
+    def ldshl(a, s, ow):
+        count = nl(ow)
+        a = ext(a, count)
+        word, bits, too_big = shift_amounts(s, ow)
+        spill = (u64(LIMB_BITS) - bits) & u64(63)
+        has_bits = bits > ZERO
+        out = np.zeros_like(a)
+        for shift_words in range(count):
+            selected = word == u64(shift_words)
+            if not selected.any():
+                continue
+            for i in range(shift_words, count):
+                j = i - shift_words
+                row = a[j] << bits
+                if j >= 1:
+                    row = row | np.where(has_bits, a[j - 1] >> spill, ZERO)
+                out[i] = np.where(selected, row, out[i])
+        return m(np.where(too_big[None, :], ZERO, out), ow)
+
+    def ldshr(a, s, in_width: int, ow):
+        source = nl(in_width)
+        count = nl(ow)
+        a = ext(a, source)
+        word, bits, too_big = shift_amounts(s, in_width)
+        spill = (u64(LIMB_BITS) - bits) & u64(63)
+        has_bits = bits > ZERO
+        out = np.zeros((count, a.shape[1]), dtype=np.uint64)
+        for shift_words in range(source):
+            selected = word == u64(shift_words)
+            if not selected.any():
+                continue
+            for i in range(count):
+                j = i + shift_words
+                if j >= source:
+                    continue
+                row = a[j] >> bits
+                if j + 1 < source:
+                    row = row | np.where(has_bits, a[j + 1] << spill, ZERO)
+                out[i] = np.where(selected, row, out[i])
+        return m(np.where(too_big[None, :], ZERO, out), ow)
+
+    def lwhere(condition, then, other, ow):
+        count = nl(ow)
+        return m(
+            np.where(condition[None, :], ext(then, count), ext(other, count)), ow
+        )
+
+    # -- the table -------------------------------------------------------
+    table: Dict[str, VecEvaluator] = {}
+
+    def define(name: str, fn: VecEvaluator) -> None:
+        table[name] = fn
+
+    def lless(a, w, ow):
+        return bit(compare(a[0], a[1])[0])
+
+    def lleq(a, w, ow):
+        less, equal = compare(a[0], a[1])
+        return bit(less | equal)
+
+    def lgeq(a, w, ow):
+        less, _ = compare(a[0], a[1])
+        return bit(~less)
+
+    define("add", lambda a, w, ow: ladd(a[0], a[1], ow))
+    define("sub", lambda a, w, ow: lsub(a[0], a[1], ow))
+    define("mul", lambda a, w, ow: lmul(a[0], a[1], w[0], w[1], ow))
+    define("div", lambda a, w, ow: ldiv(a[0], a[1], ow))
+    define("rem", lambda a, w, ow: lrem(a[0], a[1], ow))
+    define("lt", lless)
+    define("leq", lleq)
+    define("gt", lambda a, w, ow: bit(compare(a[1], a[0])[0]))
+    define("geq", lgeq)
+    define("eq", lambda a, w, ow: bit(compare(a[0], a[1])[1]))
+    define("neq", lambda a, w, ow: bit(~compare(a[0], a[1])[1]))
+    define("and", lambda a, w, ow: m(ext(a[0], nl(ow)) & ext(a[1], nl(ow)), ow))
+    define("or", lambda a, w, ow: m(ext(a[0], nl(ow)) | ext(a[1], nl(ow)), ow))
+    define("xor", lambda a, w, ow: m(ext(a[0], nl(ow)) ^ ext(a[1], nl(ow)), ow))
+    define(
+        "cat",
+        lambda a, w, ow: m(shift_left_const(a[0], w[1], ow) | ext(a[1], nl(ow)), ow),
+    )
+    define("dshl", lambda a, w, ow: ldshl(a[0], a[1], ow))
+    define("shl", lambda a, w, ow: ldshl(a[0], a[1], ow))
+    define("dshr", lambda a, w, ow: ldshr(a[0], a[1], w[0], ow))
+    define("shr", lambda a, w, ow: ldshr(a[0], a[1], w[0], ow))
+    define("pad", lambda a, w, ow: m(a[0], ow))
+    define("tail", lambda a, w, ow: m(a[0], ow))
+
+    def lhead(a, w, ow):
+        # shift = in_width - min(n, in_width), per lane; n >= in_width
+        # (including any high limbs) clamps to a zero shift.
+        in_width = w[0]
+        n0 = a[1][0]
+        clamp = n0 >= u64(max(in_width, 1))
+        for row in range(1, a[1].shape[0]):
+            clamp = clamp | (a[1][row] != ZERO)
+        clamped = np.where(clamp, u64(in_width), n0)
+        shift = (u64(in_width) - clamped)[None, :]
+        return ldshr(a[0], shift, in_width, ow)
+
+    define("head", lhead)
+
+    define("not", lambda a, w, ow: m(~ext(a[0], nl(ow)), ow))
+    define("neg", lambda a, w, ow: lsub(np.zeros((1, a[0].shape[1]), dtype=np.uint64), a[0], ow))
+    define("cvt", lambda a, w, ow: m(a[0], ow))
+
+    def landr(a, w, ow):
+        count = limbs_for_width(w[0])
+        x = ext(a[0], count)
+        full = mask_vector(w[0], count)
+        flag = x[0] == full[0][0]
+        for row in range(1, count):
+            flag = flag & (x[row] == full[row][0])
+        return bit(flag)
+
+    define("andr", landr)
+    define("orr", lambda a, w, ow: bit(nonzero(a[0])))
+
+    def lxorr(a, w, ow):
+        folded = a[0][0]
+        for row in range(1, a[0].shape[0]):
+            folded = folded ^ a[0][row]
+        return pop(folded)[None, :]
+
+    define("xorr", lxorr)
+    define("asUInt", lambda a, w, ow: m(a[0], ow))
+    define("asSInt", lambda a, w, ow: m(a[0], ow))
+    define("ident", lambda a, w, ow: m(a[0], ow))
+
+    define("mux", lambda a, w, ow: lwhere(nonzero(a[0]), a[1], a[2], ow))
+    define("bits", lambda a, w, ow: ldshr(a[0], a[2], w[0], ow))
+
+    def lmuxchain(a, w, ow):
+        # [s1, v1, s2, v2, ..., default]: fold from the innermost out.
+        count = nl(ow)
+        result = ext(a[-1], count)
+        for position in range(len(a) - 3, -1, -2):
+            result = np.where(
+                nonzero(a[position])[None, :], ext(a[position + 1], count), result
+            )
+        return m(result, ow)
+
+    def limb_chain(op):
+        def fn(a, w, ow):
+            count = nl(ow)
+            result = ext(a[0], count)
+            for value in a[1:]:
+                result = op(result, ext(value, count))
+            return m(result, ow)
+
+        return fn
+
+    for k in range(2, MAX_CHAIN + 1):
+        define(f"muxchain{k}", lmuxchain)
+        define(f"orchain{k}", limb_chain(lambda x, y: x | y))
+        define(f"andchain{k}", limb_chain(lambda x, y: x & y))
+        define(f"xorchain{k}", limb_chain(lambda x, y: x ^ y))
 
     return table

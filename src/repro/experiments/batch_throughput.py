@@ -32,7 +32,7 @@ DEFAULT_CYCLES = 48
 
 @dataclass
 class ThroughputRow:
-    """One (design, kernel, B) measurement."""
+    """One (design, kernel, B, backend) measurement."""
 
     design: str
     kernel: str
@@ -61,14 +61,22 @@ class ThroughputRow:
         }
 
 
-def measure(
+def measure_backends(
     design_name: str,
     kernel: str = "PSU",
     lanes: int = 8,
     cycles: int = DEFAULT_CYCLES,
     base_seed: int = 0xB47C4,
-) -> ThroughputRow:
-    """Measure one design/kernel/B point (both arms, identical stimulus)."""
+    backends: Sequence[str] = ("auto",),
+) -> List[ThroughputRow]:
+    """Measure one design/kernel/B point, one row per storage backend.
+
+    The scalar arm is measured once and shared across the backend rows
+    (it has no plane backend), so backend-comparison sweeps -- e.g. the
+    split-limb ``u64xN`` fast path against the ``object`` reference on a
+    wide design -- only re-run the batched arm.  Identical stimulus in
+    every arm.
+    """
     from ..batch import BatchSimulator
     from ..sim.simulator import Simulator
 
@@ -86,24 +94,40 @@ def measure(
             scalar.step()
     scalar_elapsed = time.perf_counter() - start
 
-    batch = BatchSimulator(bundle, lanes=lanes, kernel=kernel)
-    start = time.perf_counter()
-    for cycle in range(cycles):
-        workload.apply(batch, cycle)
-        batch.step()
-    batch_elapsed = time.perf_counter() - start
-
     lane_cycles = lanes * cycles
-    return ThroughputRow(
-        design=design_name,
-        kernel=kernel,
-        lanes=lanes,
-        backend=batch.backend,
-        style=batch.kernel.style,
-        cycles=cycles,
-        scalar_lane_cps=lane_cycles / max(scalar_elapsed, 1e-12),
-        batch_lane_cps=lane_cycles / max(batch_elapsed, 1e-12),
-    )
+    rows: List[ThroughputRow] = []
+    for backend in backends:
+        batch = BatchSimulator(bundle, lanes=lanes, kernel=kernel, backend=backend)
+        start = time.perf_counter()
+        for cycle in range(cycles):
+            workload.apply(batch, cycle)
+            batch.step()
+        batch_elapsed = time.perf_counter() - start
+        rows.append(ThroughputRow(
+            design=design_name,
+            kernel=kernel,
+            lanes=lanes,
+            backend=batch.backend,
+            style=batch.kernel.style,
+            cycles=cycles,
+            scalar_lane_cps=lane_cycles / max(scalar_elapsed, 1e-12),
+            batch_lane_cps=lane_cycles / max(batch_elapsed, 1e-12),
+        ))
+    return rows
+
+
+def measure(
+    design_name: str,
+    kernel: str = "PSU",
+    lanes: int = 8,
+    cycles: int = DEFAULT_CYCLES,
+    base_seed: int = 0xB47C4,
+    backend: str = "auto",
+) -> ThroughputRow:
+    """Measure one design/kernel/B/backend point (both arms)."""
+    return measure_backends(
+        design_name, kernel, lanes, cycles, base_seed, (backend,)
+    )[0]
 
 
 def throughput_rows(
@@ -111,13 +135,16 @@ def throughput_rows(
     kernels: Sequence[str] = DEFAULT_KERNELS,
     lanes_list: Sequence[int] = DEFAULT_LANES,
     cycles: int = DEFAULT_CYCLES,
+    backends: Sequence[str] = ("auto",),
 ) -> List[ThroughputRow]:
-    """The full sweep, one row per (design, kernel, B)."""
+    """The full sweep, one row per (design, kernel, B, backend)."""
     rows: List[ThroughputRow] = []
     for design in designs:
         for kernel in kernels:
             for lanes in lanes_list:
-                rows.append(measure(design, kernel, lanes, cycles))
+                rows.extend(
+                    measure_backends(design, kernel, lanes, cycles, backends=backends)
+                )
     return rows
 
 

@@ -76,6 +76,41 @@ def numpy_expr(
     return expr
 
 
+#: Base op names with a split-limb evaluator (suffix digits allowed for
+#: the chain ops).  This is the canonical op vocabulary shared with
+#: :func:`repro.batch.vecsem.make_limb_table` (which defines an evaluator
+#: per name) and the layer-blocked builders in :mod:`repro.batch.kernels`.
+LIMB_OP_BASES = frozenset({
+    "add", "sub", "mul", "div", "rem", "lt", "leq", "gt", "geq", "eq",
+    "neq", "and", "or", "xor", "cat", "dshl", "shl", "dshr", "shr",
+    "pad", "head", "tail", "not", "neg", "cvt", "andr", "orr", "xorr",
+    "asUInt", "asSInt", "ident", "mux", "bits",
+    "muxchain", "orchain", "andchain", "xorchain",
+})
+
+
+def numpy_limb_expr(
+    op: str, args: Sequence[str], widths: Sequence[int], out_width: int
+) -> str:
+    """Render one >64-bit operation as a split-limb evaluator call.
+
+    Used by the batched straight-line kernel on ``u64xN`` planes for the
+    (rare) statements whose operand or result widths exceed 64 bits: each
+    arg names a ``(limbs, B)`` slice of the flat limb-row plane
+    (``V[40:42]``), and the emitted expression calls the matching
+    ``_limb_<op>`` evaluator (:func:`repro.batch.vecsem.make_limb_table`)
+    that the kernel injects into the generated namespace.  The evaluator
+    applies the output-width mask itself, so no trailing mask is emitted.
+    """
+    base = op.rstrip("0123456789")
+    if base not in LIMB_OP_BASES or (base != op and base not in
+                                     ("muxchain", "orchain", "andchain", "xorchain")):
+        raise KeyError(f"no split-limb expression template for op {op!r}")
+    arg_list = ", ".join(args) + ("," if len(args) == 1 else "")
+    width_list = ", ".join(str(w) for w in widths) + ("," if len(widths) == 1 else "")
+    return f"_limb_{op}(({arg_list}), ({width_list}), {out_width})"
+
+
 def _const_shift(text: str) -> int | None:
     """Shift amounts reach codegen as inlined decimal constants."""
     try:

@@ -65,8 +65,10 @@ class ShardedBatchSimulator:
         :class:`~repro.batch.BatchSimulator`).
     backend:
         Value-plane storage request, resolved *per partition* -- sharding
-        a wide design can leave most partitions on the u64 fast path with
-        only the wide partition on object rows.
+        a wide design leaves most partitions on the single-row u64 fast
+        path with only the wide partitions on split-limb u64xN planes;
+        the RUM exchange itself is storage-agnostic (lane rows cross as
+        plain ints), so mixed-backend partitions compose freely.
     executor:
         ``"serial"`` (deterministic reference), ``"thread"``, or
         ``"process"`` (one worker process per partition, pickled lane

@@ -12,8 +12,8 @@ from repro.workloads.stimulus import batched_workload_for
 LANES = 3
 CYCLES = 24
 
-#: >=3 registry designs; sha3 has 65-bit slots, exercising the object
-#: backend (and the codegen->walk degrade) on the NumPy path.
+#: >=3 registry designs; sha3 has 65-bit slots, exercising the split-limb
+#: u64xN fast path (auto never picks object rows any more) on NumPy.
 DESIGNS = ("rocket-1", "gemmini-8", "sha3")
 #: >=2 kernel configs: one walk-style, one codegen-style.
 KERNELS = ("PSU", "SU")
@@ -62,10 +62,16 @@ class TestLockstepEquivalence:
         sha3 = compile_named_design("sha3")
         assert supports_u64(rocket) and not supports_u64(sha3)
         assert BatchSimulator(rocket, lanes=2).backend == "u64"
-        assert BatchSimulator(sha3, lanes=2).backend == "object"
-        # SU on a wide design transparently takes the walk kernel.
-        assert BatchSimulator(sha3, lanes=2, kernel="SU").kernel.style == "walk"
+        # A >64-bit design stays on the vectorised fast path via the
+        # split-limb plane -- auto never degrades to object rows any more.
+        assert BatchSimulator(sha3, lanes=2).backend == "u64xN"
+        assert BatchSimulator(sha3, lanes=2, kernel="SU").kernel.style == "codegen"
         assert BatchSimulator(rocket, lanes=2, kernel="SU").kernel.style == "codegen"
+        # The object reference backend remains available on request, and
+        # SU degrades to the walk kernel there (no native uint64 plane).
+        wide_object = BatchSimulator(sha3, lanes=2, kernel="SU", backend="object")
+        assert wide_object.backend == "object"
+        assert wide_object.kernel.style == "walk"
 
     def test_pick_backend_without_numpy(self):
         bundle = compile_named_design("rocket-1")
@@ -277,11 +283,14 @@ class TestWideDesigns:
     )
 
     @pytest.mark.skipif(not HAS_NUMPY, reason="NumPy not installed")
+    @pytest.mark.parametrize("backend", ("auto", "u64xN", "object"))
     @pytest.mark.parametrize("kernel", KERNELS)
-    def test_object_backend_lockstep(self, kernel, rng):
+    def test_wide_backend_lockstep(self, kernel, backend, rng):
         lanes = 3
-        batch = BatchSimulator(self.WIDE_SRC, lanes=lanes, kernel=kernel)
-        assert batch.backend == "object"
+        batch = BatchSimulator(
+            self.WIDE_SRC, lanes=lanes, kernel=kernel, backend=backend
+        )
+        assert batch.backend == ("u64xN" if backend == "auto" else backend)
         scalars = [Simulator(self.WIDE_SRC, kernel=kernel) for _ in range(lanes)]
         for cycle in range(16):
             lo = [rng.randrange(1 << 64) for _ in range(lanes)]
