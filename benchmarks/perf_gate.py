@@ -11,8 +11,11 @@ loop), not scheduling noise.
         --current /tmp/batch_tiny.json --factor 5
 
 Rows are matched on their identity fields (design / kernel / lanes /
-partitions / executor -- whichever are present); rows only one side has
-are ignored, so a ``--tiny`` sweep gates against the full recorded grid.
+partitions / executor / strategy -- whichever are present); rows only
+one side has are ignored, so a ``--tiny`` sweep gates against the full
+recorded grid.  Matched rows that record a ``replication_overhead`` are
+additionally gated *tightly* (the partitioner is deterministic): rising
+more than ``--replication-slack`` above the baseline fails.
 A NumPy-availability mismatch between baseline and current skips the
 gate (the engines measured are not comparable), as does a missing
 baseline file, so new benches can land before their first baseline.
@@ -29,8 +32,13 @@ from typing import Dict, Tuple
 #: Fields identifying a row (used when present, in this order).  The
 #: backend is part of the identity: a ``u64xN`` fast-path row and an
 #: ``object`` comparison row of the same design/kernel/B are different
-#: measurements and must never gate against each other.
-KEY_FIELDS = ("design", "kernel", "lanes", "backend", "partitions", "executor")
+#: measurements and must never gate against each other.  Likewise the
+#: partitioner ``strategy``: greedy and refined rows of the same grid
+#: point have deliberately different replication overheads.
+KEY_FIELDS = (
+    "design", "kernel", "lanes", "backend", "partitions", "executor",
+    "strategy",
+)
 #: The gated metric, by preference: sharded rows record ``lane_cps``,
 #: batched rows ``batch_lane_cps``.
 METRIC_FIELDS = ("lane_cps", "batch_lane_cps")
@@ -58,7 +66,24 @@ def row_metric(row: Dict[str, object]):
     return None, None
 
 
-def gate(baseline: dict, current: dict, factor: float) -> int:
+def gate(
+    baseline: dict,
+    current: dict,
+    factor: float,
+    replication_slack: float = 0.01,
+) -> int:
+    """Gate ``current`` rows against ``baseline`` rows.
+
+    Two checks per matched row:
+
+    * lane-cycles/sec may not fall more than ``factor``x below the
+      baseline (loose: hosts differ);
+    * ``replication_overhead``, when both sides record it, may not rise
+      more than ``replication_slack`` (absolute) above the baseline --
+      the partitioner is deterministic, so this gate is tight and keyed
+      by strategy: a refined row quietly regressing back to greedy-level
+      replication fails even if the host is fast enough to hide it.
+    """
     if bool(baseline.get("numpy")) != bool(current.get("numpy")):
         print(
             f"perf-gate: numpy availability differs (baseline="
@@ -73,33 +98,44 @@ def gate(baseline: dict, current: dict, factor: float) -> int:
         reference = base_rows.get(row_key(row))
         if reference is None:
             continue
+        label = ", ".join(f"{k}={v}" for k, v in row_key(row))
         metric, value = row_metric(row)
         ref_metric, ref_value = row_metric(reference)
         if metric is None or ref_metric is None:
-            label = ", ".join(f"{k}={v}" for k, v in row_key(row))
             side = "current" if metric is None else "baseline"
             print(f"  [skip] {label}: no usable metric on the {side} side")
-            continue
-        compared += 1
-        floor = ref_value / factor
-        status = "ok" if value >= floor else "FAIL"
-        label = ", ".join(f"{k}={v}" for k, v in row_key(row))
-        print(
-            f"  [{status}] {label}: {metric} {value:.1f} "
-            f"(baseline {ref_value:.1f}, floor {floor:.1f})"
-        )
-        if value < floor:
-            failures.append(label)
+        else:
+            compared += 1
+            floor = ref_value / factor
+            status = "ok" if value >= floor else "FAIL"
+            print(
+                f"  [{status}] {label}: {metric} {value:.1f} "
+                f"(baseline {ref_value:.1f}, floor {floor:.1f})"
+            )
+            if value < floor:
+                failures.append(f"{label} ({metric})")
+        rep = row.get("replication_overhead")
+        ref_rep = reference.get("replication_overhead")
+        if rep is not None and ref_rep is not None:
+            compared += 1
+            ceiling = float(ref_rep) + replication_slack
+            status = "ok" if float(rep) <= ceiling else "FAIL"
+            print(
+                f"  [{status}] {label}: replication_overhead {float(rep):.4f} "
+                f"(baseline {float(ref_rep):.4f}, ceiling {ceiling:.4f})"
+            )
+            if float(rep) > ceiling:
+                failures.append(f"{label} (replication_overhead)")
     if compared == 0:
         print("perf-gate: no comparable rows between baseline and current")
         return 0
     if failures:
         print(
-            f"perf-gate: {len(failures)}/{compared} rows regressed more "
-            f"than {factor}x below baseline"
+            f"perf-gate: {len(failures)}/{compared} checks regressed "
+            f"past their thresholds"
         )
         return 1
-    print(f"perf-gate: {compared} rows within {factor}x of baseline")
+    print(f"perf-gate: {compared} checks within thresholds")
     return 0
 
 
@@ -111,6 +147,9 @@ def main(argv=None) -> int:
                         help="freshly measured bench JSON")
     parser.add_argument("--factor", type=float, default=5.0,
                         help="allowed slowdown before failing (default 5x)")
+    parser.add_argument("--replication-slack", type=float, default=0.01,
+                        help="allowed absolute replication-overhead rise "
+                        "above baseline (default 0.01; deterministic)")
     args = parser.parse_args(argv)
 
     baseline_path = Path(args.baseline)
@@ -119,7 +158,7 @@ def main(argv=None) -> int:
         return 0
     baseline = json.loads(baseline_path.read_text())
     current = json.loads(Path(args.current).read_text())
-    return gate(baseline, current, args.factor)
+    return gate(baseline, current, args.factor, args.replication_slack)
 
 
 if __name__ == "__main__":

@@ -24,13 +24,17 @@ def main() -> None:
     graph = compiled_graph(DESIGN)
     print(f"{DESIGN}: {graph.num_ops} ops, {len(graph.registers)} registers")
 
-    result = partition_graph(graph, PARTITIONS)
-    print(f"\npartitioned into {PARTITIONS}:")
-    for partition in result.partitions:
-        print(f"  partition {partition.index}: {partition.num_ops:6d} ops, "
-              f"{len(partition.owned_registers):4d} owned regs, "
-              f"{len(partition.external_registers):4d} replicas")
-    print(f"replication overhead: {result.replication_overhead:.1%}")
+    result = None
+    for strategy in ("greedy", "refined"):
+        result = partition_graph(graph, PARTITIONS, strategy=strategy)
+        print(f"\n{strategy} partitioning into {PARTITIONS} "
+              f"(effective {len(result.partitions)}):")
+        for partition in result.partitions:
+            print(f"  partition {partition.index}: "
+                  f"{partition.num_ops:6d} ops, "
+                  f"{len(partition.owned_registers):4d} owned regs, "
+                  f"{len(partition.external_registers):4d} replicas")
+        print(f"replication overhead: {result.replication_overhead:.1%}")
 
     rum = build_rum(result)
     tensor = rum.to_tensor()
@@ -38,9 +42,12 @@ def main() -> None:
           f"{tensor.occupancy} register transfers per cycle "
           f"(differential-exchange upper bound)")
 
-    print(f"\nlockstep check vs single simulator over {CYCLES} cycles...")
+    print(f"\nlockstep check (refined cut) vs single simulator over "
+          f"{CYCLES} cycles...")
     single = Simulator(graph, optimize_graph=False)
-    multi = RepCutSimulator(graph, num_partitions=PARTITIONS)
+    multi = RepCutSimulator(
+        graph, num_partitions=PARTITIONS, partitioner="refined"
+    )
     workload = workload_for(DESIGN)
     for cycle in range(CYCLES):
         for name, driver in workload.drivers.items():

@@ -54,16 +54,21 @@ def main() -> None:
     print("lane 0 matches a scalar run bit-exactly\n")
 
     # ------------------------------------------------------------------
-    # 2. The executor grid: serial vs thread vs process.
+    # 2. The executor × partitioner grid: the greedy cut replicates
+    #    rocket-1's shared fan-in core into both partitions (~97%), the
+    #    refined KL/FM cut keeps the cluster whole (~0.1%).
     # ------------------------------------------------------------------
     print(f"executor grid ({LANES} lanes, {CYCLES} cycles, host has "
           f"{os.cpu_count()} CPU(s)):")
     for executor in ("serial", "thread", "process"):
-        for partitions in (1, 2):
+        for partitions, partitioner in (
+            (1, "greedy"), (2, "greedy"), (2, "refined"),
+        ):
             with ShardedBatchSimulator(
                 src, lanes=LANES, num_partitions=partitions,
-                executor=executor,
+                executor=executor, partitioner=partitioner,
             ) as sim:
+                overhead = sim.replication_overhead
                 start = time.perf_counter()
                 for cycle in range(CYCLES):
                     workload.apply(sim, cycle)
@@ -72,7 +77,8 @@ def main() -> None:
                 critical = sim.step_max_seconds
             rate = LANES * CYCLES / elapsed
             crit_rate = LANES * CYCLES / max(critical, 1e-12)
-            print(f"  {executor:8s} P={partitions}: {rate:8.0f} "
+            print(f"  {executor:8s} P={partitions} {partitioner:7s} "
+                  f"(repl {overhead:5.1%}): {rate:8.0f} "
                   f"lane-cycles/s (crit-path {crit_rate:8.0f})")
 
 

@@ -2,8 +2,8 @@
 
 Measures the ROADMAP's sharding direction on *this* reproduction: how
 fast does a :class:`repro.shard.ShardedBatchSimulator` (B lanes × P
-RepCut partitions) advance, per executor?  As with
-:mod:`~repro.experiments.batch_throughput`, these are measured
+RepCut partitions) advance, per executor and per partitioning strategy?
+As with :mod:`~repro.experiments.batch_throughput`, these are measured
 wall-clock numbers of the executable Python kernels -- absolute rates
 are host-dependent.
 
@@ -14,6 +14,13 @@ single-CPU host the wall-clock ``process``/``thread`` rates degenerate
 to time-slicing (no parallel win is physically possible there), while
 the critical path stays an honest measurement of the exposed
 parallelism.
+
+The ``strategy`` axis is the greedy-vs-refined partitioner comparison:
+``greedy`` rows carry the balanced cone assignment's replication
+overhead (~97% of rocket-1 at P=2), ``refined`` rows the
+replication-capped KL/FM cut (:mod:`repro.repcut.refine`).  Replication
+overhead is recorded per row and gated deterministically by
+``benchmarks/perf_gate.py``.
 """
 
 from __future__ import annotations
@@ -31,22 +38,25 @@ DEFAULT_DESIGNS: Tuple[str, ...] = ("rocket-1", "gemmini-8")
 DEFAULT_LANES: Tuple[int, ...] = (8, 32)
 DEFAULT_PARTITIONS: Tuple[int, ...] = (1, 2, 4)
 DEFAULT_EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process")
+DEFAULT_STRATEGIES: Tuple[str, ...] = ("greedy", "refined")
 DEFAULT_CYCLES = 12
 
 
 @dataclass
 class ShardRow:
-    """One (design, B, P, executor) measurement."""
+    """One (design, B, P, executor, strategy) measurement."""
 
     design: str
     kernel: str
     lanes: int
     partitions: int
     executor: str
+    strategy: str
     cycles: int
     lane_cps: float
     critical_path_lane_cps: float
     replication_overhead: float
+    effective_partitions: int
     styles: str
 
     def as_dict(self) -> Dict[str, object]:
@@ -56,10 +66,12 @@ class ShardRow:
             "lanes": self.lanes,
             "partitions": self.partitions,
             "executor": self.executor,
+            "strategy": self.strategy,
             "cycles": self.cycles,
             "lane_cps": self.lane_cps,
             "critical_path_lane_cps": self.critical_path_lane_cps,
             "replication_overhead": self.replication_overhead,
+            "effective_partitions": self.effective_partitions,
             "styles": self.styles,
         }
 
@@ -72,6 +84,8 @@ def measure(
     executor: str = "serial",
     cycles: int = DEFAULT_CYCLES,
     base_seed: int = 0xB47C4,
+    strategy: str = "greedy",
+    max_replication: Optional[float] = None,
 ) -> ShardRow:
     """Measure one grid point (one warm-up cycle, then ``cycles`` timed)."""
     from ..shard import ShardedBatchSimulator
@@ -84,6 +98,8 @@ def measure(
         num_partitions=partitions,
         kernel=kernel,
         executor=executor,
+        partitioner=strategy,
+        max_replication=max_replication,
     ) as sim:
         workload.apply(sim, 0)
         sim.step()  # warm-up: first settle builds nothing, but be uniform
@@ -96,6 +112,7 @@ def measure(
         critical = sim.step_max_seconds - mark_max
         styles = ",".join(sorted(set(sim.describe_partitions())))
         overhead = sim.replication_overhead
+        effective = sim.num_partitions
 
     lane_cycles = lanes * cycles
     return ShardRow(
@@ -104,10 +121,12 @@ def measure(
         lanes=lanes,
         partitions=partitions,
         executor=executor,
+        strategy=strategy,
         cycles=cycles,
         lane_cps=lane_cycles / max(elapsed, 1e-12),
         critical_path_lane_cps=lane_cycles / max(critical, 1e-12),
         replication_overhead=overhead,
+        effective_partitions=effective,
         styles=styles,
     )
 
@@ -119,25 +138,28 @@ def throughput_rows(
     executors: Sequence[str] = DEFAULT_EXECUTORS,
     kernel: str = "PSU",
     cycles: int = DEFAULT_CYCLES,
+    strategies: Sequence[str] = ("greedy",),
 ) -> List[ShardRow]:
-    """The full B × P × executor grid, one row per point."""
+    """The full B × P × executor × strategy grid, one row per point."""
     rows: List[ShardRow] = []
     for design in designs:
         for lanes in lanes_list:
             for partitions in partitions_list:
-                for executor in executors:
-                    rows.append(
-                        measure(design, kernel, lanes, partitions, executor,
-                                cycles)
-                    )
+                for strategy in strategies:
+                    for executor in executors:
+                        rows.append(
+                            measure(design, kernel, lanes, partitions,
+                                    executor, cycles, strategy=strategy)
+                        )
     return rows
 
 
 def _serial_reference(
     rows: Sequence[ShardRow],
-) -> Dict[Tuple[str, str, int, int], float]:
+) -> Dict[Tuple[str, str, int, int, str], float]:
     return {
-        (row.design, row.kernel, row.lanes, row.partitions): row.lane_cps
+        (row.design, row.kernel, row.lanes, row.partitions, row.strategy):
+            row.lane_cps
         for row in rows
         if row.executor == "serial"
     }
@@ -149,7 +171,9 @@ def render_rows(rows: Sequence[ShardRow], title: str) -> str:
     serial = _serial_reference(rows)
     body = []
     for row in rows:
-        reference = serial.get((row.design, row.kernel, row.lanes, row.partitions))
+        reference = serial.get(
+            (row.design, row.kernel, row.lanes, row.partitions, row.strategy)
+        )
         ratio = f"{row.lane_cps / reference:.2f}x" if reference else "-"
         body.append([
             row.design,
@@ -157,14 +181,16 @@ def render_rows(rows: Sequence[ShardRow], title: str) -> str:
             row.lanes,
             row.partitions,
             row.executor,
+            row.strategy,
+            f"{row.replication_overhead:.1%}",
             row.styles,
             row.lane_cps,
             row.critical_path_lane_cps,
             ratio,
         ])
     return format_table(
-        ["design", "kernel", "B", "P", "executor", "backend/style",
-         "lane c/s", "crit-path lane c/s", "vs serial"],
+        ["design", "kernel", "B", "P", "executor", "strategy", "repl",
+         "backend/style", "lane c/s", "crit-path lane c/s", "vs serial"],
         body,
         title=title,
     )
@@ -177,12 +203,13 @@ def render_shard_throughput(
     executors: Sequence[str] = DEFAULT_EXECUTORS,
     kernel: str = "PSU",
     cycles: int = DEFAULT_CYCLES,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
 ) -> str:
     text = render_rows(
         throughput_rows(designs, lanes_list, partitions_list, executors,
-                        kernel, cycles),
+                        kernel, cycles, strategies),
         title=f"Sharded batched throughput (measured, {cycles} cycles/lane): "
-        "B lanes x P partitions per executor",
+        "B lanes x P partitions per executor and partitioner",
     )
     cpus = os.cpu_count() or 1
     if cpus < 2:

@@ -6,15 +6,20 @@ Public API::
 """
 
 from .parallel import RepCutSimulator, RepCutSnapshot
-from .partition import Partition, PartitionResult, partition_graph
+from .partition import STRATEGIES, Partition, PartitionResult, partition_graph
+from .refine import GainBuckets, RefineStats, refine_assignment
 from .rum import RegisterUpdateMap, build_rum
 
 __all__ = [
+    "GainBuckets",
     "Partition",
     "PartitionResult",
+    "RefineStats",
     "RegisterUpdateMap",
     "RepCutSimulator",
     "RepCutSnapshot",
+    "STRATEGIES",
     "build_rum",
     "partition_graph",
+    "refine_assignment",
 ]

@@ -13,11 +13,11 @@ The test suite checks lockstep equivalence with the single-partition
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..graph.dfg import DataflowGraph
 from ..sim.simulator import DesignLike, SimSnapshot, Simulator, compile_graph
-from .partition import PartitionResult, partition_graph
+from .partition import PartitionResult, missing_signal_error, partition_graph
 from .rum import RegisterUpdateMap, build_rum
 
 
@@ -29,6 +29,9 @@ class RepCutSnapshot:
     partitions: List[SimSnapshot]
     cycle: int
     last_synced: Dict[str, int]
+    #: Per-partition owned registers: partition states only restore onto
+    #: the cut (strategy / cap) that produced them.
+    cut: Tuple[Tuple[str, ...], ...] = ()
 
 
 class RepCutSimulator:
@@ -40,9 +43,20 @@ class RepCutSimulator:
         Anything :func:`repro.sim.simulator.compile_design` accepts, or a
         :class:`DataflowGraph` directly.
     num_partitions:
-        Partition count (paper: one per thread).
+        Partition count (paper: one per thread).  Empty partitions are
+        pruned, so ``num_partitions`` is an upper bound.
     kernel:
         RTeAAL kernel configuration used inside each partition.
+    partitioner:
+        ``"greedy"`` or ``"refined"`` (replication-capped KL/FM); see
+        :func:`repro.repcut.partition.partition_graph`.
+    max_replication:
+        Replication cap for the refined partitioner, as a fraction of
+        the design's ops (``None`` = uncapped).
+    preserve_signals:
+        Keep named intermediate signals observable when compiling from
+        source (mirrors the scalar :class:`~repro.sim.Simulator` knob;
+        a pre-compiled :class:`DataflowGraph` is used as-is).
     """
 
     def __init__(
@@ -50,12 +64,22 @@ class RepCutSimulator:
         design: Union[DesignLike, DataflowGraph],
         num_partitions: int = 2,
         kernel: str = "PSU",
+        partitioner: str = "greedy",
+        max_replication: Optional[float] = None,
+        preserve_signals: bool = False,
     ) -> None:
-        graph = compile_graph(design)
-        self.result: PartitionResult = partition_graph(graph, num_partitions)
+        graph = compile_graph(design, preserve_signals=preserve_signals)
+        self.result: PartitionResult = partition_graph(
+            graph, num_partitions, strategy=partitioner,
+            max_replication=max_replication,
+        )
+        self._design_signals = set(graph.signal_map)
         self.rum: RegisterUpdateMap = build_rum(self.result)
         self.simulators: List[Simulator] = [
-            Simulator(p.graph, kernel=kernel, optimize_graph=False)
+            Simulator(
+                p.graph, kernel=kernel, optimize_graph=False,
+                preserve_signals=preserve_signals,
+            )
             for p in self.result.partitions
         ]
         self._input_sinks: Dict[str, List[int]] = {}
@@ -92,7 +116,9 @@ class RepCutSimulator:
     def peek(self, name: str) -> int:
         home = self._signal_home.get(name)
         if home is None:
-            raise KeyError(f"unknown signal {name!r}")
+            raise missing_signal_error(
+                name, self._design_signals, self.result.partitions
+            )
         return self.simulators[home].peek(name)
 
     def step(self, cycles: int = 1) -> None:
@@ -123,6 +149,12 @@ class RepCutSimulator:
             partitions=[simulator.snapshot() for simulator in self.simulators],
             cycle=self.cycle,
             last_synced=dict(self._last_synced),
+            cut=self._cut(),
+        )
+
+    def _cut(self) -> Tuple[Tuple[str, ...], ...]:
+        return tuple(
+            tuple(p.owned_registers) for p in self.result.partitions
         )
 
     def restore(self, snapshot: RepCutSnapshot) -> None:
@@ -131,6 +163,13 @@ class RepCutSimulator:
             raise ValueError(
                 f"snapshot has {len(snapshot.partitions)} partitions, "
                 f"simulator has {len(self.simulators)}"
+            )
+        if snapshot.cut and snapshot.cut != self._cut():
+            raise ValueError(
+                "snapshot was taken under a different partitioning (the "
+                "register->partition cut differs, e.g. another partitioner= "
+                "strategy or max_replication); partition states are only "
+                "restorable onto the cut that produced them"
             )
         for simulator, state in zip(self.simulators, snapshot.partitions):
             simulator.restore(state)

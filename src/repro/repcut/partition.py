@@ -6,18 +6,34 @@ partitions have no intra-cycle dependencies.  At the end of each cycle, a
 synchronisation step propagates updated register values to every partition
 that reads them (the ``RUM`` tensor of Cascade 2).
 
-The partitioner here is a greedy balanced assignment over register cones
-(real RepCut uses hypergraph partitioning; greedy preserves the properties
-the paper relies on -- full decoupling with bounded replication -- and the
-ablation bench measures the replication overhead it induces).
+Two partitioning strategies are available:
+
+* ``"greedy"`` -- balanced greedy assignment over register/output cones
+  (the historical default).  It preserves the properties the paper
+  relies on -- full decoupling with bounded replication -- but is blind
+  to cone sharing, so heavily shared fan-in (rocket/small SoCs) gets
+  replicated into every partition (~97% overhead at P=2).
+* ``"refined"`` -- the greedy seed followed by replication-capped KL/FM
+  refinement over the cone-sharing hypergraph
+  (:mod:`repro.repcut.refine`): cones move between partitions to
+  minimise ``replicated_ops + lambda * imbalance`` under an explicit
+  ``max_replication`` cap, which is what turns P partitions into a net
+  win instead of P-fold duplicated work.
+
+Partitions that end up owning nothing (``num_partitions`` larger than
+the number of cones, or refinement consolidating a shared cluster) are
+pruned with a warning rather than returned as idle empty shells.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..graph.dfg import DataflowGraph
+
+STRATEGIES = ("greedy", "refined")
 
 
 @dataclass
@@ -57,6 +73,13 @@ class PartitionResult:
     #: Ops appearing in more than one partition (replication overhead).
     replicated_ops: int
     original_ops: int
+    #: Strategy that produced this result (``greedy``/``refined``).
+    strategy: str = "greedy"
+    #: Partition count the caller asked for; ``len(partitions)`` may be
+    #: smaller after empty partitions are pruned.
+    requested_partitions: int = 0
+    #: KL/FM statistics when ``strategy == "refined"`` (else ``None``).
+    refine_stats: Optional[object] = None
 
     @property
     def replication_overhead(self) -> float:
@@ -64,6 +87,53 @@ class PartitionResult:
         if self.original_ops == 0:
             return 0.0
         return total / self.original_ops - 1.0
+
+    @property
+    def max_partition_ops(self) -> int:
+        """Ops of the heaviest partition: the per-cycle critical path on
+        >= P free cores."""
+        return max((p.num_ops for p in self.partitions), default=0)
+
+
+def missing_signal_error(
+    name: str,
+    design_signals: Set[str],
+    partitions: List[Partition],
+) -> KeyError:
+    """A diagnostic ``KeyError`` for a ``peek`` no partition can serve.
+
+    Shared by the partitioned simulators (:class:`repro.repcut
+    .RepCutSimulator`, :class:`repro.shard.ShardedBatchSimulator`): a
+    preserved signal can exist in the source graph yet land in no
+    partition (its node feeds no register or output), which used to
+    surface as a bare ``KeyError`` indistinguishable from a typo.
+    """
+    if name not in design_signals:
+        return KeyError(
+            f"unknown signal {name!r}; it may have been optimised away "
+            "(construct the simulator with preserve_signals=True)"
+        )
+    hint = ""
+    parent = name.rsplit(".", 1)[0] if "." in name else None
+    if parent:
+        owners = sorted(
+            p.index for p in partitions
+            if any(
+                s == parent or s.startswith(parent + ".")
+                for s in p.graph.signal_map
+            )
+        )
+        if owners:
+            hint = (
+                f"; partitions {owners} own related signals under "
+                f"{parent!r}"
+            )
+    return KeyError(
+        f"signal {name!r} exists in the design but was not placed in any "
+        "partition (its node feeds no register or output, so no cone "
+        "carried it); construct the simulator with preserve_signals=True "
+        f"and peek a signal a partition owns{hint}"
+    )
 
 
 def _cone(graph: DataflowGraph, root: int) -> Set[int]:
@@ -79,10 +149,71 @@ def _cone(graph: DataflowGraph, root: int) -> Set[int]:
     return seen
 
 
-def partition_graph(graph: DataflowGraph, num_partitions: int) -> PartitionResult:
-    """Split ``graph`` into ``num_partitions`` decoupled partitions."""
+def _greedy_assignment(
+    items: List[Tuple[str, str, int]],
+    cones: Dict[Tuple[str, str], Set[int]],
+    num_partitions: int,
+) -> Dict[Tuple[str, str], int]:
+    """The greedy balanced seed: place cones largest-first onto the
+    partition whose *resulting* load is smallest.  Shared fan-in is free
+    (already replicated there), so this jointly minimises replication
+    and imbalance -- one cone at a time."""
+    order = sorted(items, key=lambda item: -len(cones[(item[0], item[1])]))
+    loads = [0] * num_partitions
+    member_nodes: List[Set[int]] = [set() for _ in range(num_partitions)]
+    assignment: Dict[Tuple[str, str], int] = {}
+    for kind, name, _root in order:
+        cone = cones[(kind, name)]
+
+        def resulting_load(p: int) -> Tuple[int, int]:
+            new_nodes = len(cone - member_nodes[p])
+            return (loads[p] + new_nodes, new_nodes)
+
+        best = min(range(num_partitions), key=resulting_load)
+        assignment[(kind, name)] = best
+        member_nodes[best] |= cone
+        loads[best] = len(member_nodes[best])
+    return assignment
+
+
+def partition_graph(
+    graph: DataflowGraph,
+    num_partitions: int,
+    strategy: str = "greedy",
+    max_replication: Optional[float] = None,
+    imbalance_weight: float = 1.0,
+    max_passes: int = 8,
+) -> PartitionResult:
+    """Split ``graph`` into at most ``num_partitions`` decoupled partitions.
+
+    Parameters
+    ----------
+    strategy:
+        ``"greedy"`` (balanced cone assignment, the default) or
+        ``"refined"`` (greedy seed + replication-capped KL/FM
+        refinement; see :mod:`repro.repcut.refine`).
+    max_replication:
+        Replication cap for the refiner, as a fraction of the graph's
+        ops (e.g. ``0.25`` allows 25% replicated work).  ``None`` leaves
+        the cap off; the cost's imbalance term still applies.  Ignored
+        by the greedy strategy.
+    imbalance_weight:
+        The lambda of the refinement cost
+        ``replicated_ops + lambda * (max_partition_ops - ideal)``.
+    max_passes:
+        FM pass budget per refinement phase.
+
+    Partitions owning no register and no output are pruned (with a
+    ``RuntimeWarning`` naming the effective count), so executors never
+    spawn idle workers; ``requested_partitions`` records the ask.
+    """
     if num_partitions < 1:
         raise ValueError("need at least one partition")
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown partitioning strategy {strategy!r}; choose from "
+            f"{', '.join(STRATEGIES)}"
+        )
     graph.validate()
 
     # Work items: each register's next-value cone, plus each output's cone.
@@ -93,28 +224,40 @@ def partition_graph(graph: DataflowGraph, num_partitions: int) -> PartitionResul
         items.append(("out", name, nid))
 
     cones = {(kind, name): _cone(graph, root) for kind, name, root in items}
-    order = sorted(items, key=lambda item: -len(cones[(item[0], item[1])]))
+    assignment = _greedy_assignment(items, cones, num_partitions)
 
-    loads = [0] * num_partitions
+    refine_stats = None
+    if strategy == "refined" and num_partitions > 1 and len(items) > 1:
+        from .refine import refine_assignment
+
+        assignment, refine_stats = refine_assignment(
+            graph, items, cones, assignment, num_partitions,
+            max_replication=max_replication,
+            imbalance_weight=imbalance_weight,
+            max_passes=max_passes,
+        )
+
     member_nodes: List[Set[int]] = [set() for _ in range(num_partitions)]
-    assignment: Dict[Tuple[str, str], int] = {}
-    for kind, name, _root in order:
-        cone = cones[(kind, name)]
-        # Greedy balanced placement: choose the partition whose *resulting*
-        # load is smallest.  Shared fan-in is free (already replicated
-        # there), so this jointly minimises replication and imbalance.
-        def resulting_load(p: int) -> Tuple[int, int]:
-            new_nodes = len(cone - member_nodes[p])
-            return (loads[p] + new_nodes, new_nodes)
+    for (kind, name), index in assignment.items():
+        member_nodes[index] |= cones[(kind, name)]
 
-        best = min(range(num_partitions), key=resulting_load)
-        assignment[(kind, name)] = best
-        member_nodes[best] |= cone
-        loads[best] = len(member_nodes[best])
+    # Prune empty partitions and compact the indices.
+    used = sorted({index for index in assignment.values()})
+    if len(used) < num_partitions:
+        warnings.warn(
+            f"partition_graph: requested {num_partitions} partitions but "
+            f"only {len(used)} own a register or output after "
+            f"{strategy!r} assignment; running with {len(used)}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    remap = {old: new for new, old in enumerate(used)}
+    assignment = {key: remap[index] for key, index in assignment.items()}
+    member_nodes = [member_nodes[old] for old in used]
 
     partitions: List[Partition] = []
     op_owner_count: Dict[int, int] = {}
-    for index in range(num_partitions):
+    for index in range(len(used)):
         partitions.append(
             _build_partition(graph, index, assignment, member_nodes[index])
         )
@@ -127,6 +270,9 @@ def partition_graph(graph: DataflowGraph, num_partitions: int) -> PartitionResul
         partitions=partitions,
         replicated_ops=replicated,
         original_ops=graph.num_ops,
+        strategy=strategy,
+        requested_partitions=num_partitions,
+        refine_stats=refine_stats,
     )
 
 

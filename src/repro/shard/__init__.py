@@ -28,7 +28,11 @@ per-partition kernels run each cycle::
 Executors: ``serial`` (in-process, deterministic reference), ``thread``
 (shared-memory thread pool), ``process`` (one ``multiprocessing`` worker
 per partition with pickled lane buffers -- the configuration that buys
-real wall-clock parallelism; see ``BENCH_shard.json``).  All three are
+real wall-clock parallelism; see ``BENCH_shard.json``).  The
+``partitioner=`` knob picks the cut: ``"greedy"`` (balanced cone
+assignment) or ``"refined"`` (replication-capped KL/FM refinement,
+:mod:`repro.repcut.refine` -- ~0.1% replication on rocket-1 at P=2
+versus ~97% greedy), with ``max_replication=`` as the explicit cap.  All three are
 bit-exact with the scalar :class:`~repro.sim.Simulator` lane by lane;
 ``tests/test_shard.py`` asserts lockstep equivalence across executors,
 partition counts, and designs, including multi-clock ``step_domain``.

@@ -24,7 +24,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..graph.dfg import DataflowGraph
 from ..kernels.config import KernelConfig
 from ..sim.simulator import DesignLike, compile_graph
-from ..repcut.partition import PartitionResult, partition_graph
+from ..repcut.partition import (
+    PartitionResult,
+    missing_signal_error,
+    partition_graph,
+)
 from ..repcut.rum import RegisterUpdateMap, build_rum
 from .executors import BaseExecutor, ExportRows, make_executor
 
@@ -45,6 +49,11 @@ class ShardSnapshot:
     last_synced: Dict[str, Tuple[int, ...]]
     executor: str
     lanes: int
+    #: The cut itself (per-partition owned registers): two simulators of
+    #: the same design can partition it differently (greedy vs refined,
+    #: different ``max_replication``), and partition states are only
+    #: meaningful on the cut that produced them.
+    cut: Tuple[Tuple[str, ...], ...] = ()
 
 
 class ShardedBatchSimulator:
@@ -59,7 +68,21 @@ class ShardedBatchSimulator:
     lanes:
         Number of independent stimulus lanes (B).
     num_partitions:
-        RepCut partition count (P); one worker per partition.
+        RepCut partition count (P); one worker per partition.  Empty
+        partitions (no owned register, no output) are pruned, so this is
+        an upper bound and :attr:`num_partitions` reports the effective
+        count.
+    partitioner:
+        Partitioning strategy: ``"greedy"`` (balanced cone assignment)
+        or ``"refined"`` (greedy seed + replication-capped KL/FM
+        refinement, :mod:`repro.repcut.refine`) -- on heavily shared
+        designs the refined cut does ~P× less total work.
+    max_replication:
+        Replication cap for the refined partitioner, as a fraction of
+        the design's ops (``None`` = uncapped).
+    preserve_signals:
+        Keep named intermediate signals observable when compiling from
+        source (a pre-compiled :class:`DataflowGraph` is used as-is).
     kernel:
         Per-partition kernel configuration (as
         :class:`~repro.batch.BatchSimulator`).
@@ -83,16 +106,27 @@ class ShardedBatchSimulator:
         kernel: Union[str, KernelConfig] = "PSU",
         backend: str = "auto",
         executor: str = "serial",
+        partitioner: str = "greedy",
+        max_replication: Optional[float] = None,
+        preserve_signals: bool = False,
     ) -> None:
         if lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes}")
-        graph = compile_graph(design)
+        graph = compile_graph(design, preserve_signals=preserve_signals)
         self.lanes = lanes
-        self.result: PartitionResult = partition_graph(graph, num_partitions)
+        self.result: PartitionResult = partition_graph(
+            graph, num_partitions, strategy=partitioner,
+            max_replication=max_replication,
+        )
+        self._design_signals = set(graph.signal_map)
         self.rum: RegisterUpdateMap = build_rum(self.result)
         self._routes = self.rum.routes()
         exports_map = self.rum.exports_of()
-        self._exports = [exports_map[i] for i in range(num_partitions)]
+        # Empty partitions were pruned, so worker count follows the
+        # *effective* partition list, not the requested P.
+        self._exports = [
+            exports_map[i] for i in range(len(self.result.partitions))
+        ]
         self.executor: BaseExecutor = make_executor(
             executor, self.result.partitions, lanes, kernel, backend,
             self._exports,
@@ -142,7 +176,9 @@ class ShardedBatchSimulator:
         """All B lanes of a signal, from its home partition."""
         home = self._signal_home.get(name)
         if home is None:
-            raise KeyError(f"unknown signal {name!r}")
+            raise missing_signal_error(
+                name, self._design_signals, self.result.partitions
+            )
         return self.executor.peek(home, name)
 
     def peek_lane(self, name: str, lane: int) -> int:
@@ -192,6 +228,12 @@ class ShardedBatchSimulator:
             last_synced=dict(self._last_synced),
             executor=self.executor.name,
             lanes=self.lanes,
+            cut=self._cut(),
+        )
+
+    def _cut(self) -> Tuple[Tuple[str, ...], ...]:
+        return tuple(
+            tuple(p.owned_registers) for p in self.result.partitions
         )
 
     def restore(self, snapshot: ShardSnapshot) -> None:
@@ -211,6 +253,13 @@ class ShardedBatchSimulator:
             raise ValueError(
                 f"snapshot has {len(snapshot.partition_states)} partitions, "
                 f"simulator has {self.num_partitions}"
+            )
+        if snapshot.cut and snapshot.cut != self._cut():
+            raise ValueError(
+                "snapshot was taken under a different partitioning (the "
+                "register->partition cut differs, e.g. another partitioner= "
+                "strategy or max_replication); partition states are only "
+                "restorable onto the cut that produced them"
             )
         self.executor.restore(snapshot.partition_states)
         self.cycle = snapshot.cycle

@@ -18,11 +18,23 @@ _IDENT_CHARS = "".join(chr(c) for c in range(33, 127))
 
 
 def _identifier(index: int) -> str:
-    """Short VCD identifier codes: !, ", #, ... then two-char codes."""
-    if index < len(_IDENT_CHARS):
-        return _IDENT_CHARS[index]
-    first, second = divmod(index - len(_IDENT_CHARS), len(_IDENT_CHARS))
-    return _IDENT_CHARS[first % len(_IDENT_CHARS)] + _IDENT_CHARS[second]
+    """Short VCD identifier codes: !, ", #, ... then two-char codes, then
+    three, and so on (bijective base-94 over the printable ASCII range).
+
+    Variable-length codes are what keeps every index unique: a fixed
+    two-character tail would wrap its leading character once ``index``
+    passes ``94 + 94**2`` and silently alias two watched signals onto
+    one VCD identifier.
+    """
+    if index < 0:
+        raise ValueError(f"identifier index must be >= 0, got {index}")
+    base = len(_IDENT_CHARS)
+    chars = []
+    index += 1
+    while index > 0:
+        index, digit = divmod(index - 1, base)
+        chars.append(_IDENT_CHARS[digit])
+    return "".join(reversed(chars))
 
 
 class VcdWriter:

@@ -76,6 +76,21 @@ def rng() -> random.Random:
     return random.Random(0xC0FFEE)
 
 
+def graph_with_unplaced_signal():
+    """A design whose named op ``r.dbg`` feeds no register or output: it
+    survives in the graph's signal map but no partition cone carries it
+    (the partitioned simulators' peek-diagnostic case)."""
+    from repro.graph.dfg import DataflowGraph
+
+    graph = DataflowGraph("diag")
+    a = graph.add_input("a", 4)
+    graph.add_op("not", (a,), 4, name="r.dbg")
+    graph.add_register("r", 4)
+    graph.set_register_next("r", a)
+    graph.set_output("out", graph.registers["r"].state_nid)
+    return graph
+
+
 def drive_random_inputs(simulators, design, rng, cycles, watch=None):
     """Poke identical random inputs into several simulators in lockstep.
 

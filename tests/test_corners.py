@@ -48,6 +48,37 @@ class TestVcdIdentifiers:
         codes = {_identifier(i) for i in range(500)}
         assert len(codes) == 500
 
+    def test_unique_across_length_boundaries(self):
+        # The old fixed two-character tail wrapped its leading character
+        # at index 94 + 94**2 and aliased identifiers from then on.
+        two_char_span = 94 + 94 * 94
+        count = two_char_span + 500
+        codes = [_identifier(i) for i in range(count)]
+        assert len(set(codes)) == count
+        assert len(codes[two_char_span - 1]) == 2
+        assert len(codes[two_char_span]) == 3
+
+    def test_codes_use_printable_vcd_range(self):
+        for index in (0, 93, 94, 94 + 94 * 94, 10**6):
+            for char in _identifier(index):
+                assert 33 <= ord(char) <= 126
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            _identifier(-1)
+
+    def test_vcd_writer_assigns_unique_identifiers(self):
+        class StubSim:
+            def peek(self, name):
+                return 0
+
+        from repro.sim.waveform import VcdWriter
+
+        count = 94 + 94 * 94 + 50
+        signals = {f"s{i}": 1 for i in range(count)}
+        writer = VcdWriter(StubSim(), signals)
+        assert len(set(writer._idents.values())) == count
+
 
 class TestWidthEdgeCases:
     def test_one_bit_arithmetic(self):

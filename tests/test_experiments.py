@@ -276,3 +276,14 @@ class TestAblations:
         overheads = [r["replication_overhead"] for r in rows]
         assert overheads[0] == 0
         assert overheads[2] >= overheads[1] >= 0
+
+    def test_repcut_refined_strategy_cuts_replication(self):
+        rows = ablations.ablation_repcut(
+            "rocket-1", partition_counts=(2,),
+            strategies=("greedy", "refined"),
+        )
+        by_strategy = {r["strategy"]: r for r in rows}
+        greedy = by_strategy["greedy"]["replication_overhead"]
+        refined = by_strategy["refined"]["replication_overhead"]
+        assert refined < 0.2 * greedy
+        assert by_strategy["refined"]["effective_partitions"] >= 1

@@ -7,13 +7,14 @@ from repro.designs.registry import compiled_graph
 from repro.firrtl import elaborate, parse
 from repro.graph import build_dfg, optimize
 from repro.repcut import (
+    GainBuckets,
     RepCutSimulator,
     build_rum,
     partition_graph,
 )
 from repro.sim import Simulator
 
-from conftest import drive_random_inputs
+from conftest import drive_random_inputs, graph_with_unplaced_signal
 
 
 @pytest.fixture(scope="module")
@@ -62,6 +63,145 @@ class TestPartitioning:
     def test_zero_partitions_rejected(self, gcd_graph):
         with pytest.raises(ValueError):
             partition_graph(gcd_graph, 0)
+
+
+class TestRefinedPartitioning:
+    """The replication-capped KL/FM refiner (repro.repcut.refine)."""
+
+    def test_reduces_replication_on_shared_fanin(self):
+        # rocket-1's register cones share a ~97% fan-in core: the greedy
+        # balanced assignment replicates it into both partitions, the
+        # refined cut keeps the shared cluster together.
+        graph = compiled_graph("rocket-1")
+        greedy = partition_graph(graph, 2)
+        refined = partition_graph(graph, 2, strategy="refined")
+        assert greedy.replication_overhead > 0.5
+        assert refined.replication_overhead < 0.2 * greedy.replication_overhead
+        assert len(refined.partitions) == 2
+
+    def test_refined_result_still_covers_everything(self):
+        graph = compiled_graph("rocket-1")
+        result = partition_graph(graph, 2, strategy="refined")
+        owners = [n for p in result.partitions for n in p.owned_registers]
+        assert sorted(owners) == sorted(graph.registers)
+        outputs = [n for p in result.partitions for n in p.outputs]
+        assert sorted(outputs) == sorted(graph.outputs)
+        for partition in result.partitions:
+            partition.graph.validate()
+
+    @pytest.mark.parametrize("cap", [0.25, 0.0])
+    def test_replication_cap_respected(self, cap):
+        graph = compiled_graph("rocket-1")
+        greedy = partition_graph(graph, 2)
+        result = partition_graph(
+            graph, 2, strategy="refined", max_replication=cap
+        )
+        ceiling = max(greedy.replication_overhead, cap)
+        assert result.replication_overhead <= ceiling + 1e-9
+
+    def test_cost_monotonically_non_increasing_per_pass(self):
+        graph = compiled_graph("rocket-1")
+        result = partition_graph(graph, 2, strategy="refined")
+        stats = result.refine_stats
+        assert stats is not None
+        assert len(stats.pass_costs) >= 2
+        assert all(
+            later <= earlier + 1e-9
+            for earlier, later in zip(stats.pass_costs, stats.pass_costs[1:])
+        )
+        assert stats.final_cost <= stats.seed_cost + 1e-9
+        assert not stats.reverted_to_seed
+
+    def test_never_costlier_than_greedy_seed(self, gcd_graph):
+        result = partition_graph(gcd_graph, 3, strategy="refined")
+        stats = result.refine_stats
+        assert stats is not None
+        assert stats.final_cost <= stats.seed_cost + 1e-9
+
+    def test_p1_identity(self, gcd_graph):
+        greedy = partition_graph(gcd_graph, 1)
+        refined = partition_graph(gcd_graph, 1, strategy="refined")
+        assert refined.refine_stats is None  # nothing to refine
+        assert len(refined.partitions) == 1
+        assert refined.replication_overhead == 0.0
+        assert (
+            sorted(refined.partitions[0].owned_registers)
+            == sorted(greedy.partitions[0].owned_registers)
+        )
+
+    @pytest.mark.parametrize("strategy", ["greedy", "refined"])
+    def test_degenerate_more_partitions_than_cones(self, strategy):
+        graph, _ = optimize(build_dfg(elaborate(parse(library.counter()))))
+        num_cones = len(graph.registers) + len(graph.outputs)
+        with pytest.warns(RuntimeWarning, match="own a register or output"):
+            result = partition_graph(graph, num_cones + 5, strategy=strategy)
+        assert result.requested_partitions == num_cones + 5
+        assert 1 <= len(result.partitions) <= num_cones
+        for partition in result.partitions:
+            assert partition.owned_registers or partition.outputs
+
+    def test_unknown_strategy_rejected(self, gcd_graph):
+        with pytest.raises(ValueError, match="strategy"):
+            partition_graph(gcd_graph, 2, strategy="metis")
+
+    def test_refined_lockstep_with_single_simulator(self, rng):
+        src = library.gcd()
+        graph, _ = optimize(build_dfg(elaborate(parse(src))))
+        single = Simulator(graph, optimize_graph=False)
+        multi = RepCutSimulator(graph, num_partitions=3, partitioner="refined")
+        design = elaborate(parse(src))
+        drive_random_inputs([single, multi], design, rng, 40)
+
+
+class TestGainBuckets:
+    def test_put_and_descending_iteration(self):
+        buckets = GainBuckets()
+        buckets.put(0, 1, leave=5, new=2)   # gain 3
+        buckets.put(1, 1, leave=0, new=4)   # gain -4
+        buckets.put(2, 0, leave=1, new=1)   # gain 0
+        gains = [gain for gain, _ in buckets.buckets_desc()]
+        assert gains == [3, 0, -4]
+        assert len(buckets) == 3
+
+    def test_put_refreshes_existing_move(self):
+        buckets = GainBuckets()
+        buckets.put(0, 1, leave=5, new=2)
+        buckets.put(0, 1, leave=1, new=1)   # re-gain to 0
+        gains = [gain for gain, _ in buckets.buckets_desc()]
+        assert gains == [0]
+        assert len(buckets) == 1
+
+    def test_discard_unit_drops_all_targets(self):
+        buckets = GainBuckets()
+        buckets.put(0, 1, leave=2, new=0)
+        buckets.put(0, 2, leave=0, new=2)
+        buckets.put(1, 2, leave=1, new=0)
+        buckets.discard_unit(0, num_partitions=3)
+        remaining = [
+            move for _, bucket in buckets.buckets_desc() for move in bucket
+        ]
+        assert remaining == [(1, 2)]
+
+
+class TestPeekDiagnostics:
+    def test_unplaced_signal_gets_clear_error(self):
+        multi = RepCutSimulator(graph_with_unplaced_signal(), 2)
+        with pytest.raises(KeyError) as excinfo:
+            multi.peek("r.dbg")
+        message = str(excinfo.value)
+        assert "r.dbg" in message
+        assert "preserve_signals" in message
+        assert "not placed in any partition" in message
+
+    def test_unplaced_signal_error_names_related_partitions(self):
+        multi = RepCutSimulator(graph_with_unplaced_signal(), 2)
+        with pytest.raises(KeyError, match="related signals"):
+            multi.peek("r.dbg")
+
+    def test_truly_unknown_signal_suggests_preserve(self):
+        multi = RepCutSimulator(graph_with_unplaced_signal(), 2)
+        with pytest.raises(KeyError, match="optimised away"):
+            multi.peek("bogus")
 
 
 class TestRum:
@@ -160,8 +300,18 @@ class TestSnapshotRestore:
         for name, value in reference.items():
             assert multi.peek(name) == value
 
+    def test_restore_rejects_different_cut(self):
+        graph = compiled_graph("rocket-1")
+        greedy = RepCutSimulator(graph, num_partitions=2)
+        refined = RepCutSimulator(graph, num_partitions=2,
+                                  partitioner="refined")
+        with pytest.raises(ValueError, match="different partitioning"):
+            greedy.restore(refined.snapshot())
+
     def test_restore_rejects_mismatched_partitions(self):
-        two = RepCutSimulator(library.counter(), num_partitions=2)
-        three = RepCutSimulator(library.counter(), num_partitions=3)
+        # gcd has enough register/output cones that neither count prunes.
+        two = RepCutSimulator(library.gcd(), num_partitions=2)
+        three = RepCutSimulator(library.gcd(), num_partitions=3)
+        assert three.num_partitions == 3
         with pytest.raises(ValueError):
             three.restore(two.snapshot())

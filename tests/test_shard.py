@@ -10,6 +10,8 @@ from repro.shard import EXECUTORS, ShardedBatchSimulator, make_executor
 from repro.sim import Simulator
 from repro.workloads.stimulus import batched_workload_for
 
+from conftest import graph_with_unplaced_signal
+
 LANES = 2
 CYCLES = 6
 
@@ -38,7 +40,8 @@ def observable_outputs(bundle):
 
 
 def assert_shard_lockstep_vs_scalar(
-    design, executor, partitions, lanes=LANES, cycles=CYCLES, kernel="PSU"
+    design, executor, partitions, lanes=LANES, cycles=CYCLES, kernel="PSU",
+    partitioner="greedy",
 ):
     """Sharded B-lane run must be bit-exact with B scalar runs, per cycle."""
     bundle = compile_named_design(design)
@@ -48,7 +51,7 @@ def assert_shard_lockstep_vs_scalar(
     scalars = [Simulator(bundle, kernel=kernel) for _ in range(lanes)]
     with ShardedBatchSimulator(
         graph, lanes=lanes, num_partitions=partitions, kernel=kernel,
-        executor=executor,
+        executor=executor, partitioner=partitioner,
     ) as shard:
         for cycle in range(cycles):
             workload.apply(shard, cycle)
@@ -58,8 +61,9 @@ def assert_shard_lockstep_vs_scalar(
                 got = shard.peek(name)
                 want = [scalar.peek(name) for scalar in scalars]
                 assert got == want, (
-                    f"{design}/{executor}/P={partitions}: divergence on "
-                    f"{name!r} at cycle {cycle}: {got} != {want}"
+                    f"{design}/{executor}/{partitioner}/P={partitions}: "
+                    f"divergence on {name!r} at cycle {cycle}: "
+                    f"{got} != {want}"
                 )
             shard.step()
             for scalar in scalars:
@@ -102,6 +106,80 @@ class TestLockstepVsScalar:
                 shard.step()
                 for scalar in scalars:
                     scalar.step()
+
+
+class TestRefinedPartitioner:
+    """The KL/FM-refined cut stays bit-exact across every executor."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_lockstep_shared_fanin_design(self, executor):
+        # rocket-1 refined at P=2 is the asymmetric low-replication cut.
+        assert_shard_lockstep_vs_scalar(
+            "rocket-1", executor, partitions=2, partitioner="refined"
+        )
+
+    @pytest.mark.parametrize("executor", ("serial", "process"))
+    def test_lockstep_balanced_design(self, executor):
+        # gemmini-8 refined stays balanced (near-disjoint cones).
+        assert_shard_lockstep_vs_scalar(
+            "gemmini-8", executor, partitions=4, partitioner="refined"
+        )
+
+    def test_refined_replicates_less_than_greedy(self):
+        graph = compiled_graph("rocket-1")
+        with ShardedBatchSimulator(
+            graph, lanes=2, num_partitions=2
+        ) as greedy, ShardedBatchSimulator(
+            graph, lanes=2, num_partitions=2, partitioner="refined"
+        ) as refined:
+            assert (
+                refined.replication_overhead
+                < 0.2 * greedy.replication_overhead
+            )
+            assert refined.num_partitions == 2
+
+    def test_max_replication_cap_threads_through(self):
+        graph = compiled_graph("rocket-1")
+        with ShardedBatchSimulator(
+            graph, lanes=2, num_partitions=2, partitioner="refined",
+            max_replication=0.25,
+        ) as sim:
+            assert sim.replication_overhead <= 0.25 + 1e-9
+            sim.step(2)  # still simulates
+
+    def test_unknown_partitioner_rejected(self, counter_src):
+        with pytest.raises(ValueError, match="strategy"):
+            ShardedBatchSimulator(counter_src, lanes=2, partitioner="metis")
+
+
+class TestDegeneratePartitionCounts:
+    @pytest.mark.parametrize("executor", ("serial", "process"))
+    def test_empty_partitions_pruned_not_spawned(self, counter_src, executor):
+        # counter has two cones (one register, one output): asking for 6
+        # partitions must not spawn 4 idle workers.
+        with pytest.warns(RuntimeWarning, match="own a register or output"):
+            sim = ShardedBatchSimulator(
+                counter_src, lanes=3, num_partitions=6, executor=executor
+            )
+        with sim:
+            assert sim.num_partitions == 2
+            assert len(sim.describe_partitions()) == 2
+            sim.poke("enable", 1)
+            sim.step(3)
+            assert sim.peek("count") == [3, 3, 3]
+
+    def test_pruned_snapshot_roundtrip(self, counter_src):
+        with pytest.warns(RuntimeWarning):
+            sim = ShardedBatchSimulator(counter_src, lanes=2,
+                                        num_partitions=5)
+        with sim:
+            sim.poke("enable", 1)
+            sim.step(2)
+            checkpoint = sim.snapshot()
+            assert len(checkpoint.partition_states) == sim.num_partitions
+            sim.step(3)
+            sim.restore(checkpoint)
+            assert sim.peek("count") == [2, 2]
 
 
 class TestLockstepVsBatch:
@@ -177,8 +255,21 @@ class TestShardApi:
 
     def test_peek_unknown_signal(self, counter_src):
         with ShardedBatchSimulator(counter_src, lanes=2) as sim:
-            with pytest.raises(KeyError):
+            with pytest.raises(KeyError, match="optimised away"):
                 sim.peek("bogus")
+
+    def test_peek_unplaced_signal_gets_clear_error(self):
+        # A named op feeding no register or output lands in no partition:
+        # the error must say so (and name related partitions), not look
+        # like a typo.
+        graph = graph_with_unplaced_signal()
+        with ShardedBatchSimulator(graph, lanes=2, num_partitions=2) as sim:
+            with pytest.raises(KeyError) as excinfo:
+                sim.peek("r.dbg")
+            message = str(excinfo.value)
+            assert "r.dbg" in message
+            assert "preserve_signals" in message
+            assert "not placed in any partition" in message
 
     def test_lanes_validated(self, counter_src):
         with pytest.raises(ValueError):
@@ -263,6 +354,19 @@ class TestSnapshotRestore:
             sim.restore(checkpoint)
             assert sim.peek("count") == [0, 0]
 
+    def test_restore_rejects_different_cut(self):
+        # Same design, executor, lanes and partition count -- but the
+        # greedy and refined cuts assign registers differently, so their
+        # partition states must not restore onto each other.
+        graph = compiled_graph("rocket-1")
+        with ShardedBatchSimulator(
+            graph, lanes=2, num_partitions=2, partitioner="refined"
+        ) as refined_sim:
+            checkpoint = refined_sim.snapshot()
+        with ShardedBatchSimulator(graph, lanes=2, num_partitions=2) as sim:
+            with pytest.raises(ValueError, match="different partitioning"):
+                sim.restore(checkpoint)
+
     def test_restore_rejects_other_executor(self, counter_src):
         with ShardedBatchSimulator(
             counter_src, lanes=2, num_partitions=2, executor="serial"
@@ -274,10 +378,13 @@ class TestSnapshotRestore:
             with pytest.raises(ValueError):
                 thread_sim.restore(checkpoint)
 
-    def test_restore_rejects_mismatched_shape(self, counter_src):
+    def test_restore_rejects_mismatched_shape(self, counter_src, gcd_src):
+        # gcd has enough cones for three real partitions; counter would
+        # prune 3 down to its 2 cones and match the target by accident.
         with ShardedBatchSimulator(
-            counter_src, lanes=2, num_partitions=3
+            gcd_src, lanes=2, num_partitions=3
         ) as donor:
+            assert donor.num_partitions == 3
             three_parts = donor.snapshot()
         with ShardedBatchSimulator(
             counter_src, lanes=4, num_partitions=2
