@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Lane-aware verification quickstart: testbench, per-lane VCDs, and the
+differential harness.
+
+One :class:`~repro.sim.Testbench` drives a B-lane batched simulator with
+mixed stimulus (broadcast + lane-targeted), records lane-major traces,
+and dumps one VCD file per lane -- each bit-identical to a scalar
+simulator's VCD of the same stimulus.  The same trace machinery powers
+the differential harness, which cross-checks the whole engine matrix
+(scalar / batch backends / sharded executors) on seeded stimulus:
+
+    PYTHONPATH=src python examples/lane_testbench.py
+    PYTHONPATH=src python -m repro.experiments differential \\
+        --design rocket-1 --seed 7
+"""
+
+from pathlib import Path
+
+from repro import BatchSimulator, Simulator
+from repro.sim import Testbench, VcdWriter, compare_traces
+from repro.verify import run_differential
+
+FIRRTL = """
+circuit Pulse :
+  module Pulse :
+    input clock : Clock
+    input reset : UInt<1>
+    input enable : UInt<1>
+    input gain : UInt<4>
+    output level : UInt<12>
+    regreset acc : UInt<12>, clock, reset, UInt<12>(0)
+    node bump = pad(gain, 12)
+    acc <= mux(enable, tail(add(acc, bump), 1), acc)
+    level <= acc
+"""
+
+LANES = 4
+CYCLES = 20
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A lane-aware testbench: broadcast + lane-targeted stimulus.
+    # ------------------------------------------------------------------
+    batch = BatchSimulator(FIRRTL, lanes=LANES)
+    bench = Testbench(batch, watch=["level"])
+    bench.drive("reset", [1, 0])                    # cycles 0..1, all lanes
+    bench.drive("enable", lambda cycle: 1)          # broadcast
+    bench.drive("gain", lambda cycle: [1, 2, 4, 8])  # per-lane vector
+    # Lane 3 stalls from cycle 10 on; the other lanes keep running.
+    bench.drive("enable", lambda cycle: 0 if cycle >= 10 else 1, lane=3)
+    trace = bench.run(CYCLES)
+    print("lane-major trace, final levels:",
+          [rows[-1] for rows in trace["level"]])
+
+    # ------------------------------------------------------------------
+    # 2. Per-lane VCDs, bit-identical to scalar runs of the same seeds.
+    # ------------------------------------------------------------------
+    writer = VcdWriter(batch := BatchSimulator(FIRRTL, lanes=LANES),
+                       {"level": 12, "enable": 1})
+    batch.poke("reset", 0)
+    batch.poke("enable", 1)
+    batch.poke("gain", [1, 2, 4, 8])
+    writer.run(CYCLES)
+    out_dir = Path("waves")
+    out_dir.mkdir(exist_ok=True)
+    written = writer.save_lanes(out_dir / "pulse_lane{lane}.vcd")
+    print(f"wrote {len(written)} per-lane VCD files under {out_dir}/")
+
+    # Cross-check lane 2 against an independent scalar simulation driven
+    # with exactly lane 2's stimulus (gain=4, never stalled).
+    scalar_bench = Testbench(
+        Simulator(FIRRTL),
+        stimulus={"reset": [1, 0], "enable": lambda c: 1, "gain": lambda c: 4},
+        watch=["level"],
+    )
+    scalar_trace = scalar_bench.run(CYCLES)
+    diffs = compare_traces(scalar_trace, bench.lane_trace(2))
+    print("scalar vs lane 2 diffs:", diffs or "none (bit-exact)")
+    assert not diffs
+
+    # ------------------------------------------------------------------
+    # 3. The differential harness: full engine matrix, one seed.
+    # ------------------------------------------------------------------
+    result = run_differential("rocket-1", seed=7, lanes=2, cycles=12)
+    print(result.summary())
+    assert result.ok
+
+
+if __name__ == "__main__":
+    main()

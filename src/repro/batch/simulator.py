@@ -20,7 +20,7 @@ rows per slot on the split-limb ``u64xN`` fast path -- the host surface
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 from ..firrtl.primops import mask
 from ..kernels.config import KernelConfig
@@ -117,6 +117,22 @@ class BatchSimulator:
                     f"poke({name!r}) got {len(lane_values)} values for "
                     f"{self.lanes} lanes"
                 )
+        write_slot(self.values, slot, lane_values, self.backend, self.layout)
+        self._dirty = True
+
+    def poke_lane(self, name: str, lane: int, value: int) -> None:
+        """Drive an input in a single lane; the other lanes keep their
+        current values (the lane-targeted testbench stimulus path)."""
+        slot = self.bundle.input_slots.get(name)
+        if slot is None:
+            raise KeyError(f"{name!r} is not an input of {self.bundle.design_name}")
+        if not 0 <= lane < self.lanes:
+            raise IndexError(
+                f"poke_lane({name!r}): lane {lane} out of range for "
+                f"{self.lanes} lanes"
+            )
+        lane_values = read_slot(self.values, slot, self.backend, self.layout)
+        lane_values[lane] = mask(int(value), self.bundle.slot_width[slot])
         write_slot(self.values, slot, lane_values, self.backend, self.layout)
         self._dirty = True
 
@@ -299,6 +315,14 @@ class BatchSimulator:
     @property
     def signals(self) -> List[str]:
         return sorted(self.bundle.signal_slots)
+
+    @property
+    def signal_widths(self) -> Dict[str, int]:
+        """``{signal: width}`` of every observable signal (waveforms)."""
+        return {
+            name: self.bundle.slot_width[slot]
+            for name, slot in self.bundle.signal_slots.items()
+        }
 
     def _settle(self) -> None:
         if not self._dirty:

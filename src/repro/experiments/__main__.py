@@ -5,6 +5,11 @@ Usage::
     python -m repro.experiments            # everything
     python -m repro.experiments fig20      # one experiment
     rteaal table5 fig16                    # via the console script
+
+The differential verification harness takes its own arguments::
+
+    python -m repro.experiments differential --design rocket-1 --seed 7
+    python -m repro.experiments differential --all-designs --seeds 5
 """
 
 from __future__ import annotations
@@ -54,13 +59,24 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv in (["-h"], ["--help"]):
         print(__doc__)
-        print("available:", ", ".join(sorted(RENDERERS)))
+        print("available:", ", ".join(sorted([*RENDERERS, "differential"])))
         return 0
+    if argv and _normalise(argv[0]) == "differential":
+        # The differential harness takes its own argument vector.
+        from ..verify.differential import cli
+
+        return cli(argv[1:])
+    if any(_normalise(a) == "differential" for a in argv):
+        # It consumes the rest of the argument vector, so it cannot be
+        # combined with renderer targets.
+        print("differential must be the first argument; run:")
+        print("  python -m repro.experiments differential --help")
+        return 1
     targets = [_normalise(a) for a in argv] or sorted(RENDERERS)
     unknown = [t for t in targets if t not in RENDERERS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}")
-        print("available:", ", ".join(sorted(RENDERERS)))
+        print("available:", ", ".join(sorted([*RENDERERS, "differential"])))
         return 1
     for target in targets:
         print(RENDERERS[target]())

@@ -18,9 +18,10 @@ returning B-lane lists exactly like :class:`~repro.batch.BatchSimulator`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..firrtl.primops import mask
 from ..graph.dfg import DataflowGraph
 from ..kernels.config import KernelConfig
 from ..sim.simulator import DesignLike, compile_graph
@@ -54,6 +55,9 @@ class ShardSnapshot:
     #: different ``max_replication``), and partition states are only
     #: meaningful on the cut that produced them.
     cut: Tuple[Tuple[str, ...], ...] = ()
+    #: Host-side poked input rows at snapshot time (the ``poke_lane``
+    #: read-modify-write base); restored alongside the partition states.
+    poked_rows: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
 
 
 class ShardedBatchSimulator:
@@ -135,6 +139,12 @@ class ShardedBatchSimulator:
 
         # Input fan-out and signal homes, as the scalar RepCut simulator.
         self._known_inputs = set(graph.inputs)
+        self._input_widths = {
+            name: graph.nodes[nid].width for name, nid in graph.inputs.items()
+        }
+        # Masked poked rows, host-side: lane-targeted pokes read-modify-
+        # write against this record (the executor protocol is row-wise).
+        self._poked_rows: Dict[str, Tuple[int, ...]] = {}
         self._input_sinks: Dict[str, List[int]] = {}
         for index, partition in enumerate(self.result.partitions):
             for name in partition.graph.inputs:
@@ -147,6 +157,11 @@ class ShardedBatchSimulator:
                 self._signal_home.setdefault(name, index)
         for name, home in self.rum.writer.items():
             self._signal_home[name] = home
+        self._signal_widths = {
+            name: graph.nodes[nid].width
+            for name, nid in graph.signal_map.items()
+            if name in self._signal_home
+        }
         self._clock_domains = sorted(
             {clock for p in self.result.partitions for clock in p.clock_domains}
         )
@@ -165,12 +180,39 @@ class ShardedBatchSimulator:
         """Drive an input in every partition reading it: a scalar
         broadcasts across lanes, a sequence is per-lane."""
         sinks = self._input_sinks.get(name)
-        if not sinks:
-            if name in self._known_inputs:
-                return  # input exists but feeds no partition's logic
+        if not sinks and name not in self._known_inputs:
             raise KeyError(f"{name!r} is not an input of any partition")
-        for index in sinks:
-            self.executor.poke(index, name, value)
+        width = self._input_widths[name]
+        if isinstance(value, int):
+            row = (mask(value, width),) * self.lanes
+        else:
+            row = tuple(mask(int(v), width) for v in value)
+            if len(row) != self.lanes:
+                raise ValueError(
+                    f"poke({name!r}) got {len(row)} values for "
+                    f"{self.lanes} lanes"
+                )
+        self._poked_rows[name] = row
+        # Sinks get the masked, length-checked row (not the raw caller
+        # value): a one-shot iterable was consumed building it, and the
+        # partitions skip redundant re-masking work.
+        lane_values = list(row)
+        for index in sinks or ():
+            self.executor.poke(index, name, lane_values)
+
+    def poke_lane(self, name: str, lane: int, value: int) -> None:
+        """Drive an input in a single lane; the other lanes keep their
+        most recently poked values (zero if never poked)."""
+        if name not in self._known_inputs:
+            raise KeyError(f"{name!r} is not an input of any partition")
+        if not 0 <= lane < self.lanes:
+            raise IndexError(
+                f"poke_lane({name!r}): lane {lane} out of range for "
+                f"{self.lanes} lanes"
+            )
+        row = list(self._poked_rows.get(name, (0,) * self.lanes))
+        row[lane] = mask(int(value), self._input_widths[name])
+        self.poke(name, row)
 
     def peek(self, name: str) -> List[int]:
         """All B lanes of a signal, from its home partition."""
@@ -229,6 +271,7 @@ class ShardedBatchSimulator:
             executor=self.executor.name,
             lanes=self.lanes,
             cut=self._cut(),
+            poked_rows=dict(self._poked_rows),
         )
 
     def _cut(self) -> Tuple[Tuple[str, ...], ...]:
@@ -264,6 +307,7 @@ class ShardedBatchSimulator:
         self.executor.restore(snapshot.partition_states)
         self.cycle = snapshot.cycle
         self._last_synced = dict(snapshot.last_synced)
+        self._poked_rows = dict(snapshot.poked_rows)
 
     # ------------------------------------------------------------------
     # The batched RUM exchange
@@ -303,6 +347,15 @@ class ShardedBatchSimulator:
     @property
     def clock_domains(self) -> List[str]:
         return list(self._clock_domains)
+
+    @property
+    def signals(self) -> List[str]:
+        return sorted(self._signal_widths)
+
+    @property
+    def signal_widths(self) -> Dict[str, int]:
+        """``{signal: width}`` of every peekable signal (waveforms)."""
+        return dict(self._signal_widths)
 
     @property
     def replication_overhead(self) -> float:

@@ -8,7 +8,17 @@ Public API::
 from .clocks import ClockSchedule, ClockSpec
 from .dmi import DmiPort, DmiTransaction, FrontendServer
 from .simulator import SimSnapshot, Simulator, compile_design, compile_graph
-from .testbench import Testbench, TraceDiff, compare_traces, run_lockstep
+from .testbench import (
+    FleetDiff,
+    Testbench,
+    TraceDiff,
+    compare_traces,
+    extract_lane,
+    first_divergence,
+    lane_count,
+    run_lockstep,
+    trace_lanes,
+)
 from .waveform import VcdWriter
 
 __all__ = [
@@ -16,6 +26,7 @@ __all__ = [
     "ClockSpec",
     "DmiPort",
     "DmiTransaction",
+    "FleetDiff",
     "FrontendServer",
     "SimSnapshot",
     "Simulator",
@@ -25,5 +36,9 @@ __all__ = [
     "compare_traces",
     "compile_design",
     "compile_graph",
+    "extract_lane",
+    "first_divergence",
+    "lane_count",
     "run_lockstep",
+    "trace_lanes",
 ]

@@ -261,6 +261,14 @@ class Simulator:
     def signals(self) -> List[str]:
         return sorted(self.bundle.signal_slots)
 
+    @property
+    def signal_widths(self) -> Dict[str, int]:
+        """``{signal: width}`` of every observable signal (waveforms)."""
+        return {
+            name: self.bundle.slot_width[slot]
+            for name, slot in self.bundle.signal_slots.items()
+        }
+
     def __repr__(self) -> str:
         return (
             f"Simulator({self.bundle.design_name!r}, kernel={self.kernel.name}, "

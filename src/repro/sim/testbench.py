@@ -1,18 +1,54 @@
 """Testbench utilities: stimulus application and trace capture.
 
 A :class:`Testbench` drives any simulator exposing ``poke``/``peek``/
-``step`` (the RTeAAL :class:`~repro.sim.simulator.Simulator`, the FIRRTL
-reference interpreter, and both baseline backends), which is what lets the
-test suite run the same stimulus against every engine and diff the traces.
+``step`` -- the scalar RTeAAL :class:`~repro.sim.simulator.Simulator`,
+the FIRRTL reference interpreter, both baseline backends, *and* the
+batched engines (:class:`~repro.batch.BatchSimulator`,
+:class:`~repro.shard.ShardedBatchSimulator`).  The lane rank is
+first-class: on a B-lane simulator the recorded trace is indexed
+``trace[signal][lane][cycle]``, stimulus can target a single lane
+(``drive(name, values, lane=3)``), and :func:`compare_traces` /
+:func:`run_lockstep` diff mixed-rank fleets (a scalar trace broadcasts
+against lane 0 of a batched one), which is what lets the test suite run
+the same stimulus against every engine and diff the traces bit-exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 #: Per-input stimulus: a list of per-cycle values, or a callable of cycle.
-Stimulus = Union[Sequence[int], Callable[[int], int]]
+#: On a batched simulator each per-cycle value may itself be a lane
+#: vector (``Sequence[int]``); plain ints broadcast across lanes.
+Stimulus = Union[Sequence, Callable[[int], object]]
+
+
+def lane_count(simulator) -> Optional[int]:
+    """The simulator's lane rank: B for the batched engines (they expose
+    a ``lanes`` attribute and ``peek`` returns lane vectors), ``None``
+    for rank-0 scalar simulators."""
+    lanes = getattr(simulator, "lanes", None)
+    return int(lanes) if isinstance(lanes, int) else None
+
+
+def trace_lanes(trace: Dict[str, list]) -> Optional[int]:
+    """Rank of a recorded trace: lane count for ``[lane][cycle]`` traces,
+    ``None`` for flat scalar ``[cycle]`` traces (or empty ones)."""
+    for rows in trace.values():
+        if rows and isinstance(rows[0], (list, tuple)):
+            return len(rows)
+        if rows:
+            return None
+    return None
 
 
 @dataclass
@@ -21,76 +57,318 @@ class TraceDiff:
     signal: str
     expected: int
     actual: int
+    #: Lane the divergence occurred in; ``None`` for rank-0 comparisons.
+    lane: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f"cycle {self.cycle}"
+        if self.lane is not None:
+            where += f", lane {self.lane}"
+        return (
+            f"{self.signal!r} diverges at {where}: expected "
+            f"{self.expected}, got {self.actual}"
+        )
+
+
+@dataclass
+class FleetDiff:
+    """First divergence across a lockstep fleet: which simulator broke
+    away from the reference, and where (signal, cycle, lane)."""
+
+    simulator: str
+    reference: str
+    diff: TraceDiff
+
+    def __str__(self) -> str:
+        return f"{self.simulator!r} vs {self.reference!r}: {self.diff}"
 
 
 class Testbench:
-    """Applies stimulus and records watched signals cycle by cycle."""
+    """Applies stimulus and records watched signals cycle by cycle.
+
+    Stimulus forms (mixable):
+
+    * ``stimulus={name: values}`` / ``drive(name, values)`` -- per-cycle
+      values for every lane (ints broadcast on batched simulators;
+      per-cycle lane vectors drive lanes individually);
+    * ``drive(name, values, lane=i)`` -- per-cycle values for one lane
+      of a batched simulator (other lanes keep their previous value);
+    * ``stimulus=workload`` -- a :class:`repro.workloads.Workload` or
+      :class:`repro.workloads.BatchWorkload` (anything with an
+      ``apply(simulator, cycle)`` method), applied each cycle.
+
+    On a rank-0 simulator ``run()`` returns ``{signal: [cycle values]}``
+    exactly as before; on a B-lane simulator it returns lane-major
+    ``{signal: [[cycle values] per lane]}`` traces.
+    """
 
     __test__ = False  # not a pytest test class, despite the name
 
     def __init__(
         self,
         simulator,
-        stimulus: Optional[Dict[str, Stimulus]] = None,
+        stimulus=None,
         watch: Optional[Iterable[str]] = None,
     ) -> None:
         self.simulator = simulator
-        self.stimulus: Dict[str, Stimulus] = dict(stimulus or {})
+        self.lanes = lane_count(simulator)
+        self.stimulus: Dict[str, Stimulus] = {}
+        self._lane_stimulus: Dict[str, Dict[int, Stimulus]] = {}
+        self._workloads: List[object] = []
+        if stimulus is not None:
+            if hasattr(stimulus, "apply"):
+                self._workloads.append(stimulus)
+            else:
+                self.stimulus.update(stimulus)
         self.watch: List[str] = list(watch or [])
-        self.trace: Dict[str, List[int]] = {name: [] for name in self.watch}
+        self.trace: Dict[str, list] = {
+            name: self._empty_rows() for name in self.watch
+        }
 
-    def drive(self, name: str, values: Stimulus) -> None:
-        self.stimulus[name] = values
+    def _empty_rows(self) -> list:
+        if self.lanes is None:
+            return []
+        return [[] for _ in range(self.lanes)]
+
+    # ------------------------------------------------------------------
+    # Stimulus
+    # ------------------------------------------------------------------
+    def drive(
+        self, name: str, values: Stimulus, lane: Optional[int] = None
+    ) -> None:
+        """Attach stimulus to an input, optionally for a single lane."""
+        if lane is None:
+            self.stimulus[name] = values
+            return
+        if self.lanes is None and lane != 0:
+            raise ValueError(
+                f"drive({name!r}, lane={lane}): scalar simulators have a "
+                "single lane (0)"
+            )
+        if self.lanes is not None and not 0 <= lane < self.lanes:
+            raise ValueError(
+                f"drive({name!r}, lane={lane}): simulator has "
+                f"{self.lanes} lanes"
+            )
+        # Lane drives layer on top of whole-input stimulus on every rank:
+        # a scalar simulator's lane 0 is an override too, so identical
+        # drive() sequences behave the same on scalar and 1-lane members.
+        self._lane_stimulus.setdefault(name, {})[lane] = values
+
+    def add_workload(self, workload) -> None:
+        """Attach a :class:`Workload`/:class:`BatchWorkload` (anything
+        with ``apply(simulator, cycle)``)."""
+        if not hasattr(workload, "apply"):
+            raise TypeError(
+                f"workload {workload!r} has no apply(simulator, cycle)"
+            )
+        self._workloads.append(workload)
 
     def observe(self, name: str) -> None:
         if name not in self.watch:
             self.watch.append(name)
-            self.trace[name] = []
+            self.trace[name] = self._empty_rows()
 
-    def _value_at(self, stimulus: Stimulus, cycle: int) -> Optional[int]:
+    def _value_at(self, stimulus: Stimulus, cycle: int):
         if callable(stimulus):
             return stimulus(cycle)
         if cycle < len(stimulus):
             return stimulus[cycle]
         return None
 
-    def run(self, cycles: int) -> Dict[str, List[int]]:
+    def _poke_lane(self, name: str, lane: int, value: int) -> None:
+        poke_lane = getattr(self.simulator, "poke_lane", None)
+        if poke_lane is None:  # rank-0: lane 0 is the whole simulator
+            self.simulator.poke(name, value)
+        else:
+            poke_lane(name, lane, value)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, cycles: int) -> Dict[str, list]:
         """Run ``cycles`` cycles; returns the accumulated trace."""
         for _ in range(cycles):
             cycle = self.simulator.cycle
+            for workload in self._workloads:
+                workload.apply(self.simulator, cycle)
             for name, stimulus in self.stimulus.items():
                 value = self._value_at(stimulus, cycle)
                 if value is not None:
                     self.simulator.poke(name, value)
+            for name, per_lane in self._lane_stimulus.items():
+                for lane, stimulus in per_lane.items():
+                    value = self._value_at(stimulus, cycle)
+                    if value is not None:
+                        self._poke_lane(name, lane, value)
             for name in self.watch:
-                self.trace[name].append(self.simulator.peek(name))
+                value = self.simulator.peek(name)
+                if self.lanes is None:
+                    self.trace[name].append(value)
+                else:
+                    rows = self.trace[name]
+                    for lane in range(self.lanes):
+                        rows[lane].append(value[lane])
             self.simulator.step()
         return self.trace
 
+    # ------------------------------------------------------------------
+    # Trace access
+    # ------------------------------------------------------------------
+    def lane_trace(self, lane: int = 0) -> Dict[str, List[int]]:
+        """One lane's flat ``{signal: [cycle values]}`` trace.
+
+        For a rank-0 simulator lane 0 is the whole trace, so scalar and
+        batched benches diff uniformly via ``lane_trace``.
+        """
+        if self.lanes is None:
+            if lane != 0:
+                raise IndexError(
+                    f"scalar testbench has a single lane (0), not {lane}"
+                )
+            return self.trace
+        if not 0 <= lane < self.lanes:
+            raise IndexError(
+                f"lane {lane} out of range for {self.lanes}-lane testbench"
+            )
+        return {name: rows[lane] for name, rows in self.trace.items()}
+
+
+def extract_lane(trace: Dict[str, list], lane: int) -> Dict[str, List[int]]:
+    """One lane of a trace as a flat rank-0 trace.
+
+    A rank-0 trace passes through untouched for ``lane == 0`` (scalar
+    simulators *are* lane 0 of a mixed fleet).
+    """
+    rank = trace_lanes(trace)
+    if rank is None:
+        if lane != 0:
+            raise IndexError(f"rank-0 trace has a single lane (0), not {lane}")
+        return trace
+    if not 0 <= lane < rank:
+        raise IndexError(f"lane {lane} out of range for {rank}-lane trace")
+    return {name: rows[lane] for name, rows in trace.items()}
+
 
 def compare_traces(
-    expected: Dict[str, List[int]], actual: Dict[str, List[int]]
+    expected: Dict[str, list],
+    actual: Dict[str, list],
+    lanes: Optional[Iterable[int]] = None,
 ) -> List[TraceDiff]:
-    """Diff two traces; empty result means simulators agree."""
+    """Diff two traces of any rank; empty result means they agree.
+
+    * rank 0 vs rank 0 -- the classic per-cycle diff (``lane=None``);
+    * rank 1 vs rank 1 -- lane-wise diff over every common lane, or only
+      the lanes in ``lanes=``;
+    * mixed rank -- the rank-0 trace broadcasts against lane 0 of the
+      rank-1 trace (or against each lane in ``lanes=``), which is how a
+      scalar reference checks a batched engine's lane-0 seed.
+
+    Only signals present in both traces are compared.
+    """
+    expected_rank = trace_lanes(expected)
+    actual_rank = trace_lanes(actual)
+    if expected_rank is None and actual_rank is None:
+        if lanes is not None and list(lanes) != [0]:
+            raise ValueError("rank-0 traces have a single lane (0)")
+        return _diff_flat(expected, actual, None)
+    if expected_rank is not None and actual_rank is not None:
+        common = min(expected_rank, actual_rank)
+        lane_list = list(lanes) if lanes is not None else list(range(common))
+    else:
+        lane_list = list(lanes) if lanes is not None else [0]
+
+    def lane_view(trace, rank, lane):
+        # A rank-0 trace broadcasts: it stands in for every selected lane.
+        return trace if rank is None else extract_lane(trace, lane)
+
+    diffs: List[TraceDiff] = []
+    for lane in lane_list:
+        diffs.extend(
+            _diff_flat(
+                lane_view(expected, expected_rank, lane),
+                lane_view(actual, actual_rank, lane),
+                lane,
+            )
+        )
+    return diffs
+
+
+def _diff_flat(
+    expected: Dict[str, List[int]],
+    actual: Dict[str, List[int]],
+    lane: Optional[int],
+) -> List[TraceDiff]:
     diffs: List[TraceDiff] = []
     for signal in expected:
         if signal not in actual:
             continue
         for cycle, (e, a) in enumerate(zip(expected[signal], actual[signal])):
             if e != a:
-                diffs.append(TraceDiff(cycle, signal, e, a))
+                diffs.append(TraceDiff(cycle, signal, e, a, lane))
     return diffs
+
+
+def first_divergence(
+    traces: Dict[str, Dict[str, list]],
+    reference: Optional[str] = None,
+) -> Optional[FleetDiff]:
+    """Earliest divergence of any fleet member from the reference trace.
+
+    ``traces`` is :func:`run_lockstep` output; ``reference`` names the
+    trace the others diff against (default: the first key).  The result
+    names the diverging simulator, signal, cycle, and lane -- ``None``
+    when the whole fleet agrees.
+    """
+    if not traces:
+        return None
+    names = list(traces)
+    reference = names[0] if reference is None else reference
+    if reference not in traces:
+        raise KeyError(f"reference {reference!r} not in traces: {names}")
+    best: Optional[FleetDiff] = None
+    for name in names:
+        if name == reference:
+            continue
+        for diff in compare_traces(traces[reference], traces[name]):
+            key = (diff.cycle, diff.lane or 0)
+            if best is None or key < (best.diff.cycle, best.diff.lane or 0):
+                best = FleetDiff(name, reference, diff)
+    return best
+
+
+def _stimulus_for(simulator, stimulus):
+    """Adapt shared fleet stimulus to one simulator's rank.
+
+    A :class:`~repro.workloads.BatchWorkload` drives batched members
+    whole; rank-0 members receive lane 0's scalar workload (the
+    broadcast-scalar-against-lane-0 convention).  Dicts and scalar
+    workloads are shared verbatim (ints broadcast on batched members).
+    """
+    if hasattr(stimulus, "apply"):
+        if lane_count(simulator) is None and hasattr(stimulus, "lane"):
+            return stimulus.lane(0)
+        return stimulus
+    return dict(stimulus)
 
 
 def run_lockstep(
     simulators: Dict[str, object],
-    stimulus: Dict[str, Stimulus],
+    stimulus,
     watch: Iterable[str],
     cycles: int,
-) -> Dict[str, Dict[str, List[int]]]:
-    """Run several simulators in lockstep on identical stimulus."""
+) -> Dict[str, Dict[str, list]]:
+    """Run several simulators in lockstep on identical stimulus.
+
+    The fleet may mix ranks: scalar simulators record flat traces,
+    batched ones record lane-major traces, and :func:`compare_traces` /
+    :func:`first_divergence` diff them directly.  ``stimulus`` is a
+    ``{input: Stimulus}`` dict or a workload object (see
+    :meth:`Testbench.run`); a :class:`~repro.workloads.BatchWorkload`
+    drives scalar members with its lane-0 stream.
+    """
     benches = {
-        name: Testbench(sim, dict(stimulus), list(watch))
+        name: Testbench(sim, _stimulus_for(sim, stimulus), list(watch))
         for name, sim in simulators.items()
     }
     return {name: bench.run(cycles) for name, bench in benches.items()}

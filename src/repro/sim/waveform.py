@@ -1,20 +1,34 @@
-"""VCD waveform generation (Section 6.2).
+"""VCD waveform generation (Section 6.2), lane-aware.
 
 The paper's approach: keep every signal observable (signal-eliminating
 optimisations disabled), give each signal a persistent coordinate, and
 detect transitions by comparing each signal's value against the previous
-cycle.  :class:`VcdWriter` implements exactly that on top of any simulator
-exposing ``peek``; only *changed* values are dumped each cycle, which is
-what makes VCD files compact.
+cycle.  :class:`VcdWriter` implements exactly that on top of any
+simulator exposing ``peek``; only *changed* values are dumped each
+cycle, which is what makes VCD files compact.
+
+The lane rank rides along: on a batched simulator
+(:class:`~repro.batch.BatchSimulator`,
+:class:`~repro.shard.ShardedBatchSimulator`) the writer tracks
+transitions per lane, ``lanes=`` filters which lanes are recorded,
+``document(lane=i)`` renders one lane in exactly the scalar writer's
+format (bit-identical to a scalar run of the same seed), and
+``document()`` renders all selected lanes as per-lane scopes of a
+single VCD document.
 """
 
 from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, TextIO, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .testbench import lane_count
 
 _IDENT_CHARS = "".join(chr(c) for c in range(33, 127))
+
+#: One sampled time step of one lane: (time, [(signal, new value), ...]).
+_Event = Tuple[int, List[Tuple[str, int]]]
 
 
 def _identifier(index: int) -> str:
@@ -37,17 +51,33 @@ def _identifier(index: int) -> str:
     return "".join(reversed(chars))
 
 
+def _default_signals(simulator) -> Dict[str, int]:
+    """``{name: width}`` for every signal the simulator exposes."""
+    widths = getattr(simulator, "signal_widths", None)
+    if widths is not None:
+        return {name: widths[name] for name in sorted(widths)}
+    bundle = simulator.bundle
+    return {
+        name: bundle.slot_width[slot]
+        for name, slot in sorted(bundle.signal_slots.items())
+    }
+
+
 class VcdWriter:
     """Streams value changes of watched signals into a VCD document.
 
     Parameters
     ----------
     simulator:
-        Any object with ``peek(name) -> int``; typically a
-        :class:`repro.sim.Simulator` built with ``preserve_signals=True``.
+        Any object with ``peek(name) -> int`` (rank 0), or a batched
+        engine whose ``peek`` returns B-lane vectors; typically built
+        with ``preserve_signals=True``.
     signals:
         ``{name: width}`` of the signals to record.  Defaults to every
         signal the simulator exposes.
+    lanes:
+        On a batched simulator, which lanes to record (default: all).
+        Rank-0 simulators accept only ``None`` or ``[0]``.
     """
 
     def __init__(
@@ -56,57 +86,82 @@ class VcdWriter:
         signals: Optional[Dict[str, int]] = None,
         top_name: str = "TOP",
         timescale: str = "1ns",
+        lanes: Optional[Iterable[int]] = None,
     ) -> None:
         self.simulator = simulator
         if signals is None:
-            bundle = simulator.bundle
-            signals = {
-                name: bundle.slot_width[slot]
-                for name, slot in sorted(bundle.signal_slots.items())
-            }
+            signals = _default_signals(simulator)
         self.signals = dict(signals)
         self.top_name = top_name
         self.timescale = timescale
+
+        sim_lanes = lane_count(simulator)
+        if sim_lanes is None:
+            if lanes is not None and list(lanes) != [0]:
+                raise ValueError(
+                    "rank-0 simulators have a single lane (0); "
+                    f"got lanes={list(lanes)}"
+                )
+            self.lanes: Optional[List[int]] = None
+            self._lane_ids: List[Optional[int]] = [None]
+        else:
+            selected = list(range(sim_lanes)) if lanes is None else list(lanes)
+            if len(set(selected)) != len(selected):
+                raise ValueError(f"duplicate lanes in {selected}")
+            for lane in selected:
+                if not 0 <= lane < sim_lanes:
+                    raise ValueError(
+                        f"lane {lane} out of range for {sim_lanes}-lane "
+                        "simulator"
+                    )
+            if not selected:
+                raise ValueError("lanes= selected no lanes")
+            self.lanes = selected
+            self._lane_ids = list(selected)
+
+        #: Per-signal identifier codes of a single-scope (scalar-format)
+        #: document; the merged multi-lane document derives per-lane codes
+        #: from the same enumeration order.
         self._idents = {
             name: _identifier(index) for index, name in enumerate(self.signals)
         }
-        self._previous: Dict[str, Optional[int]] = {name: None for name in self.signals}
-        self._buffer = io.StringIO()
+        self._previous: Dict[Optional[int], Dict[str, Optional[int]]] = {
+            lane: {name: None for name in self.signals}
+            for lane in self._lane_ids
+        }
+        self._events: Dict[Optional[int], List[_Event]] = {
+            lane: [] for lane in self._lane_ids
+        }
         self._time = 0
-        self._header_written = False
+        self._sampled = False
 
     # ------------------------------------------------------------------
-    def _write_header(self) -> None:
-        out = self._buffer
-        out.write(f"$timescale {self.timescale} $end\n")
-        out.write(f"$scope module {self.top_name} $end\n")
-        for name, width in self.signals.items():
-            safe = name.replace(".", "_")
-            out.write(f"$var wire {width} {self._idents[name]} {safe} $end\n")
-        out.write("$upscope $end\n$enddefinitions $end\n")
-        self._header_written = True
-
+    # Sampling
+    # ------------------------------------------------------------------
     def sample(self) -> int:
-        """Record the current cycle; returns the number of changed signals."""
-        if not self._header_written:
-            self._write_header()
-            self._buffer.write("$dumpvars\n")
-        changes = 0
-        lines: List[str] = [f"#{self._time}"]
-        for name, width in self.signals.items():
-            value = self.simulator.peek(name)
-            if value == self._previous[name]:
-                continue
-            self._previous[name] = value
-            changes += 1
-            if width == 1:
-                lines.append(f"{value}{self._idents[name]}")
-            else:
-                lines.append(f"b{value:b} {self._idents[name]}")
-        if changes or self._time == 0:
-            self._buffer.write("\n".join(lines) + "\n")
+        """Record the current cycle; returns the number of changed
+        (signal, lane) values."""
+        rank0 = self.lanes is None
+        rows = {name: self.simulator.peek(name) for name in self.signals}
+        total = 0
+        for lane in self._lane_ids:
+            previous = self._previous[lane]
+            changes: List[Tuple[str, int]] = []
+            for name in self.signals:
+                value = rows[name] if rank0 else rows[name][lane]
+                if value == previous[name]:
+                    continue
+                previous[name] = value
+                changes.append((name, value))
+            # Quiet cycles are not stored (memory stays proportional to
+            # change count); time 0 always is, so the rendered document
+            # opens with "#0" exactly like the streaming writer did.
+            if changes or self._time == 0:
+                self._events[lane].append((self._time, changes))
+            total += len(changes)
         self._time += 1
-        return changes
+        self._sampled = True
+        return total
 
     def run(self, cycles: int, step: bool = True) -> None:
         """Sample ``cycles`` cycles, stepping the simulator between samples."""
@@ -116,10 +171,144 @@ class VcdWriter:
                 self.simulator.step()
 
     # ------------------------------------------------------------------
-    def document(self) -> str:
-        if not self._header_written:
-            self._write_header()
-        return self._buffer.getvalue()
+    # Rendering
+    # ------------------------------------------------------------------
+    def _format_change(self, name: str, value: int, ident: str) -> str:
+        if self.signals[name] == 1:
+            return f"{value}{ident}"
+        return f"b{value:b} {ident}"
 
-    def save(self, path: Union[str, Path]) -> None:
-        Path(path).write_text(self.document())
+    def _write_vars(self, out: io.StringIO, idents: Dict[str, str]) -> None:
+        for name, width in self.signals.items():
+            safe = name.replace(".", "_")
+            out.write(f"$var wire {width} {idents[name]} {safe} $end\n")
+
+    def _write_body(
+        self,
+        out: io.StringIO,
+        events: Sequence[Tuple[List[Tuple[str, int]], Dict[str, str]]],
+    ) -> None:
+        """Merge per-lane change streams in timestamp order.
+
+        ``events`` pairs each lane's event list with that lane's
+        identifier map.  Each list is ascending in time but sparse
+        (quiet cycles are not stored), so lanes are merged by timestamp,
+        lanes in selection order within a timestamp.
+        """
+        if self._sampled:
+            out.write("$dumpvars\n")
+        positions = [0] * len(events)
+        while True:
+            time = min(
+                (
+                    lane_events[position][0]
+                    for position, (lane_events, _) in zip(positions, events)
+                    if position < len(lane_events)
+                ),
+                default=None,
+            )
+            if time is None:
+                break
+            lines: List[str] = [f"#{time}"]
+            for index, (lane_events, idents) in enumerate(events):
+                position = positions[index]
+                if position < len(lane_events) and lane_events[position][0] == time:
+                    lines.extend(
+                        self._format_change(name, value, idents[name])
+                        for name, value in lane_events[position][1]
+                    )
+                    positions[index] += 1
+            out.write("\n".join(lines) + "\n")
+
+    def _render_single(self, lane: Optional[int]) -> str:
+        """One lane in the scalar writer's exact format (single scope)."""
+        out = io.StringIO()
+        out.write(f"$timescale {self.timescale} $end\n")
+        out.write(f"$scope module {self.top_name} $end\n")
+        self._write_vars(out, self._idents)
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        self._write_body(out, [(self._events[lane], self._idents)])
+        return out.getvalue()
+
+    def _render_merged(self) -> str:
+        """All selected lanes as per-lane scopes of one document."""
+        out = io.StringIO()
+        out.write(f"$timescale {self.timescale} $end\n")
+        out.write(f"$scope module {self.top_name} $end\n")
+        lane_idents: List[Dict[str, str]] = []
+        for position, lane in enumerate(self._lane_ids):
+            base = position * len(self.signals)
+            idents = {
+                name: _identifier(base + index)
+                for index, name in enumerate(self.signals)
+            }
+            lane_idents.append(idents)
+            out.write(f"$scope module lane{lane} $end\n")
+            self._write_vars(out, idents)
+            out.write("$upscope $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        self._write_body(
+            out,
+            [
+                (self._events[lane], idents)
+                for lane, idents in zip(self._lane_ids, lane_idents)
+            ],
+        )
+        return out.getvalue()
+
+    def _resolve_lane(self, lane: int) -> int:
+        if self.lanes is None:
+            raise ValueError(
+                f"lane {lane} was not recorded; rank-0 writers record only "
+                "lane 0"
+            )
+        if lane not in self._events:
+            raise ValueError(
+                f"lane {lane} was not recorded; recorded lanes: {self.lanes}"
+            )
+        return lane
+
+    def document(self, lane: Optional[int] = None) -> str:
+        """The VCD document.
+
+        Rank-0 writers render the classic single-scope document.  On a
+        batched writer, ``lane=i`` renders that lane alone -- in the
+        scalar format, bit-identical to a scalar simulator's VCD of the
+        same stimulus -- while ``lane=None`` renders every selected lane
+        as a ``lane<i>`` scope of one document.
+        """
+        if self.lanes is None:
+            # A rank-0 simulator *is* lane 0 of a mixed fleet, so generic
+            # per-lane dumping code works on every fleet member.
+            if lane not in (None, 0):
+                self._resolve_lane(lane)
+            return self._render_single(None)
+        if lane is None:
+            return self._render_merged()
+        return self._render_single(self._resolve_lane(lane))
+
+    def save(self, path: Union[str, Path], lane: Optional[int] = None) -> None:
+        Path(path).write_text(self.document(lane=lane))
+
+    def save_lanes(self, pattern: Union[str, Path]) -> Dict[int, Path]:
+        """One scalar-format VCD file per recorded lane.
+
+        ``pattern`` must contain a ``{lane}`` placeholder, e.g.
+        ``out/wave_lane{lane}.vcd``; returns ``{lane: written path}``.
+        """
+        if self.lanes is None:
+            raise ValueError(
+                "save_lanes() needs a batched simulator; use save() for "
+                "rank-0 writers"
+            )
+        pattern = str(pattern)
+        if "{lane}" not in pattern:
+            raise ValueError(
+                f"pattern {pattern!r} has no {{lane}} placeholder"
+            )
+        written: Dict[int, Path] = {}
+        for lane in self.lanes:
+            path = Path(pattern.format(lane=lane))
+            path.write_text(self.document(lane=lane))
+            written[lane] = path
+        return written

@@ -1,0 +1,31 @@
+"""Differential verification: cross-check every simulation engine.
+
+Public API::
+
+    from repro.verify import run_differential, run_differential_suite
+    from repro.verify import engine_matrix, ScalarFleet
+"""
+
+from .differential import (
+    DifferentialResult,
+    EngineSpec,
+    ScalarFleet,
+    build_engine,
+    cli,
+    engine_matrix,
+    run_differential,
+    run_differential_suite,
+    spec_from_name,
+)
+
+__all__ = [
+    "DifferentialResult",
+    "EngineSpec",
+    "ScalarFleet",
+    "build_engine",
+    "cli",
+    "engine_matrix",
+    "run_differential",
+    "run_differential_suite",
+    "spec_from_name",
+]

@@ -64,6 +64,20 @@ class Workload:
     name: str
     drivers: Dict[str, Callable[[int], int]] = field(default_factory=dict)
 
+    @property
+    def lane_count(self) -> int:
+        return 1
+
+    def lane(self, index: int) -> "Workload":
+        """Uniform lane access: a scalar workload is its own lane 0, so
+        mixed-rank fleets slice any workload without a rank check."""
+        if index != 0:
+            raise IndexError(
+                f"scalar workload {self.name!r} has a single lane (0), "
+                f"not {index}"
+            )
+        return self
+
     def apply(self, simulator, cycle: int) -> None:
         for name, driver in self.drivers.items():
             simulator.poke(name, driver(cycle))
@@ -219,7 +233,23 @@ class BatchWorkload:
     def lane(self, index: int) -> Workload:
         return self.lanes[index]
 
+    def subset(self, lanes) -> "BatchWorkload":
+        """A new workload of only the selected lanes (same order), for
+        driving a smaller simulator or pairing with a lane-filtered
+        :class:`~repro.sim.VcdWriter`."""
+        picked = [self.lanes[index] for index in lanes]
+        if not picked:
+            raise ValueError("subset() selected no lanes")
+        return BatchWorkload(f"{picked[0].name}x{len(picked)}", picked)
+
     def apply(self, simulator, cycle: int) -> None:
+        sim_lanes = getattr(simulator, "lanes", None)
+        if isinstance(sim_lanes, int) and sim_lanes != self.lane_count:
+            raise ValueError(
+                f"workload {self.name!r} has {self.lane_count} lanes, "
+                f"simulator has {sim_lanes}; use subset() or rebuild with "
+                "batched_workload_for(design, lanes)"
+            )
         for name in self.lanes[0].drivers:
             simulator.poke(
                 name, [lane.drivers[name](cycle) for lane in self.lanes]

@@ -1,0 +1,344 @@
+"""Lane-rank testbench & waveform tests.
+
+Covers the verification-stack tentpole: per-lane VCDs bit-identical to
+independent scalar runs (the B=8 acceptance test), lane-filtered
+waveform capture, lane-targeted testbench stimulus, mixed-rank
+``run_lockstep``/``compare_traces`` fleets, and VCD byte-identity
+across a ``snapshot()``/``restore()`` boundary on both batched engines.
+"""
+
+import pytest
+
+from repro.batch import BatchSimulator
+from repro.designs.registry import compile_named_design, compiled_graph
+from repro.shard import ShardedBatchSimulator
+from repro.sim import (
+    Simulator,
+    Testbench,
+    VcdWriter,
+    compare_traces,
+    extract_lane,
+    first_divergence,
+    lane_count,
+    run_lockstep,
+    trace_lanes,
+)
+from repro.workloads.stimulus import batched_workload_for
+
+
+def outputs_of(design_name):
+    bundle = compile_named_design(design_name)
+    return sorted(set(bundle.output_slots) & set(bundle.signal_slots))
+
+
+def output_widths(design_name):
+    bundle = compile_named_design(design_name)
+    return {
+        name: bundle.slot_width[bundle.signal_slots[name]]
+        for name in outputs_of(design_name)
+    }
+
+
+# ----------------------------------------------------------------------
+# Acceptance: B=8 per-lane VCDs == 8 scalar VCDs on the same seeds
+# ----------------------------------------------------------------------
+class TestPerLaneVcdBitIdentity:
+    DESIGN = "rocket-1"
+    LANES = 8
+    CYCLES = 12
+
+    def _run_pair(self):
+        bundle = compile_named_design(self.DESIGN)
+        signals = output_widths(self.DESIGN)
+        workload = batched_workload_for(self.DESIGN, self.LANES)
+        batch = BatchSimulator(bundle, lanes=self.LANES)
+        scalars = [Simulator(bundle) for _ in range(self.LANES)]
+        batch_writer = VcdWriter(batch, signals)
+        scalar_writers = [VcdWriter(sim, signals) for sim in scalars]
+        for cycle in range(self.CYCLES):
+            workload.apply(batch, cycle)
+            for lane, sim in enumerate(scalars):
+                workload.lane(lane).apply(sim, cycle)
+            batch_writer.sample()
+            for writer in scalar_writers:
+                writer.sample()
+            batch.step()
+            for sim in scalars:
+                sim.step()
+        return batch_writer, scalar_writers
+
+    def test_documents_bit_identical(self):
+        batch_writer, scalar_writers = self._run_pair()
+        for lane in range(self.LANES):
+            assert batch_writer.document(lane=lane) == scalar_writers[lane].document(), (
+                f"lane {lane} VCD differs from its scalar run"
+            )
+
+    def test_save_lanes_files_bit_identical(self, tmp_path):
+        batch_writer, scalar_writers = self._run_pair()
+        written = batch_writer.save_lanes(tmp_path / "wave_lane{lane}.vcd")
+        assert sorted(written) == list(range(self.LANES))
+        for lane, path in written.items():
+            assert path.read_bytes() == scalar_writers[lane].document().encode()
+
+
+class TestLaneVcdWriter:
+    def test_lane_filter_records_selected_lanes_only(self, counter_src):
+        batch = BatchSimulator(counter_src, lanes=4)
+        batch.poke("enable", [1, 0, 1, 1])
+        writer = VcdWriter(batch, {"count": 8}, lanes=[1, 3])
+        writer.run(3)
+        assert writer.lanes == [1, 3]
+        assert "b1" in writer.document(lane=3)
+        with pytest.raises(ValueError, match="not recorded"):
+            writer.document(lane=0)
+
+    def test_merged_document_has_lane_scopes_and_unique_idents(self, counter_src):
+        batch = BatchSimulator(counter_src, lanes=3)
+        batch.poke("enable", 1)
+        writer = VcdWriter(batch, {"count": 8, "enable": 1})
+        writer.run(2)
+        document = writer.document()
+        header = document.split("$enddefinitions")[0]
+        for lane in range(3):
+            assert f"$scope module lane{lane} $end" in header
+        idents = [
+            line.split()[3] for line in header.splitlines()
+            if line.startswith("$var")
+        ]
+        assert len(idents) == len(set(idents)) == 6  # 2 signals x 3 lanes
+
+    def test_lane_bounds_checked(self, counter_src):
+        batch = BatchSimulator(counter_src, lanes=2)
+        with pytest.raises(ValueError):
+            VcdWriter(batch, {"count": 8}, lanes=[2])
+        with pytest.raises(ValueError):
+            VcdWriter(batch, {"count": 8}, lanes=[0, 0])
+
+    def test_scalar_writer_rejects_lane_filter(self, counter_src):
+        simulator = Simulator(counter_src, preserve_signals=True)
+        VcdWriter(simulator, {"count": 8}, lanes=[0])  # lane 0 is fine
+        with pytest.raises(ValueError):
+            VcdWriter(simulator, {"count": 8}, lanes=[1])
+        writer = VcdWriter(simulator, {"count": 8})
+        with pytest.raises(ValueError):
+            writer.save_lanes("x_{lane}.vcd")
+
+    def test_scalar_writer_is_its_own_lane_zero(self, counter_src):
+        """Generic per-lane dumping code works on rank-0 fleet members:
+        document(lane=0) is the whole document."""
+        simulator = Simulator(counter_src, preserve_signals=True)
+        simulator.poke("enable", 1)
+        writer = VcdWriter(simulator, {"count": 8})
+        writer.run(3)
+        assert writer.document(lane=0) == writer.document()
+        with pytest.raises(ValueError, match="lane 1"):
+            writer.document(lane=1)
+
+    def test_sharded_default_signals_from_signal_widths(self):
+        graph = compiled_graph("rocket-1")
+        with ShardedBatchSimulator(graph, lanes=2, num_partitions=2) as shard:
+            writer = VcdWriter(shard)
+            assert writer.signals  # defaults resolved without a bundle
+            writer.run(2)
+            assert "$scope module lane1 $end" in writer.document()
+
+
+# ----------------------------------------------------------------------
+# Satellite: VCD across a snapshot()/restore() boundary
+# ----------------------------------------------------------------------
+class TestSnapshotRestoreVcd:
+    DESIGN = "gemmini-8"
+    LANES = 2
+    CYCLES = 10
+    SPLIT = 5
+
+    def _drive(self, sim, writer, workload, start, stop):
+        for cycle in range(start, stop):
+            workload.apply(sim, cycle)
+            writer.sample()
+            sim.step()
+
+    def _straight_and_interrupted(self, make_sim):
+        signals = output_widths(self.DESIGN)
+        workload = batched_workload_for(self.DESIGN, self.LANES)
+
+        straight = make_sim()
+        straight_writer = VcdWriter(straight, signals)
+        self._drive(straight, straight_writer, workload, 0, self.CYCLES)
+
+        interrupted = make_sim()
+        writer = VcdWriter(interrupted, signals)
+        self._drive(interrupted, writer, workload, 0, self.SPLIT)
+        checkpoint = interrupted.snapshot()
+        # Scribble past the checkpoint (no sampling), then rewind.
+        interrupted.poke("act_in", [3] * self.LANES)
+        interrupted.step(3)
+        interrupted.restore(checkpoint)
+        self._drive(interrupted, writer, workload, self.SPLIT, self.CYCLES)
+
+        for sim in (straight, interrupted):
+            close = getattr(sim, "close", None)
+            if close:
+                close()
+        return straight_writer, writer
+
+    def test_batch_vcd_byte_identical_across_restore(self):
+        straight, interrupted = self._straight_and_interrupted(
+            lambda: BatchSimulator(
+                compile_named_design(self.DESIGN), lanes=self.LANES
+            )
+        )
+        assert interrupted.document() == straight.document()
+        for lane in range(self.LANES):
+            assert interrupted.document(lane=lane) == straight.document(lane=lane)
+
+    def test_sharded_vcd_byte_identical_across_restore(self):
+        graph = compiled_graph(self.DESIGN)
+        straight, interrupted = self._straight_and_interrupted(
+            lambda: ShardedBatchSimulator(
+                graph, lanes=self.LANES, num_partitions=2
+            )
+        )
+        assert interrupted.document() == straight.document()
+
+
+# ----------------------------------------------------------------------
+# Lane-aware Testbench
+# ----------------------------------------------------------------------
+class TestLaneTestbench:
+    def test_batched_trace_is_lane_major(self, counter_src):
+        batch = BatchSimulator(counter_src, lanes=2)
+        bench = Testbench(batch, watch=["count"])
+        bench.drive("enable", lambda cycle: [1, 0])
+        trace = bench.run(4)
+        assert trace_lanes(trace) == 2
+        assert trace["count"] == [[0, 1, 2, 3], [0, 0, 0, 0]]
+        assert bench.lane_trace(1)["count"] == [0, 0, 0, 0]
+
+    def test_lane_targeted_drive(self, counter_src):
+        batch = BatchSimulator(counter_src, lanes=3)
+        bench = Testbench(batch, watch=["count"])
+        bench.drive("enable", lambda cycle: 1)        # broadcast
+        bench.drive("enable", [0, 0, 0, 1], lane=2)   # one lane overridden
+        trace = bench.run(4)
+        assert trace["count"][0] == [0, 1, 2, 3]
+        assert trace["count"][2] == [0, 0, 0, 0]  # enabled only at cycle 3
+
+    def test_lane_drive_validated(self, counter_src):
+        batch = BatchSimulator(counter_src, lanes=2)
+        bench = Testbench(batch, watch=["count"])
+        with pytest.raises(ValueError):
+            bench.drive("enable", [1], lane=5)
+        scalar_bench = Testbench(Simulator(counter_src), watch=["count"])
+        scalar_bench.drive("enable", [1, 1], lane=0)  # lane 0 == the sim
+        with pytest.raises(ValueError):
+            scalar_bench.drive("enable", [1], lane=1)
+
+    def test_workload_stimulus_object(self):
+        design = "gemmini-8"
+        lanes = 2
+        workload = batched_workload_for(design, lanes)
+        batch = BatchSimulator(compile_named_design(design), lanes=lanes)
+        bench = Testbench(batch, stimulus=workload, watch=outputs_of(design))
+        trace = bench.run(6)
+        assert trace_lanes(trace) == lanes
+
+    def test_lane_count_detection(self, counter_src):
+        assert lane_count(Simulator(counter_src)) is None
+        assert lane_count(BatchSimulator(counter_src, lanes=4)) == 4
+
+
+class TestWorkloadLaneSurface:
+    def test_scalar_workload_is_its_own_lane_zero(self):
+        from repro.workloads.stimulus import workload_for
+
+        workload = workload_for("rocket-1")
+        assert workload.lane_count == 1
+        assert workload.lane(0) is workload
+        with pytest.raises(IndexError):
+            workload.lane(1)
+
+    def test_subset_matches_original_lanes(self):
+        design = "gemmini-8"
+        full = batched_workload_for(design, 4)
+        subset = full.subset([1, 3])
+        assert subset.lane_count == 2
+        assert subset.lane(0) is full.lane(1)
+        batch = BatchSimulator(compile_named_design(design), lanes=2)
+        wide = BatchSimulator(compile_named_design(design), lanes=4)
+        watch = outputs_of(design)
+        for cycle in range(5):
+            subset.apply(batch, cycle)
+            full.apply(wide, cycle)
+            for name in watch:
+                narrow = batch.peek(name)
+                row = wide.peek(name)
+                assert narrow == [row[1], row[3]]
+            batch.step()
+            wide.step()
+
+    def test_apply_validates_lane_count(self, counter_src):
+        full = batched_workload_for("rocket-1", 4)
+        batch = BatchSimulator(compile_named_design("rocket-1"), lanes=2)
+        with pytest.raises(ValueError, match="subset"):
+            full.apply(batch, 0)
+        with pytest.raises(ValueError):
+            full.subset([])
+
+
+# ----------------------------------------------------------------------
+# Mixed-rank compare_traces / run_lockstep
+# ----------------------------------------------------------------------
+class TestMixedRankComparison:
+    def test_scalar_vs_batched_broadcasts_lane_zero(self):
+        scalar = {"out": [1, 2, 3]}
+        batched = {"out": [[1, 2, 3], [9, 9, 9]]}
+        assert compare_traces(scalar, batched) == []
+        diffs = compare_traces(scalar, batched, lanes=[1])
+        assert [d.lane for d in diffs] == [1, 1, 1]
+
+    def test_rank1_vs_rank1_lane_filter(self):
+        a = {"out": [[1, 2], [3, 4], [5, 6]]}
+        b = {"out": [[1, 2], [3, 0], [5, 0]]}
+        assert len(compare_traces(a, b)) == 2
+        filtered = compare_traces(a, b, lanes=[1])
+        assert len(filtered) == 1 and filtered[0].lane == 1
+
+    def test_diff_str_names_lane_and_cycle(self):
+        diffs = compare_traces({"x": [[1]]}, {"x": [[2]]})
+        assert "lane 0" in str(diffs[0]) and "cycle 0" in str(diffs[0])
+
+    def test_extract_lane(self):
+        trace = {"out": [[1, 2], [3, 4]]}
+        assert extract_lane(trace, 1) == {"out": [3, 4]}
+        flat = {"out": [1, 2]}
+        assert extract_lane(flat, 0) is flat
+        with pytest.raises(IndexError):
+            extract_lane(flat, 1)
+
+    def test_mixed_fleet_lockstep(self):
+        """Acceptance: run_lockstep on scalar + batch + sharded at once."""
+        design = "rocket-1"
+        lanes = 2
+        bundle = compile_named_design(design)
+        graph = compiled_graph(design)
+        workload = batched_workload_for(design, lanes)
+        watch = outputs_of(design)
+        with ShardedBatchSimulator(graph, lanes=lanes, num_partitions=2) as shard:
+            fleet = {
+                "batch": BatchSimulator(bundle, lanes=lanes),
+                "scalar": Simulator(bundle),
+                "shard": shard,
+            }
+            traces = run_lockstep(fleet, workload, watch, 10)
+        assert trace_lanes(traces["scalar"]) is None
+        assert trace_lanes(traces["batch"]) == lanes
+        # Scalar ran lane 0's stream: broadcast comparison agrees, and the
+        # whole mixed-rank fleet has no divergence from the batch trace.
+        assert compare_traces(traces["scalar"], traces["batch"]) == []
+        assert first_divergence(traces, reference="batch") is None
+
+    def test_first_divergence_unknown_reference(self):
+        with pytest.raises(KeyError):
+            first_divergence({"a": {"x": [1]}}, reference="zzz")
