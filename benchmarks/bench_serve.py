@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Bench for the service layer (repro.serve): cache + fleet.
+
+Two measurements:
+
+* **startup** -- wall-clock to construct a refined-partition
+  :class:`ShardedBatchSimulator` from FIRRTL source in a *fresh process*,
+  cold (empty artifact cache: full elaborate + partition + lower) versus
+  warm (second process, same ``REPRO_CACHE_DIR``): the artifact cache's
+  raison d'etre.  ``warm_speedup`` is the gated metric.
+* **sessions** -- aggregate lane-cycles/sec of N concurrent fleet
+  sessions driven round-robin through the coalescing barrier, versus the
+  same stimulus on one scalar simulator at a time: the multiplexing win.
+
+CLI (CI smoke + JSON baseline for the perf gate)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --tiny
+    PYTHONPATH=src python benchmarks/bench_serve.py --json BENCH_serve.json
+
+Subprocess timing covers *construction only* (imports happen before the
+timer): the claim is about elaboration/partitioning/lowering time saved,
+not interpreter startup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+if __name__ == "__main__":  # script mode: make src/ and bench_common importable
+    root = Path(__file__).resolve().parent
+    sys.path.insert(0, str(root))
+    sys.path.insert(0, str(root.parent / "src"))
+
+from repro.batch import HAS_NUMPY
+
+DESIGNS = ("rocket-1", "gemmini-8")
+PARTITIONS = 4
+STRATEGY = "refined"
+LANES = 8
+SESSIONS = 8
+SESSION_CYCLES = 40
+
+TINY_DESIGNS = ("rocket-1",)
+TINY_SESSION_CYCLES = 10
+
+_CHILD_SCRIPT = """\
+import json, sys, time
+design, partitions, strategy, lanes = (
+    sys.argv[1], int(sys.argv[2]), sys.argv[3], int(sys.argv[4])
+)
+from repro.designs.registry import get_design
+from repro.shard import ShardedBatchSimulator
+import repro.serve.artifacts  # noqa: F401  (lazy import kept off the clock)
+source = get_design(design)
+start = time.perf_counter()
+sim = ShardedBatchSimulator(
+    source, lanes=lanes, num_partitions=partitions, partitioner=strategy,
+)
+seconds = time.perf_counter() - start
+sim.step(1)  # prove the cached build actually simulates
+print(json.dumps({"seconds": seconds, "partitions": sim.num_partitions}))
+sim.close()
+"""
+
+
+def _child_env(cache_dir: str) -> Dict[str, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [src, env.get("PYTHONPATH", "")] if p
+    )
+    env["REPRO_CACHE_DIR"] = cache_dir
+    return env
+
+
+def _spawn_build(design: str, partitions: int, strategy: str, lanes: int,
+                 cache_dir: str) -> float:
+    """Construct the sharded simulator in a fresh process; returns the
+    construction wall-clock in seconds."""
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, design, str(partitions),
+         strategy, str(lanes)],
+        capture_output=True, text=True, env=_child_env(cache_dir),
+        check=True,
+    )
+    return float(json.loads(out.stdout.strip().splitlines()[-1])["seconds"])
+
+
+def startup_rows(
+    designs: Sequence[str] = DESIGNS,
+    partitions: int = PARTITIONS,
+    strategy: str = STRATEGY,
+    lanes: int = LANES,
+) -> List[Dict[str, object]]:
+    """Cold-vs-warm second-process construction, one row per design."""
+    rows: List[Dict[str, object]] = []
+    for design in designs:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cd:
+            cold = _spawn_build(design, partitions, strategy, lanes, cd)
+            warm = _spawn_build(design, partitions, strategy, lanes, cd)
+        rows.append({
+            "mode": "startup",
+            "design": design,
+            "partitions": partitions,
+            "strategy": strategy,
+            "lanes": lanes,
+            "cold_seconds": cold,
+            "warm_seconds": warm,
+            "warm_speedup": cold / warm if warm > 0 else None,
+        })
+    return rows
+
+
+def session_rows(
+    designs: Sequence[str] = DESIGNS,
+    engine: str = "batch",
+    lanes: int = LANES,
+    sessions: int = SESSIONS,
+    cycles: int = SESSION_CYCLES,
+) -> List[Dict[str, object]]:
+    """N concurrent fleet sessions vs N sequential scalar runs."""
+    import random
+
+    from repro.designs.registry import compiled_graph, get_design
+    from repro.serve.fleet import LaneFleet
+    from repro.sim import Simulator
+
+    rows: List[Dict[str, object]] = []
+    for design in designs:
+        source = get_design(design)
+        inputs = sorted(compiled_graph(design).inputs)
+        members = max(1, (sessions + lanes - 1) // lanes)
+        with LaneFleet(source, engine=engine, lanes=lanes,
+                       max_members=members) as fleet:
+            opened = [fleet.open_session() for _ in range(sessions)]
+            rngs = [random.Random(index) for index in range(sessions)]
+            start = time.perf_counter()
+            for _ in range(cycles):
+                for rng, session in zip(rngs, opened):
+                    for name in inputs:
+                        session.poke(name, rng.randrange(1 << 16))
+                for session in opened:
+                    session.step(1)
+            fleet_seconds = time.perf_counter() - start
+
+        scalar = Simulator(source)
+        rng = random.Random(0)
+        start = time.perf_counter()
+        for _ in range(cycles):
+            for name in inputs:
+                scalar.poke(name, rng.randrange(1 << 16))
+            scalar.step()
+        scalar_seconds = time.perf_counter() - start
+
+        lane_cps = sessions * cycles / fleet_seconds if fleet_seconds else None
+        scalar_cps = cycles / scalar_seconds if scalar_seconds else None
+        rows.append({
+            "mode": "sessions",
+            "design": design,
+            "engine": engine,
+            "lanes": lanes,
+            "sessions": sessions,
+            "cycles": cycles,
+            "lane_cps": lane_cps,
+            "scalar_cps": scalar_cps,
+            "multiplex_gain": (
+                lane_cps / scalar_cps if lane_cps and scalar_cps else None
+            ),
+        })
+    return rows
+
+
+def render_rows(rows: Sequence[Dict[str, object]]) -> str:
+    lines = ["Simulation-as-a-service (measured)", ""]
+    startup = [r for r in rows if r["mode"] == "startup"]
+    if startup:
+        lines.append(f"{'design':<12} {'P':>2} {'strategy':<8} "
+                     f"{'cold s':>8} {'warm s':>8} {'speedup':>8}")
+        for row in startup:
+            lines.append(
+                f"{row['design']:<12} {row['partitions']:>2} "
+                f"{row['strategy']:<8} {row['cold_seconds']:>8.3f} "
+                f"{row['warm_seconds']:>8.3f} {row['warm_speedup']:>7.1f}x"
+            )
+        lines.append("")
+    sessions = [r for r in rows if r["mode"] == "sessions"]
+    if sessions:
+        lines.append(f"{'design':<12} {'engine':<6} {'N':>3} "
+                     f"{'fleet l-cps':>12} {'scalar cps':>11} {'gain':>6}")
+        for row in sessions:
+            lines.append(
+                f"{row['design']:<12} {row['engine']:<6} "
+                f"{row['sessions']:>3} {row['lane_cps']:>12.1f} "
+                f"{row['scalar_cps']:>11.1f} {row['multiplex_gain']:>5.2f}x"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (tier-1 smoke: fast, loose assertions)
+# ----------------------------------------------------------------------
+def test_warm_startup_beats_cold():
+    """A second process constructing from a warm cache must be decisively
+    faster than the cold elaborate+partition+lower pipeline.  (The full
+    CLI run records the ~10x+ figure in BENCH_serve.json; here the bound
+    is loose to stay robust on noisy CI hosts.)"""
+    rows = startup_rows(designs=("rocket-1",))
+    row = rows[0]
+    assert row["warm_seconds"] < row["cold_seconds"]
+    assert row["warm_speedup"] > 2.0
+    print()
+    print(render_rows(rows))
+
+
+def test_fleet_sessions_throughput():
+    """Eight coalesced sessions finish their cycles, and the aggregate
+    session-cycle rate beats a single scalar simulator's rate (the
+    batched sweep amortises across lanes)."""
+    rows = session_rows(designs=("rocket-1",), sessions=8,
+                        cycles=TINY_SESSION_CYCLES)
+    row = rows[0]
+    assert row["lane_cps"] and row["lane_cps"] > 0
+    assert row["multiplex_gain"] and row["multiplex_gain"] > 1.0
+    print()
+    print(render_rows(rows))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke-test sweep (CI): one design, few cycles")
+    parser.add_argument("--designs", nargs="+", default=None)
+    parser.add_argument("--partitions", type=int, default=PARTITIONS)
+    parser.add_argument("--strategy", default=STRATEGY)
+    parser.add_argument("--lanes", type=int, default=LANES)
+    parser.add_argument("--sessions", type=int, default=SESSIONS)
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="cycles per session for the throughput rows")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write rows + metadata as JSON")
+    args = parser.parse_args(argv)
+
+    designs = tuple(args.designs or (TINY_DESIGNS if args.tiny else DESIGNS))
+    cycles = args.cycles or (
+        TINY_SESSION_CYCLES if args.tiny else SESSION_CYCLES
+    )
+
+    rows = startup_rows(designs, args.partitions, args.strategy, args.lanes)
+    rows += session_rows(designs, "batch", args.lanes, args.sessions, cycles)
+    print(render_rows(rows))
+    if not HAS_NUMPY:
+        print("\n(NumPy not installed: pure-Python lane fallback measured)")
+
+    if args.json:
+        payload = {
+            "bench": "bench_serve",
+            "numpy": HAS_NUMPY,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count() or 1,
+            "rows": rows,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,8 +10,9 @@ loop), not scheduling noise.
     python benchmarks/perf_gate.py --baseline BENCH_batch.json \
         --current /tmp/batch_tiny.json --factor 5
 
-Rows are matched on their identity fields (design / kernel / lanes /
-partitions / executor / strategy -- whichever are present); rows only
+Rows are matched on their identity fields (mode / design / kernel /
+lanes / partitions / executor / strategy / sessions -- whichever are
+present); rows only
 one side has are ignored, so a ``--tiny`` sweep gates against the full
 recorded grid.  Matched rows that record a ``replication_overhead`` are
 additionally gated *tightly* (the partitioner is deterministic): rising
@@ -36,12 +37,14 @@ from typing import Dict, Tuple
 #: partitioner ``strategy``: greedy and refined rows of the same grid
 #: point have deliberately different replication overheads.
 KEY_FIELDS = (
-    "design", "kernel", "lanes", "backend", "partitions", "executor",
-    "strategy",
+    "mode", "design", "kernel", "lanes", "backend", "partitions",
+    "executor", "strategy", "engine", "sessions",
 )
 #: The gated metric, by preference: sharded rows record ``lane_cps``,
-#: batched rows ``batch_lane_cps``.
-METRIC_FIELDS = ("lane_cps", "batch_lane_cps")
+#: batched rows ``batch_lane_cps``, serve startup rows ``warm_speedup``
+#: (cache effectiveness -- a ratio, but gated the same way: falling more
+#: than ``factor``x below the recorded baseline fails).
+METRIC_FIELDS = ("lane_cps", "batch_lane_cps", "warm_speedup")
 
 
 def row_key(row: Dict[str, object]) -> Tuple:

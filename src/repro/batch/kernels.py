@@ -76,9 +76,11 @@ class BatchKernel:
         return f"{self.config.name}x{self.lanes}[{self.backend}]"
 
 
-def _walk_layers(bundle: OimBundle):
-    """The optimized-format OIM walk as per-layer ``(entry, s, rs, ws, ow)``
-    record lists.
+def _walk_layer_rows(bundle: OimBundle):
+    """The optimized-format OIM walk as per-layer ``(n, s, rs, ws, ow)``
+    row lists -- the picklable precursor of :func:`_walk_layers` (``n``
+    is the opcode index; entries are rebound from the op table on use,
+    which is what lets the artifact cache store this form).
 
     The traversal order is the RU kernel's: rank I outermost, rank S
     concordant within each layer, operands in O order.  Resolving it at
@@ -93,6 +95,7 @@ def _walk_layers(bundle: OimBundle):
     n_coords = lowered.ranks["N"].coords
     r_coords = lowered.ranks["R"].coords
     width = bundle.slot_width
+    entry_of = bundle.op_table.entry
 
     layers = []
     op_index = 0
@@ -101,12 +104,13 @@ def _walk_layers(bundle: OimBundle):
         layer = []
         for _ in range(layer_count):                  # Rank S
             s = s_coords[op_index]
-            entry = bundle.op_table.entry(n_coords[op_index])
+            n = n_coords[op_index]
             op_index += 1
-            operands = tuple(r_coords[r_index:r_index + entry.arity])
-            r_index += entry.arity                    # Ranks O, R
+            arity = entry_of(n).arity
+            operands = tuple(r_coords[r_index:r_index + arity])
+            r_index += arity                          # Ranks O, R
             layer.append((
-                entry,
+                n,
                 s,
                 operands,
                 tuple(width[r] for r in operands),
@@ -114,6 +118,33 @@ def _walk_layers(bundle: OimBundle):
             ))
         layers.append(layer)
     return layers
+
+
+def _cached_walk_layer_rows(bundle: OimBundle):
+    """:func:`_walk_layer_rows` through the :mod:`repro.serve` artifact
+    cache (kind ``oimwalk``), keyed by the bundle fingerprint.  A warm
+    server start thereby skips ``lower_oim_fast`` and the rank-pointer
+    walk entirely; backend/lane count never enter the key because rows
+    address slots, not planes."""
+    from ..serve import artifacts
+
+    if artifacts.get_cache() is None:
+        return _walk_layer_rows(bundle)
+    digest = artifacts.bundle_fingerprint(bundle, stage="oimwalk")
+    return artifacts.cache_through(
+        "oimwalk", digest, lambda: _walk_layer_rows(bundle)
+    )
+
+
+def _walk_layers(bundle: OimBundle):
+    """The walk rows with opcode indices rebound to live op-table
+    entries: per-layer ``(entry, s, rs, ws, ow)`` record lists."""
+    entry_of = bundle.op_table.entry
+    return [
+        [(entry_of(n), s, operands, widths, out_width)
+         for n, s, operands, widths, out_width in layer]
+        for layer in _cached_walk_layer_rows(bundle)
+    ]
 
 
 def _walk_records(bundle: OimBundle):
@@ -439,34 +470,7 @@ class BatchCodegenKernel(BatchKernel):
             )
         super().__init__(bundle, config, lanes, backend)
         layout = limb_layout(bundle) if backend == "u64xN" else None
-        const_values = dict(bundle.const_slots)
-        statements: List[str] = []
-        for layer in bundle.layers:
-            for record in layer:
-                entry = bundle.op_table.entry(record.n)
-                widths = [bundle.slot_width[r] for r in record.operands]
-                out_width = bundle.slot_width[record.s]
-                if layout is None or _is_narrow(widths, out_width):
-                    args = [
-                        str(const_values[r]) if r in const_values else
-                        f"V[{r if layout is None else layout.offsets[r]}]"
-                        for r in record.operands
-                    ]
-                    expression = numpy_expr(entry.name, args, widths, out_width)
-                    target = record.s if layout is None else layout.offsets[record.s]
-                    statements.append(f"    V[{target}] = {expression}")
-                else:
-                    args = [
-                        f"V[{layout.slices[r].start}:{layout.slices[r].stop}]"
-                        for r in record.operands
-                    ]
-                    expression = numpy_limb_expr(
-                        entry.name, args, widths, out_width
-                    )
-                    target = layout.slices[record.s]
-                    statements.append(
-                        f"    V[{target.start}:{target.stop}] = {expression}"
-                    )
+        statements = _cached_codegen_statements(bundle, layout, backend)
         extra = None
         if layout is not None:
             np = numpy_or_none()
@@ -479,6 +483,58 @@ class BatchCodegenKernel(BatchKernel):
     def eval_comb(self, values) -> None:
         for function in self._functions:
             function(values)
+
+
+def _codegen_statements(bundle: OimBundle, layout) -> List[str]:
+    """The SU/TI statement list: one generated line per OIM record."""
+    const_values = dict(bundle.const_slots)
+    statements: List[str] = []
+    for layer in bundle.layers:
+        for record in layer:
+            entry = bundle.op_table.entry(record.n)
+            widths = [bundle.slot_width[r] for r in record.operands]
+            out_width = bundle.slot_width[record.s]
+            if layout is None or _is_narrow(widths, out_width):
+                args = [
+                    str(const_values[r]) if r in const_values else
+                    f"V[{r if layout is None else layout.offsets[r]}]"
+                    for r in record.operands
+                ]
+                expression = numpy_expr(entry.name, args, widths, out_width)
+                target = record.s if layout is None else layout.offsets[record.s]
+                statements.append(f"    V[{target}] = {expression}")
+            else:
+                args = [
+                    f"V[{layout.slices[r].start}:{layout.slices[r].stop}]"
+                    for r in record.operands
+                ]
+                expression = numpy_limb_expr(
+                    entry.name, args, widths, out_width
+                )
+                target = layout.slices[record.s]
+                statements.append(
+                    f"    V[{target.start}:{target.stop}] = {expression}"
+                )
+    return statements
+
+
+def _cached_codegen_statements(
+    bundle: OimBundle, layout, backend: str
+) -> List[str]:
+    """Statement generation through the :mod:`repro.serve` artifact
+    cache (kind ``sucodegen``), keyed by the bundle fingerprint and the
+    plane backend (the limb layout changes what the statements index).
+    Lane count does not enter: statements address rows, not lanes.
+    """
+    from ..serve import artifacts
+
+    if artifacts.get_cache() is None:
+        return _codegen_statements(bundle, layout)
+    digest = artifacts.bundle_fingerprint(bundle, stage="sucodegen",
+                                          backend=backend)
+    return artifacts.cache_through(
+        "sucodegen", digest, lambda: _codegen_statements(bundle, layout)
+    )
 
 
 def _compile_batch_chunks(

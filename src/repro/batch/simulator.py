@@ -308,6 +308,54 @@ class BatchSimulator:
         self._dirty = True
 
     # ------------------------------------------------------------------
+    # Per-lane state transfer (the repro.serve session checkout path)
+    # ------------------------------------------------------------------
+    def export_lane(self, lane: int) -> List[int]:
+        """One lane's column of the value plane, as per-slot Python ints.
+
+        Portable like :meth:`export_state` (plain ints, backend-
+        agnostic), but a single lane: the unit of session preemption and
+        migration in :mod:`repro.serve` -- a checked-out lane's state
+        moves to any simulator of the same design, regardless of which
+        lane (or backend) it lands on there.
+        """
+        self._check_lane(lane)
+        self._settle()
+        return [
+            read_slot(self.values, slot, self.backend, self.layout)[lane]
+            for slot in range(self.bundle.num_slots)
+        ]
+
+    def import_lane(self, lane: int, values: Sequence[int]) -> None:
+        """Load one lane from :meth:`export_lane` output; the other lanes
+        are untouched.  Values must already fit their slots (they do, if
+        they came from ``export_lane``)."""
+        self._check_lane(lane)
+        if len(values) != self.bundle.num_slots:
+            raise ValueError(
+                f"lane state has {len(values)} slots, design has "
+                f"{self.bundle.num_slots}"
+            )
+        widths = self.bundle.slot_width
+        for slot, value in enumerate(values):
+            if value < 0 or (value >> widths[slot]):
+                raise ValueError(
+                    f"import_lane: slot {slot} value {value} does not fit "
+                    f"{widths[slot]} bits"
+                )
+        for slot, value in enumerate(values):
+            row = read_slot(self.values, slot, self.backend, self.layout)
+            row[lane] = value
+            write_slot(self.values, slot, row, self.backend, self.layout)
+        self._dirty = True
+
+    def _check_lane(self, lane: int) -> None:
+        if not 0 <= lane < self.lanes:
+            raise IndexError(
+                f"lane {lane} out of range for {self.lanes} lanes"
+            )
+
+    # ------------------------------------------------------------------
     @property
     def clock_domains(self) -> List[str]:
         return sorted(self._commits_by_clock)

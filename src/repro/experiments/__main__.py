@@ -59,13 +59,23 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv in (["-h"], ["--help"]):
         print(__doc__)
-        print("available:", ", ".join(sorted([*RENDERERS, "differential"])))
+        print("available:",
+              ", ".join(sorted([*RENDERERS, "differential", "serve"])))
         return 0
     if argv and _normalise(argv[0]) == "differential":
         # The differential harness takes its own argument vector.
         from ..verify.differential import cli
 
         return cli(argv[1:])
+    if argv and _normalise(argv[0]) == "serve":
+        # Simulation-as-a-service verbs (cache / run / client).
+        from ..serve.cli import cli
+
+        return cli(argv[1:])
+    if any(_normalise(a) == "serve" for a in argv):
+        print("serve must be the first argument; run:")
+        print("  python -m repro.experiments serve --help")
+        return 1
     if any(_normalise(a) == "differential" for a in argv):
         # It consumes the rest of the argument vector, so it cannot be
         # combined with renderer targets.
@@ -76,7 +86,8 @@ def main(argv=None) -> int:
     unknown = [t for t in targets if t not in RENDERERS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}")
-        print("available:", ", ".join(sorted([*RENDERERS, "differential"])))
+        print("available:",
+              ", ".join(sorted([*RENDERERS, "differential", "serve"])))
         return 1
     for target in targets:
         print(RENDERERS[target]())

@@ -85,3 +85,11 @@ class OpTable:
     @classmethod
     def from_document(cls, document: dict) -> "OpTable":
         return cls(document["ops"])
+
+    def __reduce__(self):
+        # Entries hold OpSemantics whose evaluator closures cannot be
+        # pickled; the table is fully determined by its op-name set, so
+        # pickling ships the names and rebuilds the semantics on load.
+        # This is what makes OimBundle (and so the artifact cache's
+        # "bundle" kind and process-executor payloads) picklable.
+        return (OpTable, (self.names(),))

@@ -80,6 +80,10 @@ class PartitionResult:
     requested_partitions: int = 0
     #: KL/FM statistics when ``strategy == "refined"`` (else ``None``).
     refine_stats: Optional[object] = None
+    #: Artifact-cache digest of (graph fingerprint x partition params)
+    #: when the :mod:`repro.serve` cache produced or stored this result;
+    #: derived artifacts (the RUM) key off it without re-fingerprinting.
+    cache_digest: Optional[str] = None
 
     @property
     def replication_overhead(self) -> float:
@@ -215,6 +219,47 @@ def partition_graph(
             f"{', '.join(STRATEGIES)}"
         )
     graph.validate()
+
+    from ..serve import artifacts
+
+    if artifacts.get_cache() is not None:
+        # Content-addressed reuse of the whole cut (including refined-FM
+        # results, the ~85 s item on gemmini-32): keyed by the canonical
+        # graph fingerprint x every parameter that shapes the assignment.
+        digest = artifacts.design_fingerprint(
+            graph, stage="partition", num_partitions=num_partitions,
+            strategy=strategy, max_replication=max_replication,
+            imbalance_weight=imbalance_weight, max_passes=max_passes,
+        )
+        def _build() -> PartitionResult:
+            result = _partition_graph_uncached(
+                graph, num_partitions, strategy, max_replication,
+                imbalance_weight, max_passes,
+            )
+            # Prime each partition graph's fingerprint memo so the
+            # pickled result carries them; per-partition bundle lookups
+            # on warm starts then skip re-hashing the subgraphs.
+            for partition in result.partitions:
+                artifacts.design_fingerprint(partition.graph)
+            return result
+
+        result = artifacts.cache_through("partition", digest, _build)
+        result.cache_digest = digest
+        return result
+    return _partition_graph_uncached(
+        graph, num_partitions, strategy, max_replication,
+        imbalance_weight, max_passes,
+    )
+
+
+def _partition_graph_uncached(
+    graph: DataflowGraph,
+    num_partitions: int,
+    strategy: str,
+    max_replication: Optional[float],
+    imbalance_weight: float,
+    max_passes: int,
+) -> PartitionResult:
 
     # Work items: each register's next-value cone, plus each output's cone.
     items: List[Tuple[str, str, int]] = []  # (kind, name, root nid)

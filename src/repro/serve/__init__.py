@@ -1,0 +1,76 @@
+"""Simulation-as-a-service: persistent artifacts + a lane-checkout fleet.
+
+Two layers turn the five-way engine matrix into a long-running service:
+
+* :mod:`repro.serve.artifacts` -- a content-addressed on-disk artifact
+  cache keyed by deterministic design fingerprints, so a warm second
+  process skips elaboration, partitioning, and lowering entirely;
+* :mod:`repro.serve.fleet` / :mod:`repro.serve.server` -- a
+  :class:`LaneFleet` multiplexing client *sessions* onto checked-out
+  lanes of shared batched simulators, with an asyncio front end speaking
+  a length-prefixed JSON protocol.
+
+Public API::
+
+    from repro.serve import (
+        ArtifactCache, configure_cache, get_cache, design_fingerprint,
+        LaneFleet, Session, LaneState,
+        FleetServer, FleetClient, serve_in_thread,
+    )
+"""
+
+from .artifacts import (
+    ArtifactCache,
+    CacheStats,
+    configure_cache,
+    design_fingerprint,
+    disable_cache,
+    get_cache,
+    source_digest,
+)
+
+#: Layer-2 symbols live in heavyweight modules (they pull in the whole
+#: engine matrix); the frontend pipeline imports ``serve.artifacts`` on
+#: every cached compile, so those are resolved lazily (PEP 562) to keep
+#: the cache layer import-cycle-free and cheap.
+_LAZY = {
+    "FleetFullError": "fleet",
+    "LaneFleet": "fleet",
+    "LaneState": "fleet",
+    "Session": "fleet",
+    "FleetClient": "server",
+    "FleetServer": "server",
+    "RemoteSession": "server",
+    "ServerHandle": "server",
+    "connect_session": "server",
+    "serve_in_thread": "server",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{module_name}", __name__), name)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "FleetClient",
+    "FleetFullError",
+    "FleetServer",
+    "LaneFleet",
+    "LaneState",
+    "RemoteSession",
+    "ServerHandle",
+    "Session",
+    "configure_cache",
+    "connect_session",
+    "design_fingerprint",
+    "disable_cache",
+    "get_cache",
+    "serve_in_thread",
+    "source_digest",
+]

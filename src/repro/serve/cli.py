@@ -1,0 +1,216 @@
+"""CLI verbs for the service layer: cache management + server/client.
+
+Routed from ``python -m repro.experiments serve ...``::
+
+    serve cache warm --design rocket-1 --partitions 4 --partitioner refined
+    serve cache ls
+    serve cache gc --max-bytes 268435456
+    serve run --design rocket-1 --engine shard --lanes 8 --port 9090
+    serve client --host 127.0.0.1 --port 9090 --design rocket-1 --cycles 32
+
+``cache`` verbs honour ``--cache-dir`` or the ``REPRO_CACHE_DIR``
+environment variable; ``cache warm`` populates every artifact kind a
+warm server start needs (compiled graph, partitions, RUM, lowered
+kernels), so the follow-up ``serve run`` skips elaboration entirely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .artifacts import ArtifactCache, configure_cache, get_cache
+
+
+def _cache_from_args(args) -> ArtifactCache:
+    if args.cache_dir:
+        return configure_cache(args.cache_dir)
+    cache = get_cache()
+    if cache is None:
+        raise SystemExit(
+            "no cache configured: pass --cache-dir or set REPRO_CACHE_DIR"
+        )
+    return cache
+
+
+def _cmd_cache_warm(args) -> int:
+    cache = _cache_from_args(args)
+    os.environ["REPRO_CACHE_DIR"] = str(cache.root)
+    from ..designs.registry import get_design
+    from ..shard.simulator import ShardedBatchSimulator
+
+    source = get_design(args.design)
+    sim = ShardedBatchSimulator(
+        source,
+        lanes=args.lanes,
+        num_partitions=args.partitions,
+        partitioner=args.partitioner,
+        kernel=args.kernel,
+        backend=args.backend,
+    )
+    sim.close()
+    print(f"warmed {args.design}: {len(cache.entries())} artifact(s) in "
+          f"{cache.root}")
+    for entry in cache.entries():
+        print(f"  {entry.kind:<10} {entry.size_bytes:>10} B  {entry.digest[:16]}")
+    return 0
+
+
+def _cmd_cache_ls(args) -> int:
+    cache = _cache_from_args(args)
+    entries = cache.entries()
+    total = sum(e.size_bytes for e in entries)
+    print(f"{cache.root}: {len(entries)} artifact(s), {total} bytes")
+    for entry in entries:
+        print(f"  {entry.kind:<10} {entry.size_bytes:>10} B  {entry.digest}")
+    return 0
+
+
+def _cmd_cache_gc(args) -> int:
+    cache = _cache_from_args(args)
+    if args.clear:
+        dropped = cache.clear()
+    else:
+        dropped = cache.gc(args.max_bytes)
+    print(f"evicted {dropped} artifact(s)")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+        configure_cache(args.cache_dir)
+    import asyncio
+
+    from ..designs.registry import get_design
+    from .fleet import LaneFleet
+    from .server import FleetServer
+
+    source = get_design(args.design)
+    fleet = LaneFleet(
+        source,
+        engine=args.engine,
+        lanes=args.lanes,
+        kernel=args.kernel,
+        backend=args.backend,
+        num_partitions=args.partitions,
+        partitioner=args.partitioner,
+        executor=args.executor,
+        max_members=args.max_members,
+    )
+    server = FleetServer(fleet, args.host, args.port,
+                         step_timeout=args.step_timeout)
+
+    async def main() -> None:
+        address = await server.start()
+        print(f"serving {args.design} ({args.engine} engine, "
+              f"{fleet.capacity} session slots) on {address[0]}:{address[1]}",
+              flush=True)
+        try:
+            await server.run_until_stopped()
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        fleet.close()
+    return 0
+
+
+def _cmd_client(args) -> int:
+    import random
+
+    from ..designs.registry import compiled_graph
+    from .server import connect_session
+
+    session = connect_session(args.host, args.port)
+    print(f"session {session.session_id}: member {session.member}, "
+          f"lane {session.lane}")
+    inputs = sorted(compiled_graph(args.design).inputs) if args.design else []
+    rng = random.Random(args.seed)
+    for _ in range(args.cycles):
+        for name in inputs:
+            session.poke(name, rng.randrange(1 << 16))
+        session.step(1, timeout=args.step_timeout)
+    print(f"advanced to cycle {session.cycle}")
+    if args.peek:
+        for name in args.peek:
+            print(f"  {name} = {session.peek(name)}")
+    session.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    def add_engine_args(p) -> None:
+        p.add_argument("--design", default="rocket-1")
+        p.add_argument("--lanes", type=int, default=8)
+        p.add_argument("--partitions", type=int, default=2)
+        p.add_argument("--partitioner", default="refined",
+                       choices=["greedy", "refined"])
+        p.add_argument("--kernel", default="PSU")
+        p.add_argument("--backend", default="auto")
+
+    cache = sub.add_parser("cache", help="artifact cache management")
+    cache_sub = cache.add_subparsers(dest="cache_verb", required=True)
+
+    warm = cache_sub.add_parser("warm", help="precompile a design into the cache")
+    warm.add_argument("--cache-dir", default=None)
+    add_engine_args(warm)
+    warm.set_defaults(func=_cmd_cache_warm)
+
+    ls = cache_sub.add_parser("ls", help="list cached artifacts")
+    ls.add_argument("--cache-dir", default=None)
+    ls.set_defaults(func=_cmd_cache_ls)
+
+    gc = cache_sub.add_parser("gc", help="evict artifacts down to a size cap")
+    gc.add_argument("--cache-dir", default=None)
+    gc.add_argument("--max-bytes", type=int, default=None)
+    gc.add_argument("--clear", action="store_true",
+                    help="drop everything, ignore --max-bytes")
+    gc.set_defaults(func=_cmd_cache_gc)
+
+    run = sub.add_parser("run", help="serve a fleet over TCP")
+    run.add_argument("--host", default="127.0.0.1")
+    run.add_argument("--port", type=int, default=0)
+    run.add_argument("--engine", default="batch", choices=["batch", "shard"])
+    run.add_argument("--executor", default="serial",
+                     choices=["serial", "thread", "process"])
+    run.add_argument("--max-members", type=int, default=4)
+    run.add_argument("--step-timeout", type=float, default=30.0)
+    run.add_argument("--cache-dir", default=None)
+    add_engine_args(run)
+    run.set_defaults(func=_cmd_run)
+
+    client = sub.add_parser("client", help="drive one session with random stimulus")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument("--design", default=None,
+                        help="design name, to poke its inputs each cycle")
+    client.add_argument("--cycles", type=int, default=16)
+    client.add_argument("--seed", type=int, default=0)
+    client.add_argument("--peek", nargs="*", default=None)
+    client.add_argument("--step-timeout", type=float, default=30.0)
+    client.set_defaults(func=_cmd_client)
+
+    return parser
+
+
+def cli(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(cli())

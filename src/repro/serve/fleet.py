@@ -1,0 +1,500 @@
+"""Lane-checkout fleet: many client sessions on few batched engines.
+
+The batched engines (:class:`~repro.batch.BatchSimulator`,
+:class:`~repro.shard.ShardedBatchSimulator`) advance B independent lanes
+per kernel invocation, but their host surface assumes one caller owns all
+B lanes.  :class:`LaneFleet` turns the lanes into a *checkout pool*: each
+client opens a :class:`Session` that owns exactly one lane of one fleet
+member and sees a scalar-simulator-compatible surface (``poke`` /
+``peek`` / ``step`` / ``cycle``), while under the hood sessions sharing a
+member advance together through one batched kernel sweep.
+
+Coalesced stepping
+------------------
+Stepping a member advances *every* lane, so a lane may only move when its
+session asked for it.  The fleet therefore applies a per-member barrier:
+a member steps only when **all** of its open sessions have at least one
+pending cycle, and then advances ``min(pending)`` cycles in one batched
+burst.  ``Session.step`` defaults to the non-blocking *offer* flavour
+(request cycles, advance whatever the barrier allows, return the number
+actually advanced) which is what a single-threaded round-robin driver
+wants; ``wait=True`` blocks on the fleet condition variable until the
+session's request drains -- the flavour the asyncio server uses, where
+coalescing across concurrently-stepping clients happens naturally.
+
+Preemption and migration
+------------------------
+A session's entire state is one portable lane export
+(:meth:`Session.checkpoint` / :meth:`Session.restore`), so the fleet can
+park a session to free its lane and revive it later, or
+:meth:`LaneFleet.migrate` it onto a different member mid-run -- the
+mechanism behind serving more sessions than there are live lanes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..kernels.config import KernelConfig
+
+__all__ = [
+    "FleetFullError",
+    "LaneFleet",
+    "LaneState",
+    "Session",
+]
+
+
+class FleetFullError(RuntimeError):
+    """Raised when no lane is free and the fleet may not grow."""
+
+
+@dataclass
+class LaneState:
+    """A parked session: one portable lane export plus bookkeeping.
+
+    ``payload`` is whatever the engine's ``export_lane`` produced --
+    a plain slot-value list for the batch engine, a
+    :class:`~repro.shard.ShardLaneState` for the sharded engine.  Both
+    are plain Python ints, so a state moves between members freely (the
+    sharded engine additionally validates the partition cut).
+    """
+
+    engine: str
+    cycle: int
+    payload: object
+    poked: Dict[str, int] = field(default_factory=dict)
+
+
+class Session:
+    """One checked-out lane, dressed as a scalar simulator.
+
+    Sessions are created by :meth:`LaneFleet.open_session`, never
+    directly.  ``poke``/``peek`` hit the owning member's lane
+    immediately; ``step`` goes through the fleet's coalescing barrier.
+    The session tracks its own logical :attr:`cycle` (lanes of one
+    member share the member's physical cycle counter, but sessions open
+    at different times).
+    """
+
+    def __init__(self, fleet: "LaneFleet", session_id: int,
+                 member: int, lane: int) -> None:
+        self.fleet = fleet
+        self.session_id = session_id
+        self.member = member
+        self.lane = lane
+        self.cycle = 0
+        self.pending = 0
+        self.closed = False
+        self._poked: Dict[str, int] = {}
+
+    # -- scalar-compatible surface -------------------------------------
+    def poke(self, name: str, value: int) -> None:
+        self._ensure_open()
+        self._poked[name] = int(value)
+        self.fleet._poke_lane(self.member, name, self.lane, value)
+
+    def peek(self, name: str) -> int:
+        self._ensure_open()
+        return self.fleet._peek_lane(self.member, name, self.lane)
+
+    def step(self, cycles: int = 1, wait: bool = False,
+             timeout: Optional[float] = None) -> int:
+        """Request ``cycles`` cycles; returns how many actually ran.
+
+        Non-blocking by default: the request is queued and the member
+        advances as far as the coalescing barrier allows right now
+        (possibly zero cycles, if a sibling session has not stepped
+        yet).  With ``wait=True`` the call blocks until the full request
+        has drained, raising :class:`TimeoutError` after ``timeout``
+        seconds (a sibling session that never steps would block the
+        barrier forever; servers should always pass a timeout).
+        """
+        self._ensure_open()
+        if cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {cycles}")
+        return self.fleet._step(self, cycles, wait, timeout)
+
+    def run(self, cycles: int) -> int:
+        return self.step(cycles)
+
+    # -- preemption ----------------------------------------------------
+    def checkpoint(self) -> LaneState:
+        """Portable snapshot of this session's lane."""
+        self._ensure_open()
+        return self.fleet._checkpoint(self)
+
+    def restore(self, state: LaneState) -> None:
+        """Load a :meth:`checkpoint` back into this session's lane."""
+        self._ensure_open()
+        self.fleet._restore(self, state)
+
+    def close(self) -> None:
+        """Release the lane (idempotent).  Siblings stop waiting on us."""
+        if not self.closed:
+            self.fleet._close(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(f"session {self.session_id} is closed")
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"Session(id={self.session_id}, member={self.member}, "
+            f"lane={self.lane}, cycle={self.cycle}, {state})"
+        )
+
+
+class _Member:
+    """One batched engine plus its lane allocation map."""
+
+    def __init__(self, sim, lanes: int, pristine: object) -> None:
+        self.sim = sim
+        self.lanes = lanes
+        #: Lane state of a freshly constructed engine (registers at their
+        #: initial values, inputs at zero) -- what a new checkout gets.
+        self.pristine = pristine
+        self.sessions: Dict[int, Session] = {}   # lane -> session
+        self.free: List[int] = list(range(lanes))
+
+    @property
+    def open_sessions(self) -> List[Session]:
+        return list(self.sessions.values())
+
+
+class LaneFleet:
+    """A pool of batched engines whose lanes are checked out per session.
+
+    Parameters
+    ----------
+    design:
+        FIRRTL text or a compiled design; elaborated/compiled **once**
+        and shared by every member (with the artifact cache active even
+        that single compile is a warm hit on a second process).
+    engine:
+        ``"batch"`` (one :class:`~repro.batch.BatchSimulator` per
+        member) or ``"shard"`` (one
+        :class:`~repro.shard.ShardedBatchSimulator` per member).
+    lanes:
+        Lanes (= session slots) per member.
+    max_members:
+        Member-count cap; ``open_session`` on a full fleet raises
+        :class:`FleetFullError` once the cap is hit (``grow=False``
+        caps at the eagerly-created first member).
+    num_partitions / partitioner / max_replication / executor:
+        Sharded-engine knobs, ignored for ``engine="batch"``.
+    kernel / backend:
+        Forwarded to the member engines.
+    """
+
+    def __init__(
+        self,
+        design,
+        engine: str = "batch",
+        lanes: int = 8,
+        kernel: Union[str, KernelConfig] = "PSU",
+        backend: str = "auto",
+        num_partitions: int = 2,
+        partitioner: str = "greedy",
+        max_replication: Optional[float] = None,
+        executor: str = "serial",
+        max_members: int = 4,
+        grow: bool = True,
+    ) -> None:
+        if engine not in ("batch", "shard"):
+            raise ValueError(f"engine must be 'batch' or 'shard', got {engine!r}")
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        if max_members < 1:
+            raise ValueError(f"max_members must be >= 1, got {max_members}")
+        self.engine = engine
+        self.lanes = lanes
+        self.kernel = kernel
+        self.backend = backend
+        self.num_partitions = num_partitions
+        self.partitioner = partitioner
+        self.max_replication = max_replication
+        self.executor = executor
+        self.max_members = max_members if grow else 1
+        self._cond = threading.Condition()
+        self._members: List[_Member] = []
+        self._next_session_id = 0
+        self._closed = False
+
+        # Compile once, share across members.  The batch engine wants an
+        # OimBundle, the sharded engine a DataflowGraph; both
+        # constructors pass a precompiled object straight through.
+        if engine == "batch":
+            from ..sim.simulator import compile_design
+
+            self._compiled = compile_design(design)
+        else:
+            from ..sim.simulator import compile_graph
+
+            self._compiled = compile_graph(design)
+        self._add_member()
+
+    # ------------------------------------------------------------------
+    # Membership / checkout
+    # ------------------------------------------------------------------
+    def _make_sim(self):
+        if self.engine == "batch":
+            from ..batch.simulator import BatchSimulator
+
+            return BatchSimulator(
+                self._compiled, lanes=self.lanes, kernel=self.kernel,
+                backend=self.backend,
+            )
+        from ..shard.simulator import ShardedBatchSimulator
+
+        return ShardedBatchSimulator(
+            self._compiled, lanes=self.lanes,
+            num_partitions=self.num_partitions, kernel=self.kernel,
+            backend=self.backend, executor=self.executor,
+            partitioner=self.partitioner,
+            max_replication=self.max_replication,
+        )
+
+    def _add_member(self) -> _Member:
+        sim = self._make_sim()
+        pristine = sim.export_lane(0)
+        if self.engine == "shard":
+            # Poking every input to zero on import also scrubs the
+            # previous tenant's values out of the member's host-side
+            # poked rows (a sibling's later poke re-sends whole rows).
+            pristine.poked = {name: 0 for name in sim.inputs}
+        member = _Member(sim, self.lanes, pristine)
+        self._members.append(member)
+        return member
+
+    def open_session(self) -> Session:
+        """Check out a free lane; grows a new member when all lanes of
+        the existing ones are taken (up to ``max_members``)."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("fleet is closed")
+            for index, member in enumerate(self._members):
+                if member.free:
+                    return self._open_on(index)
+            if len(self._members) < self.max_members:
+                self._add_member()
+                return self._open_on(len(self._members) - 1)
+            raise FleetFullError(
+                f"all {len(self._members)} member(s) x {self.lanes} lanes "
+                "are checked out; close or park a session first"
+            )
+
+    def _open_on(self, member_index: int) -> Session:
+        member = self._members[member_index]
+        lane = member.free.pop(0)
+        session = Session(self, self._next_session_id, member_index, lane)
+        self._next_session_id += 1
+        member.sessions[lane] = session
+        # A fresh checkout must not inherit the previous tenant's state.
+        self._blank_lane(member, lane)
+        return session
+
+    def _blank_lane(self, member: _Member, lane: int) -> None:
+        member.sim.import_lane(lane, member.pristine)
+
+    def _close(self, session: Session) -> None:
+        with self._cond:
+            session.closed = True
+            member = self._members[session.member]
+            if member.sessions.get(session.lane) is session:
+                del member.sessions[session.lane]
+                member.free.append(session.lane)
+            # The departed session no longer gates the barrier.
+            self._advance_locked(session.member)
+            self._cond.notify_all()
+
+    def _sim_of(self, member_index: int):
+        return self._members[member_index].sim
+
+    def _poke_lane(self, member_index: int, name: str, lane: int,
+                   value: int) -> None:
+        # Lane-targeted pokes read-modify-write whole slot rows, so
+        # concurrent sessions of one member must serialise on the fleet
+        # lock or lose each other's lanes.
+        with self._cond:
+            self._members[member_index].sim.poke_lane(name, lane, value)
+
+    def _peek_lane(self, member_index: int, name: str, lane: int) -> int:
+        with self._cond:
+            return self._members[member_index].sim.peek_lane(name, lane)
+
+    # ------------------------------------------------------------------
+    # Coalesced stepping
+    # ------------------------------------------------------------------
+    def _step(self, session: Session, cycles: int, wait: bool,
+              timeout: Optional[float]) -> int:
+        import time as _time
+
+        with self._cond:
+            session.pending += cycles
+            target = session.cycle + session.pending
+            self._advance_locked(session.member)
+            self._cond.notify_all()
+            if wait:
+                deadline = None if timeout is None else _time.monotonic() + timeout
+                while session.pending > 0 and not session.closed:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - _time.monotonic()
+                        if remaining <= 0:
+                            raise TimeoutError(
+                                f"session {session.session_id}: barrier did "
+                                f"not drain {session.pending} pending "
+                                f"cycle(s) within {timeout}s (a sibling "
+                                "session on the same member is not stepping)"
+                            )
+                    self._cond.wait(remaining)
+            return cycles - max(0, target - session.cycle)
+
+    def _advance_locked(self, member_index: int) -> None:
+        """Step the member as far as the barrier allows.  Caller holds
+        the fleet condition."""
+        member = self._members[member_index]
+        while True:
+            sessions = member.open_sessions
+            if not sessions:
+                return
+            burst = min(s.pending for s in sessions)
+            if burst <= 0:
+                return
+            member.sim.step(burst)
+            for s in sessions:
+                s.pending -= burst
+                s.cycle += burst
+
+    # ------------------------------------------------------------------
+    # Preemption / migration
+    # ------------------------------------------------------------------
+    def _checkpoint(self, session: Session) -> LaneState:
+        with self._cond:
+            member = self._members[session.member]
+            return LaneState(
+                engine=self.engine,
+                cycle=session.cycle,
+                payload=member.sim.export_lane(session.lane),
+                poked=dict(session._poked),
+            )
+
+    def _restore(self, session: Session, state: LaneState) -> None:
+        if state.engine != self.engine:
+            raise ValueError(
+                f"lane state is from a {state.engine!r}-engine fleet, "
+                f"this fleet runs {self.engine!r}"
+            )
+        with self._cond:
+            member = self._members[session.member]
+            member.sim.import_lane(session.lane, state.payload)
+            session.cycle = state.cycle
+            session._poked = dict(state.poked)
+            for name, value in state.poked.items():
+                member.sim.poke_lane(name, session.lane, value)
+
+    def migrate(self, session: Session, member_index: Optional[int] = None) -> int:
+        """Move a live session onto another member (same design, any
+        member); returns the new member index.  The session keeps its
+        identity, cycle count, and poked inputs."""
+        session._ensure_open()
+        state = session.checkpoint()
+        with self._cond:
+            old = session.member
+            if member_index is None:
+                candidates = [
+                    i for i, m in enumerate(self._members)
+                    if i != old and m.free
+                ]
+                if not candidates and len(self._members) < self.max_members:
+                    self._add_member()
+                    candidates = [len(self._members) - 1]
+                if not candidates:
+                    raise FleetFullError(
+                        "no other member has a free lane to migrate to"
+                    )
+                member_index = candidates[0]
+            if member_index == old:
+                return old
+            target = self._members[member_index]
+            if not target.free:
+                raise FleetFullError(
+                    f"member {member_index} has no free lane"
+                )
+            # Release the old lane, claim the new one.
+            old_member = self._members[old]
+            del old_member.sessions[session.lane]
+            old_member.free.append(session.lane)
+            new_lane = target.free.pop(0)
+            session.member = member_index
+            session.lane = new_lane
+            target.sessions[new_lane] = session
+            self._advance_locked(old)
+            self._cond.notify_all()
+        session.restore(state)
+        return member_index
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def num_members(self) -> int:
+        return len(self._members)
+
+    @property
+    def open_session_count(self) -> int:
+        with self._cond:
+            return sum(len(m.sessions) for m in self._members)
+
+    @property
+    def capacity(self) -> int:
+        """Sessions the fleet can hold at full growth."""
+        return self.max_members * self.lanes
+
+    def describe(self) -> dict:
+        with self._cond:
+            return {
+                "engine": self.engine,
+                "lanes": self.lanes,
+                "members": len(self._members),
+                "max_members": self.max_members,
+                "open_sessions": sum(len(m.sessions) for m in self._members),
+                "capacity": self.capacity,
+            }
+
+    def close(self) -> None:
+        """Close all sessions and shut down member engines."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            for member in self._members:
+                for session in member.open_sessions:
+                    session.closed = True
+                member.sessions.clear()
+                close = getattr(member.sim, "close", None)
+                if close is not None:
+                    close()
+            self._cond.notify_all()
+
+    def __enter__(self) -> "LaneFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"LaneFleet(engine={self.engine!r}, members={len(self._members)}, "
+            f"lanes={self.lanes}, sessions={self.open_session_count})"
+        )

@@ -46,13 +46,14 @@ from .executors import (
     ThreadExecutor,
     make_executor,
 )
-from .simulator import ShardedBatchSimulator, ShardSnapshot
+from .simulator import ShardLaneState, ShardSnapshot, ShardedBatchSimulator
 
 __all__ = [
     "EXECUTORS",
     "BaseExecutor",
     "ProcessExecutor",
     "SerialExecutor",
+    "ShardLaneState",
     "ShardSnapshot",
     "ShardedBatchSimulator",
     "ThreadExecutor",

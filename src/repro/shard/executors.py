@@ -114,6 +114,14 @@ class BaseExecutor:
     def restore(self, states: Sequence[object]) -> None:
         raise NotImplementedError
 
+    def export_lane(self, lane: int) -> List[List[int]]:
+        """One lane's per-partition slot-value columns (portable ints)."""
+        raise NotImplementedError
+
+    def import_lane(self, lane: int, states: Sequence[Sequence[int]]) -> None:
+        """Load one lane into every partition from ``export_lane`` output."""
+        raise NotImplementedError
+
     def describe(self) -> List[str]:
         """Per-partition ``backend/style`` strings (reporting only)."""
         raise NotImplementedError
@@ -188,6 +196,13 @@ class SerialExecutor(BaseExecutor):
         for sim, state in zip(self.sims, states):
             sim.restore(state)
 
+    def export_lane(self, lane: int) -> List[List[int]]:
+        return [sim.export_lane(lane) for sim in self.sims]
+
+    def import_lane(self, lane: int, states: Sequence[Sequence[int]]) -> None:
+        for sim, state in zip(self.sims, states):
+            sim.import_lane(lane, state)
+
     def describe(self) -> List[str]:
         return [f"{sim.backend}/{sim.kernel.style}" for sim in self.sims]
 
@@ -228,7 +243,28 @@ class ThreadExecutor(SerialExecutor):
 # ----------------------------------------------------------------------
 # Process-pool executor
 # ----------------------------------------------------------------------
-def _shard_worker_main(conn, graph, lanes, kernel, backend, export_names):
+def _resolve_graph_ref(graph_ref):
+    """A worker-side graph reference: ``("graph", g)`` carries the pickled
+    partition graph itself; ``("cache", root, digest)`` names a ``pgraph``
+    entry in the :mod:`repro.serve` artifact cache the worker loads
+    locally -- the spawn pipe then ships a few hundred bytes instead of
+    the whole graph.  A missing/corrupt cache entry raises (the parent
+    falls back to respawning with the inline form)."""
+    kind, *payload = graph_ref
+    if kind == "graph":
+        return payload[0]
+    root, digest = payload
+    from ..serve.artifacts import ArtifactCache
+
+    graph = ArtifactCache(root).get("pgraph", digest)
+    if graph is None:
+        raise RuntimeError(
+            f"pgraph cache entry {digest[:12]} missing from {root}"
+        )
+    return graph
+
+
+def _shard_worker_main(conn, graph_ref, lanes, kernel, backend, export_names):
     """One worker process: host a partition's BatchSimulator over a pipe.
 
     Replies ``("ok", payload)`` or ``("err", traceback)`` to every
@@ -237,8 +273,8 @@ def _shard_worker_main(conn, graph, lanes, kernel, backend, export_names):
     """
     try:
         sim = BatchSimulator(
-            graph, lanes=lanes, kernel=kernel, backend=backend,
-            optimize_graph=False,
+            _resolve_graph_ref(graph_ref), lanes=lanes, kernel=kernel,
+            backend=backend, optimize_graph=False,
         )
     except Exception:
         conn.send(("err", traceback.format_exc()))
@@ -281,6 +317,10 @@ def _shard_worker_main(conn, graph, lanes, kernel, backend, export_names):
                 result = sim.export_state()
             elif op == "restore":
                 sim.import_state(*args)
+            elif op == "export_lane":
+                result = sim.export_lane(args)
+            elif op == "import_lane":
+                sim.import_lane(*args)
             else:
                 raise ValueError(f"unknown shard worker command {op!r}")
             conn.send(("ok", result))
@@ -320,24 +360,62 @@ class ProcessExecutor(BaseExecutor):
         self._conns = []
         self._procs = []
         try:
+            self._styles = []
             for partition, names in zip(partitions, exports):
-                parent, child = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_shard_worker_main,
-                    args=(child, partition.graph, lanes, kernel_arg, backend,
-                          list(names)),
-                    daemon=True,
-                )
-                proc.start()
-                child.close()
-                self._conns.append(parent)
-                self._procs.append(proc)
-            # Construction handshake: surfaces worker-side compile errors
-            # (e.g. an explicit u64 request on a wide partition) here.
-            self._styles = [self._recv(conn) for conn in self._conns]
+                ref = self._graph_ref(partition)
+                refs = [ref]
+                if ref[0] == "cache":
+                    refs.append(("graph", partition.graph))
+                # When the artifact cache is warm the worker loads its
+                # partition graph from the pgraph entry by key (spawn
+                # args stay tiny); a stale/evicted entry fails the
+                # handshake, and the worker is respawned with the
+                # inline pickled graph instead of failing the build.
+                while True:
+                    ref = refs.pop(0)
+                    parent, child = ctx.Pipe()
+                    proc = ctx.Process(
+                        target=_shard_worker_main,
+                        args=(child, ref, lanes, kernel_arg, backend,
+                              list(names)),
+                        daemon=True,
+                    )
+                    proc.start()
+                    child.close()
+                    try:
+                        # Construction handshake: surfaces worker-side
+                        # compile errors (e.g. an explicit u64 request on
+                        # a wide partition) here.
+                        style = self._recv(parent)
+                    except RuntimeError:
+                        parent.close()
+                        proc.join(timeout=5)
+                        if refs:
+                            continue
+                        raise
+                    self._conns.append(parent)
+                    self._procs.append(proc)
+                    self._styles.append(style)
+                    break
         except Exception:
             self.close()
             raise
+
+    @staticmethod
+    def _graph_ref(partition: Partition):
+        """The smallest spawn payload for a partition graph: a pgraph
+        cache key when the artifact cache is active (publishing the graph
+        first if needed), else the inline graph."""
+        from ..serve import artifacts
+
+        cache = artifacts.get_cache()
+        if cache is None:
+            return ("graph", partition.graph)
+        digest = artifacts.design_fingerprint(partition.graph, stage="pgraph")
+        if cache.get("pgraph", digest) is None:
+            if cache.put("pgraph", digest, partition.graph) is None:
+                return ("graph", partition.graph)
+        return ("cache", str(cache.root), digest)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -387,6 +465,15 @@ class ProcessExecutor(BaseExecutor):
     def restore(self, states: Sequence[object]) -> None:
         for i, state in enumerate(states):
             self._conns[i].send(("restore", state))
+        for i in range(len(states)):
+            self._recv(self._conns[i])
+
+    def export_lane(self, lane: int) -> List[List[int]]:
+        return self._broadcast("export_lane", lane)
+
+    def import_lane(self, lane: int, states: Sequence[Sequence[int]]) -> None:
+        for i, state in enumerate(states):
+            self._conns[i].send(("import_lane", (lane, state)))
         for i in range(len(states)):
             self._recv(self._conns[i])
 

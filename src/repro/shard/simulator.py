@@ -60,6 +60,17 @@ class ShardSnapshot:
     poked_rows: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
 
 
+@dataclass
+class ShardLaneState:
+    """One lane's portable state: per-partition slot values (plain ints,
+    backend-agnostic) plus the lane's poked-input values.  Produced by
+    :meth:`ShardedBatchSimulator.export_lane`."""
+
+    partition_values: List[List[int]]
+    cut: Tuple[Tuple[str, ...], ...] = ()
+    poked: Dict[str, int] = field(default_factory=dict)
+
+
 class ShardedBatchSimulator:
     """B-lane batched simulation sharded over P RepCut partitions.
 
@@ -123,7 +134,18 @@ class ShardedBatchSimulator:
             max_replication=max_replication,
         )
         self._design_signals = set(graph.signal_map)
-        self.rum: RegisterUpdateMap = build_rum(self.result)
+        if self.result.cache_digest:
+            # The cut came through the artifact cache; the derived RUM is
+            # keyed by the same digest, so a warm process skips its
+            # reader/writer sweep too.
+            from ..serve.artifacts import cache_through
+
+            self.rum: RegisterUpdateMap = cache_through(
+                "rum", self.result.cache_digest,
+                lambda: build_rum(self.result),
+            )
+        else:
+            self.rum = build_rum(self.result)
         self._routes = self.rum.routes()
         exports_map = self.rum.exports_of()
         # Empty partitions were pruned, so worker count follows the
@@ -310,6 +332,59 @@ class ShardedBatchSimulator:
         self._poked_rows = dict(snapshot.poked_rows)
 
     # ------------------------------------------------------------------
+    # Per-lane state transfer (session checkout / preemption)
+    # ------------------------------------------------------------------
+    def export_lane(self, lane: int) -> ShardLaneState:
+        """Portable state of a single lane: per-partition value planes
+        plus that lane's poked-input values.
+
+        Unlike :meth:`snapshot` (whole-simulator, executor-native), lane
+        states are plain Python ints and move between simulators of the
+        same design with different executors, backends, or kernels -- the
+        unit of session preemption and migration in :mod:`repro.serve`.
+        """
+        if not 0 <= lane < self.lanes:
+            raise IndexError(
+                f"export_lane: lane {lane} out of range for "
+                f"{self.lanes} lanes"
+            )
+        return ShardLaneState(
+            partition_values=self.executor.export_lane(lane),
+            cut=self._cut(),
+            poked={row_name: row[lane]
+                   for row_name, row in self._poked_rows.items()},
+        )
+
+    def import_lane(self, lane: int, state: ShardLaneState) -> None:
+        """Load an :meth:`export_lane` state into one lane (the other
+        lanes are untouched).  Requires the same partition cut."""
+        if not 0 <= lane < self.lanes:
+            raise IndexError(
+                f"import_lane: lane {lane} out of range for "
+                f"{self.lanes} lanes"
+            )
+        if state.cut and state.cut != self._cut():
+            raise ValueError(
+                "lane state was exported under a different partitioning "
+                "(the register->partition cut differs); re-export from a "
+                "simulator with the same cut"
+            )
+        if len(state.partition_values) != self.num_partitions:
+            raise ValueError(
+                f"lane state has {len(state.partition_values)} partitions, "
+                f"simulator has {self.num_partitions}"
+            )
+        self.executor.import_lane(lane, state.partition_values)
+        for name, value in state.poked.items():
+            self.poke_lane(name, lane, value)
+        # Partitions step *before* the cycle's exchange, so replicas of
+        # the imported lane's registers must be refreshed now, not at the
+        # next exchange.  Drop the differential history and re-prime, as
+        # the constructor and reset() do.
+        self._last_synced.clear()
+        self._exchange(self.executor.collect())
+
+    # ------------------------------------------------------------------
     # The batched RUM exchange
     # ------------------------------------------------------------------
     def _exchange(self, exports: List[ExportRows]) -> None:
@@ -347,6 +422,11 @@ class ShardedBatchSimulator:
     @property
     def clock_domains(self) -> List[str]:
         return list(self._clock_domains)
+
+    @property
+    def inputs(self) -> List[str]:
+        """Names of the design's pokeable inputs."""
+        return sorted(self._known_inputs)
 
     @property
     def signals(self) -> List[str]:

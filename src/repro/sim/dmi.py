@@ -62,14 +62,53 @@ class FrontendServer:
     one per cycle by :meth:`tick`, which must be called once per simulation
     cycle *before* ``simulator.step()`` -- i.e. at the end-of-cycle boundary
     the paper describes.
+
+    A batched engine hosts one frontend *per lane*: pass ``lane=`` and the
+    frontend drives that lane's DMI signals via ``poke_lane`` /
+    ``peek_lane`` while other lanes run their own (or none).  This is the
+    attachment point :mod:`repro.serve` sessions use -- a checked-out lane
+    plus a frontend behaves exactly like a private scalar simulator.
     """
 
-    def __init__(self, simulator, port: Optional[DmiPort] = None) -> None:
+    def __init__(
+        self,
+        simulator,
+        port: Optional[DmiPort] = None,
+        lane: Optional[int] = None,
+    ) -> None:
         self.simulator = simulator
         self.port = port or DmiPort()
+        self.lane = lane
+        # Batched engines (BatchSimulator / ShardedBatchSimulator) expose
+        # per-lane access; this frontend then drives exactly one lane and
+        # leaves the others to their own frontends.  Duck-typed: scalar
+        # simulators (and test doubles) need only poke/peek/step/cycle.
+        batched = hasattr(simulator, "peek_lane")
+        if lane is not None and not batched:
+            raise TypeError(
+                "lane= targeting needs a batched simulator with "
+                "poke_lane/peek_lane; this one is scalar"
+            )
+        if lane is None and batched:
+            raise ValueError(
+                "driving a batched simulator needs an explicit lane= "
+                "(each FrontendServer owns one lane)"
+            )
         self._queue: List[DmiTransaction] = []
         self._in_flight: Optional[DmiTransaction] = None
         self.completed: List[DmiTransaction] = []
+
+    # ------------------------------------------------------------------
+    def _peek(self, name: str) -> int:
+        if self.lane is None:
+            return self.simulator.peek(name)
+        return self.simulator.peek_lane(name, self.lane)
+
+    def _poke(self, name: str, value: int) -> None:
+        if self.lane is None:
+            self.simulator.poke(name, value)
+        else:
+            self.simulator.poke_lane(name, self.lane, value)
 
     # ------------------------------------------------------------------
     def write(self, addr: int, data: int) -> DmiTransaction:
@@ -103,9 +142,9 @@ class FrontendServer:
         port = self.port
 
         # Collect any response for the in-flight transaction.
-        if self._in_flight is not None and sim.peek(port.resp_valid):
+        if self._in_flight is not None and self._peek(port.resp_valid):
             transaction = self._in_flight
-            transaction.response = sim.peek(port.resp_data)
+            transaction.response = self._peek(port.resp_data)
             transaction.completed_cycle = sim.cycle
             self.completed.append(transaction)
             self._in_flight = None
@@ -118,12 +157,12 @@ class FrontendServer:
 
         if self._in_flight is not None:
             transaction = self._in_flight
-            sim.poke(port.req_valid, 1)
-            sim.poke(port.req_write, int(transaction.write))
-            sim.poke(port.req_addr, transaction.addr)
-            sim.poke(port.req_data, transaction.data)
+            self._poke(port.req_valid, 1)
+            self._poke(port.req_write, int(transaction.write))
+            self._poke(port.req_addr, transaction.addr)
+            self._poke(port.req_data, transaction.data)
         else:
-            sim.poke(port.req_valid, 0)
+            self._poke(port.req_valid, 0)
 
     def run_until_idle(self, max_cycles: int = 10_000) -> int:
         """Tick and step until all transactions complete; returns cycles used."""

@@ -33,9 +33,50 @@ def compile_design(
     optimize_graph: bool = True,
     preserve_signals: bool = False,
 ) -> OimBundle:
-    """Lower any accepted design form to an :class:`OimBundle`."""
+    """Lower any accepted design form to an :class:`OimBundle`.
+
+    When the :mod:`repro.serve` artifact cache is active (see
+    :func:`repro.serve.artifacts.get_cache`), the lowered bundle is
+    cached content-addressed -- keyed by the source digest for FIRRTL
+    text, by the canonical graph fingerprint for a
+    :class:`DataflowGraph` -- so a warm second process skips
+    elaboration, optimisation, and OIM lowering entirely.
+    """
     if isinstance(design, OimBundle):
         return design
+    from ..serve import artifacts
+
+    if artifacts.get_cache() is not None:
+        digest = None
+        if isinstance(design, str):
+            digest = artifacts.source_digest(
+                design, stage="bundle", optimize_graph=optimize_graph,
+                preserve_signals=preserve_signals,
+            )
+        elif isinstance(design, DataflowGraph):
+            digest = artifacts.design_fingerprint(
+                design, stage="bundle", optimize_graph=optimize_graph,
+                preserve_signals=preserve_signals,
+            )
+        if digest is not None:
+            def _build() -> OimBundle:
+                bundle = _compile_design_uncached(
+                    design, optimize_graph, preserve_signals
+                )
+                # Prime the fingerprint memo so the pickled artifact
+                # carries it; warm loads then skip re-hashing the layers.
+                artifacts.bundle_fingerprint(bundle)
+                return bundle
+
+            return artifacts.cache_through("bundle", digest, _build)
+    return _compile_design_uncached(design, optimize_graph, preserve_signals)
+
+
+def _compile_design_uncached(
+    design: DesignLike,
+    optimize_graph: bool,
+    preserve_signals: bool,
+) -> OimBundle:
     if isinstance(design, str):
         design = elaborate(parse(design))
     if isinstance(design, FlatDesign):
@@ -61,6 +102,10 @@ def compile_graph(
     :class:`DataflowGraph` argument is passed through untouched (callers
     hand over pre-optimised graphs); an :class:`OimBundle` has already
     been lowered past the graph and is rejected.
+
+    FIRRTL-text compiles are cached by the :mod:`repro.serve` artifact
+    cache when it is active, keyed by the source digest, so a warm
+    process skips parse/elaborate/optimise.
     """
     if isinstance(design, OimBundle):
         raise TypeError(
@@ -70,13 +115,40 @@ def compile_graph(
     if isinstance(design, DataflowGraph):
         return design
     if isinstance(design, str):
-        design = elaborate(parse(design))
+        from ..serve import artifacts
+
+        if artifacts.get_cache() is not None:
+            digest = artifacts.source_digest(
+                design, stage="graph", optimize_graph=optimize_graph,
+                preserve_signals=preserve_signals,
+            )
+            def _build() -> DataflowGraph:
+                graph = _compile_graph_uncached(
+                    design, optimize_graph, preserve_signals
+                )
+                # Prime the fingerprint memo into the pickled artifact:
+                # partitioning re-fingerprints this graph on warm starts.
+                artifacts.design_fingerprint(graph)
+                return graph
+
+            return artifacts.cache_through("graph", digest, _build)
+        return _compile_graph_uncached(design, optimize_graph, preserve_signals)
     if isinstance(design, FlatDesign):
-        design = build_dfg(design)
-        if optimize_graph:
-            design, _ = optimize(design, preserve_signals=preserve_signals)
-        return design
+        return _compile_graph_uncached(design, optimize_graph, preserve_signals)
     raise TypeError(f"cannot compile {type(design).__name__} into a design")
+
+
+def _compile_graph_uncached(
+    design: Union[str, FlatDesign],
+    optimize_graph: bool,
+    preserve_signals: bool,
+) -> DataflowGraph:
+    if isinstance(design, str):
+        design = elaborate(parse(design))
+    graph = build_dfg(design)
+    if optimize_graph:
+        graph, _ = optimize(graph, preserve_signals=preserve_signals)
+    return graph
 
 
 def group_commits_by_clock(bundle: OimBundle) -> Dict[str, List[Tuple[int, int]]]:
