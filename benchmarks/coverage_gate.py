@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Line-coverage ratchet: fail CI if coverage drops below the floor.
+
+Reads the Cobertura XML produced by ``pytest --cov-report=xml`` and
+compares its overall ``line-rate`` against the checked-in floor file
+(``coverage_floor.txt``).  The gate fails when coverage falls more than
+``--slack`` (default 0.02, i.e. two percentage points) below the floor,
+so ordinary churn doesn't flake but a PR that lands a swath of untested
+code does.
+
+The floor only moves by explicit commit: run with ``--update-floor``
+after a coverage run to ratchet it up to the measured value.
+
+Usage (the 3.12+numpy tier-1 leg)::
+
+    python benchmarks/coverage_gate.py --xml coverage.xml \
+        --floor coverage_floor.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+
+def read_line_rate(xml_path: Path) -> float:
+    root = ET.parse(xml_path).getroot()
+    rate = root.get("line-rate")
+    if rate is None:
+        # Fall back to counting <line hits=...> entries for non-Cobertura
+        # shapes; pytest-cov always emits line-rate, so this is belt and
+        # braces rather than an expected path.
+        lines = root.iter("line")
+        hits = total = 0
+        for line in lines:
+            total += 1
+            hits += int(line.get("hits", "0")) > 0
+        if not total:
+            raise SystemExit(f"{xml_path}: no line-rate and no <line> entries")
+        return hits / total
+    return float(rate)
+
+
+def read_floor(floor_path: Path) -> float:
+    for raw in floor_path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            return float(line)
+    raise SystemExit(f"{floor_path}: no floor value found")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--xml", default="coverage.xml",
+                        help="Cobertura XML report from pytest-cov")
+    parser.add_argument("--floor", default="coverage_floor.txt",
+                        help="checked-in floor file")
+    parser.add_argument("--slack", type=float, default=0.02,
+                        help="allowed drop below the floor (fraction)")
+    parser.add_argument("--update-floor", action="store_true",
+                        help="rewrite the floor file to the measured value")
+    args = parser.parse_args(argv)
+
+    current = read_line_rate(Path(args.xml))
+    floor = read_floor(Path(args.floor))
+    print(f"line coverage: {current:.2%} (floor {floor:.2%}, "
+          f"slack {args.slack:.0%})")
+
+    if args.update_floor:
+        Path(args.floor).write_text(
+            "# Line-coverage floor for benchmarks/coverage_gate.py.\n"
+            "# Ratchet with: python benchmarks/coverage_gate.py "
+            "--update-floor\n"
+            f"{current:.4f}\n"
+        )
+        print(f"floor updated to {current:.4f}")
+        return 0
+
+    if current < floor - args.slack:
+        print(f"FAIL: coverage {current:.2%} is more than "
+              f"{args.slack:.0%} below the floor {floor:.2%}")
+        return 1
+    if current > floor + args.slack:
+        print(f"note: coverage is well above the floor -- consider "
+              f"ratcheting with --update-floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

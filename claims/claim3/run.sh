@@ -1,0 +1,8 @@
+#!/bin/sh
+# Claim 3: one-command pass/fail check. CLAIM_BUDGET=tiny|full (default tiny).
+# Writes the machine-readable verdict next to this script as verdict.json.
+set -eu
+here=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+cd "$here/../.."
+PYTHONPATH=src exec python -m repro.experiments claims \
+    --claim 3 --budget "${CLAIM_BUDGET:-tiny}" --json "$here/verdict.json"

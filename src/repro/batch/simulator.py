@@ -98,6 +98,7 @@ class BatchSimulator:
         self.cycle = 0
         self._dirty = True
         self._commits_by_clock = group_commits_by_clock(self.bundle)
+        self._poked: set = set()
 
     # ------------------------------------------------------------------
     # Host interface
@@ -118,6 +119,7 @@ class BatchSimulator:
                     f"{self.lanes} lanes"
                 )
         write_slot(self.values, slot, lane_values, self.backend, self.layout)
+        self._poked.add(name)
         self._dirty = True
 
     def poke_lane(self, name: str, lane: int, value: int) -> None:
@@ -134,6 +136,7 @@ class BatchSimulator:
         lane_values = read_slot(self.values, slot, self.backend, self.layout)
         lane_values[lane] = mask(int(value), self.bundle.slot_width[slot])
         write_slot(self.values, slot, lane_values, self.backend, self.layout)
+        self._poked.add(name)
         self._dirty = True
 
     def peek(self, name: str) -> List[int]:
@@ -203,6 +206,7 @@ class BatchSimulator:
                     "values"
                 )
         write_slot(self.values, slot, lane_values, self.backend, self.layout)
+        self._poked.add(name)
         self._dirty = True
 
     def reset(self) -> None:
@@ -371,6 +375,12 @@ class BatchSimulator:
             name: self.bundle.slot_width[slot]
             for name, slot in self.bundle.signal_slots.items()
         }
+
+    @property
+    def unpoked_inputs(self) -> set:
+        """Inputs never driven (any lane) since construction; dumped as
+        ``x`` by :class:`~repro.sim.VcdWriter` before the first edge."""
+        return set(self.bundle.input_slots) - self._poked
 
     def _settle(self) -> None:
         if not self._dirty:

@@ -6,10 +6,13 @@ Usage::
     python -m repro.experiments fig20      # one experiment
     rteaal table5 fig16                    # via the console script
 
-The differential verification harness takes its own arguments::
+The verification verbs take their own arguments::
 
     python -m repro.experiments differential --design rocket-1 --seed 7
     python -m repro.experiments differential --all-designs --seeds 5
+    python -m repro.experiments replay --artifact tests/corpus/seed.json
+    python -m repro.experiments fuzz --design rocket-1 --runs 64
+    python -m repro.experiments claims --all --budget tiny
 """
 
 from __future__ import annotations
@@ -55,39 +58,50 @@ def _normalise(name: str) -> str:
     return name.strip().lower().replace("figure", "fig").replace("_", "-")
 
 
+def _verb_cli(name: str):
+    """The sub-CLI for an argument-taking verb, imported lazily."""
+    if name == "differential":
+        from ..verify.differential import cli
+    elif name == "replay":
+        from ..verify.replay import cli
+    elif name == "fuzz":
+        from ..verify.fuzz import cli
+    elif name == "claims":
+        from ..verify.claims import cli
+    elif name == "serve":
+        from ..serve.cli import cli
+    else:
+        return None
+    return cli
+
+
+#: Verbs that consume the rest of the argument vector.
+VERBS = ("claims", "differential", "fuzz", "replay", "serve")
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv in (["-h"], ["--help"]):
         print(__doc__)
         print("available:",
-              ", ".join(sorted([*RENDERERS, "differential", "serve"])))
+              ", ".join(sorted([*RENDERERS, *VERBS])))
         return 0
-    if argv and _normalise(argv[0]) == "differential":
-        # The differential harness takes its own argument vector.
-        from ..verify.differential import cli
-
-        return cli(argv[1:])
-    if argv and _normalise(argv[0]) == "serve":
-        # Simulation-as-a-service verbs (cache / run / client).
-        from ..serve.cli import cli
-
-        return cli(argv[1:])
-    if any(_normalise(a) == "serve" for a in argv):
-        print("serve must be the first argument; run:")
-        print("  python -m repro.experiments serve --help")
-        return 1
-    if any(_normalise(a) == "differential" for a in argv):
-        # It consumes the rest of the argument vector, so it cannot be
-        # combined with renderer targets.
-        print("differential must be the first argument; run:")
-        print("  python -m repro.experiments differential --help")
+    if argv and _normalise(argv[0]) in VERBS:
+        return _verb_cli(_normalise(argv[0]))(argv[1:])
+    stray = [a for a in argv if _normalise(a) in VERBS]
+    if stray:
+        # Verbs consume the rest of the argument vector, so they cannot
+        # be combined with renderer targets.
+        verb = _normalise(stray[0])
+        print(f"{verb} must be the first argument; run:")
+        print(f"  python -m repro.experiments {verb} --help")
         return 1
     targets = [_normalise(a) for a in argv] or sorted(RENDERERS)
     unknown = [t for t in targets if t not in RENDERERS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}")
         print("available:",
-              ", ".join(sorted([*RENDERERS, "differential", "serve"])))
+              ", ".join(sorted([*RENDERERS, *VERBS])))
         return 1
     for target in targets:
         print(RENDERERS[target]())

@@ -433,6 +433,12 @@ class ShardedBatchSimulator:
         return sorted(self._signal_widths)
 
     @property
+    def unpoked_inputs(self) -> set:
+        """Inputs never driven since construction; dumped as ``x`` by
+        :class:`~repro.sim.VcdWriter` before the first edge."""
+        return self._known_inputs - set(self._poked_rows)
+
+    @property
     def signal_widths(self) -> Dict[str, int]:
         """``{signal: width}`` of every peekable signal (waveforms)."""
         return dict(self._signal_widths)

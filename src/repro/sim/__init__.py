@@ -9,6 +9,7 @@ from .clocks import ClockSchedule, ClockSpec
 from .dmi import DmiPort, DmiTransaction, FrontendServer
 from .simulator import SimSnapshot, Simulator, compile_design, compile_graph
 from .testbench import (
+    UNKNOWN,
     FleetDiff,
     Testbench,
     TraceDiff,
@@ -22,6 +23,7 @@ from .testbench import (
 from .waveform import VcdWriter
 
 __all__ = [
+    "UNKNOWN",
     "ClockSchedule",
     "ClockSpec",
     "DmiPort",

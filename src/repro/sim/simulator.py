@@ -219,6 +219,7 @@ class Simulator:
         self.cycle = 0
         self._dirty = True
         self._commits_by_clock = group_commits_by_clock(self.bundle)
+        self._poked: Set[str] = set()
 
     # ------------------------------------------------------------------
     # Host interface
@@ -228,7 +229,18 @@ class Simulator:
         if slot is None:
             raise KeyError(f"{name!r} is not an input of {self.bundle.design_name}")
         self.values[slot] = mask(value, self.bundle.slot_width[slot])
+        self._poked.add(name)
         self._dirty = True
+
+    @property
+    def unpoked_inputs(self) -> Set[str]:
+        """Inputs never driven since construction.
+
+        Before the first clock edge these carry the default 0 rather
+        than a user-chosen value; :class:`~repro.sim.VcdWriter` dumps
+        them as ``x`` until the first ``step`` commits the default.
+        """
+        return set(self.bundle.input_slots) - self._poked
 
     def peek(self, name: str) -> int:
         slot = self.bundle.signal_slots.get(name)

@@ -32,6 +32,38 @@ from typing import (
 Stimulus = Union[Sequence, Callable[[int], object]]
 
 
+class _UnknownValue:
+    """Singleton for an *undefined* sampled value (VCD ``x``/``z``).
+
+    External simulator dumps mark undriven or pre-reset signals ``x``;
+    :class:`~repro.sim.VcdWriter` does the same for never-poked inputs
+    before the first clock edge.  The sentinel compares unequal to every
+    integer, so defined values never silently match an unknown, while
+    :func:`compare_traces` documents unknown-vs-anything as a non-diff
+    (an ``x`` sample cannot witness a divergence).
+    """
+
+    __slots__ = ()
+    _instance: Optional["_UnknownValue"] = None
+
+    def __new__(cls) -> "_UnknownValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "x"
+
+    def __reduce__(self):
+        # Pickling (process executors, cached traces) preserves identity:
+        # the sentinel round-trips to the module singleton.
+        return (_UnknownValue, ())
+
+
+#: The undefined-value sentinel (VCD ``x``/``z``); see :class:`_UnknownValue`.
+UNKNOWN = _UnknownValue()
+
+
 def lane_count(simulator) -> Optional[int]:
     """The simulator's lane rank: B for the batched engines (they expose
     a ``lanes`` attribute and ``peek`` returns lane vectors), ``None``
@@ -264,7 +296,12 @@ def compare_traces(
       rank-1 trace (or against each lane in ``lanes=``), which is how a
       scalar reference checks a batched engine's lane-0 seed.
 
-    Only signals present in both traces are compared.
+    Only signals present in both traces are compared.  A sample that is
+    :data:`UNKNOWN` on either side (a VCD ``x``/``z`` readback, or a
+    never-poked input before the first clock edge) matches *anything*:
+    external dumps mark pre-reset values ``x`` where our engines define
+    them as 0, and that documented non-diff is what lets baseline VCDs
+    join the differential matrix as oracles.
     """
     expected_rank = trace_lanes(expected)
     actual_rank = trace_lanes(actual)
@@ -304,6 +341,8 @@ def _diff_flat(
         if signal not in actual:
             continue
         for cycle, (e, a) in enumerate(zip(expected[signal], actual[signal])):
+            if e is UNKNOWN or a is UNKNOWN:
+                continue
             if e != a:
                 diffs.append(TraceDiff(cycle, signal, e, a, lane))
     return diffs

@@ -23,7 +23,7 @@ import io
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from .testbench import lane_count
+from .testbench import UNKNOWN, lane_count
 
 _IDENT_CHARS = "".join(chr(c) for c in range(33, 127))
 
@@ -143,12 +143,25 @@ class VcdWriter:
         (signal, lane) values."""
         rank0 = self.lanes is None
         rows = {name: self.simulator.peek(name) for name in self.signals}
+        # Before the first clock edge a never-poked input holds the
+        # engine's default 0 without anyone having chosen it; real
+        # simulators dump such signals as x, and so do we -- the parser
+        # maps them back to the UNKNOWN sentinel, which compare_traces
+        # documents as a non-diff against a defined pre-reset 0.
+        undefined = ()
+        if getattr(self.simulator, "cycle", None) == 0:
+            unpoked = getattr(self.simulator, "unpoked_inputs", None)
+            if unpoked:
+                undefined = unpoked.intersection(self.signals)
         total = 0
         for lane in self._lane_ids:
             previous = self._previous[lane]
             changes: List[Tuple[str, int]] = []
             for name in self.signals:
-                value = rows[name] if rank0 else rows[name][lane]
+                if name in undefined:
+                    value = UNKNOWN
+                else:
+                    value = rows[name] if rank0 else rows[name][lane]
                 if value == previous[name]:
                     continue
                 previous[name] = value
@@ -173,7 +186,11 @@ class VcdWriter:
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
-    def _format_change(self, name: str, value: int, ident: str) -> str:
+    def _format_change(self, name: str, value, ident: str) -> str:
+        if value is UNKNOWN:
+            if self.signals[name] == 1:
+                return f"x{ident}"
+            return f"bx {ident}"
         if self.signals[name] == 1:
             return f"{value}{ident}"
         return f"b{value:b} {ident}"

@@ -1,11 +1,19 @@
-"""Differential verification: cross-check every simulation engine.
+"""Verification: the scenario factory.
+
+Differential engine cross-checking, VCD readback, replayable stimulus
+artifacts, coverage-guided fuzzing, and the headline-claim checks.
 
 Public API::
 
     from repro.verify import run_differential, run_differential_suite
     from repro.verify import engine_matrix, ScalarFleet
+    from repro.verify import parse_vcd, read_vcd_trace
+    from repro.verify import ReplayArtifact, record_seeded, replay
+    from repro.verify import fuzz, inject_mask_bug
+    from repro.verify import run_claims
 """
 
+from .claims import ClaimVerdict, run_claims
 from .differential import (
     DifferentialResult,
     EngineSpec,
@@ -17,14 +25,51 @@ from .differential import (
     run_differential_suite,
     spec_from_name,
 )
+from .fuzz import (
+    CoverageFleet,
+    FuzzResult,
+    build_buggy_engine,
+    fuzz,
+    inject_mask_bug,
+    minimise,
+    pick_buggy_commit,
+)
+from .replay import (
+    ReplayArtifact,
+    ReplayResult,
+    design_fingerprint,
+    record_seeded,
+    record_stimulus,
+    replay,
+)
+from .vcd_read import VcdDocument, VcdVar, parse_vcd, read_vcd_trace
 
 __all__ = [
+    "ClaimVerdict",
+    "CoverageFleet",
     "DifferentialResult",
     "EngineSpec",
+    "FuzzResult",
+    "ReplayArtifact",
+    "ReplayResult",
     "ScalarFleet",
+    "VcdDocument",
+    "VcdVar",
+    "build_buggy_engine",
     "build_engine",
     "cli",
+    "design_fingerprint",
     "engine_matrix",
+    "fuzz",
+    "inject_mask_bug",
+    "minimise",
+    "parse_vcd",
+    "pick_buggy_commit",
+    "read_vcd_trace",
+    "record_seeded",
+    "record_stimulus",
+    "replay",
+    "run_claims",
     "run_differential",
     "run_differential_suite",
     "spec_from_name",

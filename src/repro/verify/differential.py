@@ -118,6 +118,12 @@ class ScalarFleet:
     def signal_widths(self) -> Dict[str, int]:
         return self.sims[0].signal_widths
 
+    @property
+    def unpoked_inputs(self):
+        # Unpoked iff no lane drove it, matching the batched engines'
+        # any-poke-defines-the-input convention.
+        return set.intersection(*(sim.unpoked_inputs for sim in self.sims))
+
     def __repr__(self) -> str:
         return f"ScalarFleet(lanes={self.lanes})"
 

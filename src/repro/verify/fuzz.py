@@ -1,0 +1,721 @@
+"""Coverage-guided differential fuzzing over the replay corpus.
+
+AFL's loop, specialised to RTL differential testing: mutate recorded
+stimulus artifacts (:mod:`repro.verify.replay`), run each candidate
+through an engine fleet in lockstep, keep candidates that light up *new
+coverage*, and minimise any trace divergence down to a small replay
+artifact plus a one-line repro command.
+
+Coverage is deliberately cheap -- it falls out of the state the OIM walk
+already computes, no instrumentation pass needed:
+
+* **register toggles**: per state slot, how many clock edges changed its
+  committed value, bucketed by ``log2`` (a counter that toggled 100
+  times is the same feature as one that toggled 70, but different from
+  one that toggled twice);
+* **cone activation**: the set of named signal slots whose settled value
+  changed at least once -- a proxy for which combinational cones the
+  stimulus actually exercised.
+
+The oracle is the PR-5 differential harness: the scalar reference fleet
+against one batched arm (plus, for self-tests and CI canaries, an
+engine with a deliberately *injected* bug -- :func:`inject_mask_bug`
+narrows one register's primop result mask by a bit, the classic
+mis-masked-update silicon bug).
+
+Failures minimise greedily (truncate cycles, drop to the failing lane,
+zero stimulus values that don't matter) and persist as replay artifacts
+whose ``meta`` records the exact engine matrix and injected bug, so::
+
+    PYTHONPATH=src python -m repro.experiments replay --artifact fail.json
+
+reproduces the divergence bit-for-bit anywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from ..designs.registry import compile_named_design
+from ..oim.builder import OimBundle
+from ..sim import FleetDiff, first_divergence, run_lockstep
+from .differential import ScalarFleet, build_engine, observable_outputs, spec_from_name
+from .replay import (
+    ReplayArtifact,
+    default_engines,
+    design_fingerprint,
+    repro_command,
+    sign_artifact,
+)
+
+#: One coverage feature: ("reg", state_slot, log2 toggle bucket) or
+#: ("sig", signal_slot).
+Feature = Tuple
+
+
+# ----------------------------------------------------------------------
+# Injected bugs (fuzzer self-test / CI canary)
+# ----------------------------------------------------------------------
+def _produced_slots(bundle: OimBundle) -> Set[int]:
+    return {record.s for layer in bundle.layers for record in layer}
+
+
+def pick_buggy_commit(
+    bundle: OimBundle,
+    design: Optional[str] = None,
+    probe_cycles: int = 32,
+    probe_seeds: Sequence[Optional[int]] = (None, 0, 0xB47C4),
+) -> int:
+    """The default injection site, chosen so the bug can actually fire.
+
+    A narrowed mask only diverges when the register's MSB would have
+    been set, and a corrupted register only *matters* when it reaches an
+    observable output -- a static "widest register" pick routinely lands
+    on a counter whose top bit never moves, making the canary unfindable
+    by construction.  So probe: run the design's workload under a few
+    seeds, pre-filter to commits whose register MSB actually toggles
+    under every seed, then test-inject candidates (widest first) and
+    keep the first whose corruption shows at an observable output for
+    *all* probe seeds (falling back to any-seed, then to the widest
+    pre-filtered site).  Deterministic -- same bundle, same pick.
+
+    ``design`` is the *registry* name used to look up the probe workload
+    (``bundle.design_name`` is the module name, which the workload table
+    does not know).
+    """
+    produced = _produced_slots(bundle)
+    candidates = [
+        index
+        for index, (_state, next_slot) in enumerate(bundle.register_commits)
+        if next_slot in produced and bundle.slot_width[next_slot] > 1
+    ]
+    if not candidates:
+        raise ValueError(
+            f"design {bundle.design_name!r} has no multi-bit register fed "
+            "by a primop; nowhere to inject a mask bug"
+        )
+
+    def width_of(index: int) -> int:
+        return bundle.slot_width[bundle.register_commits[index][1]]
+
+    candidates.sort(key=lambda index: (-width_of(index), index))
+    try:
+        from ..sim import Simulator
+        from ..workloads.stimulus import workload_for
+
+        workloads = [
+            workload_for(design or bundle.design_name, seed=seed)
+            for seed in probe_seeds
+        ]
+    except KeyError:
+        # No registered workload for this design name: static fallback.
+        return candidates[0]
+
+    outputs = sorted(set(bundle.output_slots) & set(bundle.signal_slots))
+
+    def output_trace(probe_bundle: OimBundle, workload) -> List[List[int]]:
+        simulator = Simulator(probe_bundle)
+        trace = []
+        for cycle in range(probe_cycles):
+            workload.apply(simulator, cycle)
+            trace.append([simulator.peek(name) for name in outputs])
+            simulator.step()
+        return trace
+
+    # Pass 1 (cheap): one clean run per seed records the reference output
+    # trace and which candidate registers ever set their MSB.
+    references = []
+    msb_under_all = set(candidates)
+    for workload in workloads:
+        simulator = Simulator(bundle)
+        trace = []
+        reached: Set[int] = set()
+        for cycle in range(probe_cycles):
+            workload.apply(simulator, cycle)
+            trace.append([simulator.peek(name) for name in outputs])
+            simulator.step()
+            values = simulator.values
+            for index in candidates:
+                state, next_slot = bundle.register_commits[index]
+                if values[state] >> (bundle.slot_width[next_slot] - 1):
+                    reached.add(index)
+        references.append(trace)
+        msb_under_all &= reached
+    ordered = (
+        sorted(msb_under_all, key=lambda index: (-width_of(index), index))
+        or candidates
+    )
+
+    # Pass 2: test-inject the survivors and check output observability.
+    fallback: Optional[int] = None
+    for index in ordered[:16]:
+        buggy, _ = inject_mask_bug(bundle, index)
+        hits = sum(
+            output_trace(buggy, workload) != reference
+            for workload, reference in zip(workloads, references)
+        )
+        if hits == len(workloads):
+            return index
+        if hits and fallback is None:
+            fallback = index
+    return fallback if fallback is not None else ordered[0]
+
+
+def inject_mask_bug(
+    bundle: OimBundle, index: Optional[int] = None
+) -> Tuple[OimBundle, int]:
+    """A copy of ``bundle`` with one register's update mask one bit
+    narrow -- the op feeding commit ``index`` truncates its result to
+    ``width - 1`` bits, silently dropping the MSB.
+
+    Kernels mask every op result by the destination slot's declared
+    width, so narrowing ``slot_width[next_slot]`` in the copy is exactly
+    a flipped primop mask; the original bundle (and anything sharing its
+    layer/commit lists) is untouched.
+    """
+    if index is None or index < 0:
+        index = pick_buggy_commit(bundle)
+    if not 0 <= index < len(bundle.register_commits):
+        raise IndexError(
+            f"commit index {index} out of range for "
+            f"{len(bundle.register_commits)} register commits"
+        )
+    _state, next_slot = bundle.register_commits[index]
+    if bundle.slot_width[next_slot] <= 1:
+        raise ValueError(
+            f"commit {index} updates a 1-bit register; a narrowed mask "
+            "would pin it to 0 constantly (pick a multi-bit register)"
+        )
+    widths = list(bundle.slot_width)
+    widths[next_slot] -= 1
+    return dataclasses.replace(bundle, slot_width=widths), index
+
+
+def build_buggy_engine(design: str, lanes: int, index: int = -1):
+    """``(name, engine)`` for the injected-bug arm of a fuzz fleet."""
+    bundle = compile_named_design(design)
+    picked = pick_buggy_commit(bundle, design) if index < 0 else index
+    buggy, picked = inject_mask_bug(bundle, picked)
+    return f"buggy-mask{picked}", ScalarFleet(buggy, lanes)
+
+
+# ----------------------------------------------------------------------
+# Coverage
+# ----------------------------------------------------------------------
+class CoverageFleet(ScalarFleet):
+    """The scalar reference fleet, instrumented for coverage.
+
+    Substitutes for ``scalar`` in a lockstep fleet: ``step`` additionally
+    diffs each lane's register state and settled signal slots against
+    the previous cycle, accumulating toggle counts.  Cost is one linear
+    pass over (registers + signals) per lane per cycle -- no change to
+    simulation semantics, no extra kernel work.
+    """
+
+    def __init__(self, design, lanes: int, kernel="PSU") -> None:
+        super().__init__(design, lanes, kernel=kernel)
+        bundle = self.sims[0].bundle
+        self._reg_slots = [state for state, _next in bundle.register_commits]
+        self._sig_slots = sorted(set(bundle.signal_slots.values()))
+        self.begin_run()
+
+    def begin_run(self) -> None:
+        """Zero the per-run counters and re-prime the previous-value
+        snapshots from current state (call after ``reset``)."""
+        self._reg_toggles: Dict[int, int] = {}
+        self._sig_toggled: Set[int] = set()
+        self._prev_reg = [
+            [sim.values[slot] for slot in self._reg_slots] for sim in self.sims
+        ]
+        self._prev_sig = [
+            [None] * len(self._sig_slots) for _ in self.sims
+        ]
+
+    def reset(self) -> None:
+        super().reset()
+        self.begin_run()
+
+    def step(self, cycles: int = 1) -> None:
+        for _ in range(cycles):
+            for lane, sim in enumerate(self.sims):
+                sim._settle()
+                values = sim.values
+                previous = self._prev_sig[lane]
+                for position, slot in enumerate(self._sig_slots):
+                    value = values[slot]
+                    if previous[position] is None:
+                        previous[position] = value
+                    elif previous[position] != value:
+                        previous[position] = value
+                        self._sig_toggled.add(slot)
+            super().step(1)
+            for lane, sim in enumerate(self.sims):
+                values = sim.values
+                previous = self._prev_reg[lane]
+                for position, slot in enumerate(self._reg_slots):
+                    value = values[slot]
+                    if previous[position] != value:
+                        previous[position] = value
+                        self._reg_toggles[slot] = (
+                            self._reg_toggles.get(slot, 0) + 1
+                        )
+
+    def features(self) -> FrozenSet[Feature]:
+        """This run's coverage feature set (bucketed toggles + cones)."""
+        features: Set[Feature] = {("sig", slot) for slot in self._sig_toggled}
+        for slot, count in self._reg_toggles.items():
+            features.add(("reg", slot, count.bit_length()))
+        return frozenset(features)
+
+
+# ----------------------------------------------------------------------
+# Mutators
+# ----------------------------------------------------------------------
+def _clone(artifact: ReplayArtifact) -> ReplayArtifact:
+    return ReplayArtifact(
+        design=artifact.design,
+        fingerprint=artifact.fingerprint,
+        lanes=artifact.lanes,
+        cycles=artifact.cycles,
+        inputs={
+            name: [list(lane) for lane in rows]
+            for name, rows in artifact.inputs.items()
+        },
+        seed=artifact.seed,
+        origin="fuzz",
+        meta=dict(artifact.meta),
+    )
+
+
+def mutate_bitflip(
+    artifact: ReplayArtifact, rng: random.Random, widths: Dict[str, int]
+) -> None:
+    """Flip 1..4 random bits across the input matrix (width-masked)."""
+    names = sorted(artifact.inputs)
+    for _ in range(rng.randint(1, 4)):
+        name = rng.choice(names)
+        width = max(1, widths.get(name, 1))
+        lane = rng.randrange(artifact.lanes)
+        cycle = rng.randrange(artifact.cycles)
+        artifact.inputs[name][lane][cycle] ^= 1 << rng.randrange(width)
+
+
+def mutate_splice(artifact: ReplayArtifact, rng: random.Random) -> None:
+    """Copy a cycle window of one lane's whole stimulus onto another lane
+    (or, single-lane, onto another time offset) -- AFL's splice, lane-wise."""
+    start = rng.randrange(artifact.cycles)
+    length = rng.randint(1, max(1, artifact.cycles - start))
+    if artifact.lanes > 1:
+        source, target = rng.sample(range(artifact.lanes), 2)
+        for rows in artifact.inputs.values():
+            rows[target][start:start + length] = rows[source][start:start + length]
+    else:
+        target_start = rng.randrange(artifact.cycles)
+        for rows in artifact.inputs.values():
+            window = rows[0][start:start + length]
+            rows[0][target_start:target_start + len(window)] = window
+            del rows[0][artifact.cycles:]
+
+
+def mutate_jitter(artifact: ReplayArtifact, rng: random.Random) -> None:
+    """Shift one lane's whole stimulus by +-1 cycle (edges hold), jittering
+    event timing relative to the design's internal state machines."""
+    lane = rng.randrange(artifact.lanes)
+    if rng.random() < 0.5:
+        for rows in artifact.inputs.values():
+            row = rows[lane]
+            rows[lane] = [row[0]] + row[:-1]
+    else:
+        for rows in artifact.inputs.values():
+            row = rows[lane]
+            rows[lane] = row[1:] + [row[-1]]
+
+
+def mutate(
+    artifact: ReplayArtifact, rng: random.Random, widths: Dict[str, int]
+) -> ReplayArtifact:
+    """One mutated child (bit flips weighted over splice/jitter)."""
+    child = _clone(artifact)
+    choice = rng.random()
+    if choice < 0.6:
+        mutate_bitflip(child, rng, widths)
+    elif choice < 0.8:
+        mutate_splice(child, rng)
+    else:
+        mutate_jitter(child, rng)
+    return child
+
+
+# ----------------------------------------------------------------------
+# Minimisation
+# ----------------------------------------------------------------------
+def minimise(
+    artifact: ReplayArtifact,
+    check: Callable[[ReplayArtifact], Optional[FleetDiff]],
+    budget: int = 400,
+) -> Tuple[ReplayArtifact, FleetDiff]:
+    """Shrink a failing artifact while ``check`` still reports a diff.
+
+    Greedy three-phase delta debugging: truncate to just past the
+    divergence cycle, drop to the diverging lane alone, then zero every
+    stimulus value that isn't needed to keep the failure alive.
+    ``budget`` caps the number of ``check`` invocations.
+    """
+    divergence = check(artifact)
+    if divergence is None:
+        raise ValueError("minimise() needs a failing artifact")
+    checks = 1
+
+    cut = divergence.diff.cycle + 1
+    if cut < artifact.cycles and checks < budget:
+        candidate = artifact.truncated(cut)
+        candidate.origin = artifact.origin
+        result = check(candidate)
+        checks += 1
+        if result is not None:
+            artifact, divergence = candidate, result
+
+    lane = divergence.diff.lane
+    if lane is not None and artifact.lanes > 1 and checks < budget:
+        candidate = artifact.subset([lane])
+        candidate.origin = artifact.origin
+        result = check(candidate)
+        checks += 1
+        if result is not None:
+            artifact, divergence = candidate, result
+
+    for name in sorted(artifact.inputs):
+        for lane_index in range(artifact.lanes):
+            row = artifact.inputs[name][lane_index]
+            for cycle in range(artifact.cycles):
+                if row[cycle] == 0:
+                    continue
+                if checks >= budget:
+                    return artifact, divergence
+                saved = row[cycle]
+                row[cycle] = 0
+                result = check(artifact)
+                checks += 1
+                if result is None:
+                    row[cycle] = saved
+                else:
+                    divergence = result
+    return artifact, divergence
+
+
+# ----------------------------------------------------------------------
+# The fuzz loop
+# ----------------------------------------------------------------------
+@dataclass
+class FuzzFailure:
+    """A minimised divergence, persisted and reproducible."""
+
+    artifact: ReplayArtifact
+    divergence: FleetDiff
+    path: Optional[Path] = None
+
+    @property
+    def repro(self) -> str:
+        if self.path is None:
+            return "(artifact not saved; pass out_dir= to persist)"
+        return repro_command(self.path)
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzz campaign."""
+
+    design: str
+    runs: int = 0
+    corpus_size: int = 0
+    new_coverage_runs: int = 0
+    coverage: int = 0
+    failure: Optional[FuzzFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def summary(self) -> str:
+        head = (
+            f"fuzz {self.design}: {self.runs} runs, corpus {self.corpus_size} "
+            f"(+{self.new_coverage_runs} new-coverage), "
+            f"{self.coverage} coverage features"
+        )
+        if self.failure is None:
+            return f"{head} -- no divergence"
+        diff = self.failure.divergence
+        return (
+            f"{head}\n"
+            f"  FAIL: {diff.simulator!r} diverges from {diff.reference!r} on "
+            f"{diff.diff.signal!r} at cycle {diff.diff.cycle}, lane "
+            f"{diff.diff.lane}: expected {diff.diff.expected}, got "
+            f"{diff.diff.actual}\n"
+            f"  minimised to {self.failure.artifact.lanes} lane(s) x "
+            f"{self.failure.artifact.cycles} cycle(s)\n"
+            f"  repro: {self.failure.repro}"
+        )
+
+
+def load_corpus(
+    corpus_dir: Union[str, Path], design: str
+) -> List[ReplayArtifact]:
+    """Every artifact in ``corpus_dir`` recorded for ``design`` against
+    the *current* design fingerprint (stale entries are skipped, not
+    fatal: the corpus survives design evolution)."""
+    directory = Path(corpus_dir)
+    if not directory.is_dir():
+        return []
+    fingerprint = design_fingerprint(design)
+    corpus = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            artifact = ReplayArtifact.load(path)
+        except (ValueError, KeyError):
+            continue
+        if artifact.design == design and artifact.fingerprint == fingerprint:
+            corpus.append(artifact)
+    return corpus
+
+
+class _FleetCache:
+    """Lockstep fleets keyed by lane count, reset between runs."""
+
+    def __init__(
+        self,
+        design: str,
+        engines: Sequence[str],
+        inject_bug: Optional[int],
+    ) -> None:
+        self.design = design
+        self.engines = list(engines)
+        self.inject_bug = inject_bug
+        self._fleets: Dict[int, Dict[str, object]] = {}
+
+    def fleet(self, lanes: int) -> Dict[str, object]:
+        cached = self._fleets.get(lanes)
+        if cached is not None:
+            for engine in cached.values():
+                engine.reset()
+            cached["scalar"].begin_run()
+            return cached
+        fleet: Dict[str, object] = {
+            "scalar": CoverageFleet(compile_named_design(self.design), lanes)
+        }
+        for name in self.engines:
+            if name == "scalar":
+                continue
+            fleet[name] = build_engine(spec_from_name(name), self.design, lanes)
+        if self.inject_bug is not None:
+            name, engine = build_buggy_engine(
+                self.design, lanes, self.inject_bug
+            )
+            fleet[name] = engine
+        self._fleets[lanes] = fleet
+        return fleet
+
+    def close(self) -> None:
+        for fleet in self._fleets.values():
+            for engine in fleet.values():
+                close = getattr(engine, "close", None)
+                if close is not None:
+                    close()
+        self._fleets.clear()
+
+
+def fuzz(
+    design: str,
+    runs: int = 64,
+    seed: int = 0,
+    lanes: int = 2,
+    cycles: int = 16,
+    corpus_dir: Optional[Union[str, Path]] = None,
+    out_dir: Optional[Union[str, Path]] = None,
+    engines: Optional[Sequence[str]] = None,
+    inject_bug: Optional[int] = None,
+    save_corpus: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzResult:
+    """Run one coverage-guided fuzz campaign.
+
+    Seeds from ``corpus_dir`` (recording a fresh seeded workload when the
+    corpus is empty or stale), then mutates for ``runs`` iterations:
+    every candidate runs the engine fleet in lockstep; candidates adding
+    coverage join the corpus (persisted back to ``corpus_dir`` when
+    ``save_corpus``); the first divergence is minimised and saved under
+    ``out_dir`` with a replay repro command.  ``inject_bug`` adds the
+    :func:`inject_mask_bug` canary arm (``-1`` picks the default site).
+    """
+    rng = random.Random(seed)
+    widths = {
+        name: compile_named_design(design).slot_width[slot]
+        for name, slot in compile_named_design(design).input_slots.items()
+    }
+    engine_names = list(engines) if engines else default_engines()
+    cache = _FleetCache(design, engine_names, inject_bug)
+    watch = observable_outputs(design)
+    result = FuzzResult(design=design)
+    say = log if log is not None else (lambda _msg: None)
+
+    def run_one(artifact: ReplayArtifact):
+        fleet = cache.fleet(artifact.lanes)
+        traces = run_lockstep(
+            fleet, artifact.stimulus(), watch, artifact.cycles
+        )
+        divergence = first_divergence(traces, reference="scalar")
+        return divergence, fleet["scalar"].features()
+
+    def fail(artifact: ReplayArtifact) -> FuzzResult:
+        minimised, divergence = minimise(
+            artifact, lambda candidate: run_one(candidate)[0]
+        )
+        minimised.meta["engines"] = list(cache.fleet(minimised.lanes))
+        if inject_bug is not None:
+            picked = inject_bug
+            if picked < 0:
+                picked = pick_buggy_commit(compile_named_design(design), design)
+            minimised.meta["inject_bug"] = picked
+        minimised.meta["divergence"] = (
+            f"{divergence.simulator} vs {divergence.reference}: "
+            f"{divergence.diff.signal} cycle {divergence.diff.cycle} "
+            f"lane {divergence.diff.lane}"
+        )
+        sign_artifact(minimised)
+        result.coverage = len(coverage)
+        result.corpus_size = len(corpus)
+        path = None
+        if out_dir is not None:
+            directory = Path(out_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = minimised.save(
+                directory / f"fail-{design}-{minimised.digest()}.json"
+            )
+        result.failure = FuzzFailure(minimised, divergence, path)
+        say(result.summary())
+        return result
+
+    try:
+        corpus = load_corpus(corpus_dir, design) if corpus_dir else []
+        if not corpus:
+            from .replay import record_seeded
+
+            corpus = [
+                record_seeded(design, lanes=lanes, cycles=cycles, seed=seed,
+                              sign=False)
+            ]
+            if corpus_dir is not None and save_corpus:
+                directory = Path(corpus_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                corpus[0].save(
+                    directory / f"seed-{design}-{corpus[0].digest()}.json"
+                )
+        say(f"fuzz {design}: corpus of {len(corpus)}, {runs} runs")
+
+        coverage: Set[Feature] = set()
+        for artifact in corpus:
+            divergence, features = run_one(artifact)
+            result.runs += 1
+            coverage |= features
+            if divergence is not None:
+                return fail(artifact)
+
+        mutation_runs = 0
+        while mutation_runs < runs:
+            mutation_runs += 1
+            parent = rng.choice(corpus)
+            candidate = mutate(parent, rng, widths)
+            divergence, features = run_one(candidate)
+            result.runs += 1
+            if divergence is not None:
+                return fail(candidate)
+            fresh = features - coverage
+            if fresh:
+                coverage |= features
+                corpus.append(candidate)
+                result.new_coverage_runs += 1
+                if corpus_dir is not None and save_corpus:
+                    directory = Path(corpus_dir)
+                    directory.mkdir(parents=True, exist_ok=True)
+                    candidate.save(
+                        directory / f"fuzz-{design}-{candidate.digest()}.json"
+                    )
+                say(
+                    f"  run {result.runs}: +{len(fresh)} features "
+                    f"(corpus {len(corpus)})"
+                )
+        result.coverage = len(coverage)
+        result.corpus_size = len(corpus)
+        say(result.summary())
+        return result
+    finally:
+        result.corpus_size = max(result.corpus_size, 0)
+        cache.close()
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.experiments fuzz --design rocket-1 --runs 64
+# ----------------------------------------------------------------------
+def cli(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+    import os
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments fuzz",
+        description=(
+            "Coverage-guided differential fuzzing: mutate the replay "
+            "corpus, run the engine fleet in lockstep, minimise any "
+            "divergence to a replayable artifact."
+        ),
+    )
+    parser.add_argument("--design", default="rocket-1")
+    parser.add_argument("--all-designs", action="store_true",
+                        help="fuzz every standard registry design")
+    parser.add_argument("--runs", type=int,
+                        default=int(os.environ.get("REPRO_FUZZ_RUNS", "64")))
+    parser.add_argument("--seed", type=int,
+                        default=int(os.environ.get("REPRO_FUZZ_BASE_SEED", "0")))
+    parser.add_argument("--lanes", type=int, default=2)
+    parser.add_argument("--cycles", type=int,
+                        default=int(os.environ.get("REPRO_FUZZ_CYCLES", "16")))
+    parser.add_argument("--corpus", default="",
+                        help="corpus directory (loaded and grown)")
+    parser.add_argument("--out", default="fuzz-failures",
+                        help="directory for minimised failure artifacts")
+    parser.add_argument("--engines", default="",
+                        help="comma-separated engine names (default "
+                             "scalar + one batched arm)")
+    parser.add_argument("--inject-bug", type=int, nargs="?", const=-1,
+                        default=None, metavar="COMMIT",
+                        help="add the injected mask-bug canary arm "
+                             "(optional register-commit index; default "
+                             "picks the widest register)")
+    args = parser.parse_args(argv)
+
+    if args.all_designs:
+        from ..designs.registry import standard_designs
+
+        designs = standard_designs()
+    else:
+        designs = [args.design]
+    engines = [name for name in args.engines.split(",") if name] or None
+    failures = 0
+    for design in designs:
+        result = fuzz(
+            design,
+            runs=args.runs,
+            seed=args.seed,
+            lanes=args.lanes,
+            cycles=args.cycles,
+            corpus_dir=args.corpus or None,
+            out_dir=args.out,
+            engines=engines,
+            inject_bug=args.inject_bug,
+            log=print,
+        )
+        if not result.ok:
+            failures += 1
+    return 1 if failures else 0

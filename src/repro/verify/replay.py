@@ -1,0 +1,547 @@
+"""Replayable stimulus artifacts: record once, replay on any engine.
+
+A :class:`ReplayArtifact` is a versioned JSON file holding a *dense*
+per-lane per-cycle input matrix for one registry design, plus a design
+fingerprint (hash of the generated FIRRTL source) and the observable
+output signatures of a reference run.  Artifacts are the repo's common
+currency for stimulus:
+
+* seeded workloads (:func:`record_seeded`) and hand-driven
+  :class:`~repro.sim.Testbench` stimulus (:func:`record_stimulus`)
+  flatten to the same dense form;
+* :func:`replay` re-runs an artifact on any engine matrix
+  (:mod:`repro.verify.differential` names) and diffs the traces, so a
+  failure found anywhere reproduces everywhere with one CLI line;
+* the coverage-guided fuzzer (:mod:`repro.verify.fuzz`) mutates the
+  dense matrix directly and minimises failures back into artifacts;
+* ``tests/corpus/`` ships a starter corpus, and the nightly CI fuzz
+  grows its own across runs.
+
+The design fingerprint makes staleness loud: replaying an artifact
+recorded against a different generator version fails with a clear
+message instead of silently diffing unrelated designs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..designs.registry import compile_named_design, get_design
+from ..firrtl.primops import mask
+from ..sim import FleetDiff, first_divergence, run_lockstep
+from ..workloads.stimulus import BatchWorkload, Workload
+from .differential import (
+    EngineSpec,
+    build_engine,
+    observable_outputs,
+    spec_from_name,
+)
+
+REPLAY_VERSION = 1
+
+
+def design_fingerprint(design: str) -> str:
+    """A short stable hash of the design's generated FIRRTL source."""
+    source = get_design(design)
+    return hashlib.sha256(source.encode()).hexdigest()[:16]
+
+
+def _trace_digest(rows: Sequence[Sequence[int]]) -> str:
+    """Digest of one signal's lane-major value matrix."""
+    canonical = json.dumps([list(map(int, lane)) for lane in rows])
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def default_engines() -> List[str]:
+    """The cheap replay matrix: the scalar reference plus one batched
+    arm (NumPy when present, the pure-Python fallback otherwise)."""
+    from ..batch import HAS_NUMPY
+
+    return ["scalar", "batch-auto" if HAS_NUMPY else "batch-python"]
+
+
+@dataclass
+class ReplayArtifact:
+    """A recorded workload: dense inputs + fingerprint + signatures."""
+
+    design: str
+    fingerprint: str
+    lanes: int
+    cycles: int
+    #: ``{input: [[per-cycle values] per lane]}`` -- every input poked
+    #: every cycle, so replay is order-independent and mutation-friendly.
+    inputs: Dict[str, List[List[int]]]
+    #: ``{output signal: digest of its lane-major reference trace}``.
+    signature: Dict[str, str] = field(default_factory=dict)
+    seed: Optional[int] = None
+    origin: str = "recorded"
+    #: Free-form provenance: engine list, injected-bug spec, notes --
+    #: everything :func:`replay` needs to reproduce a failure verbatim.
+    meta: Dict[str, object] = field(default_factory=dict)
+    version: int = REPLAY_VERSION
+
+    # ------------------------------------------------------------------
+    # Stimulus adaptation
+    # ------------------------------------------------------------------
+    def stimulus(self) -> BatchWorkload:
+        """The artifact as a :class:`~repro.workloads.BatchWorkload`.
+
+        Dense values drive each lane; cycles past the recorded horizon
+        hold the final value (replay never runs past ``self.cycles``,
+        but trailing reads must stay defined).
+        """
+        def driver(values: List[int]):
+            return lambda cycle: values[cycle] if cycle < len(values) else values[-1]
+
+        lanes = []
+        for lane in range(self.lanes):
+            drivers = {
+                name: driver(rows[lane]) for name, rows in self.inputs.items()
+            }
+            lanes.append(Workload(f"{self.origin}[{lane}]", drivers))
+        return BatchWorkload(f"{self.design}-replay", lanes)
+
+    def subset(self, lanes: Sequence[int]) -> "ReplayArtifact":
+        """A new artifact of only the selected lanes (same order)."""
+        picked = list(lanes)
+        if not picked:
+            raise ValueError("subset() selected no lanes")
+        return ReplayArtifact(
+            design=self.design,
+            fingerprint=self.fingerprint,
+            lanes=len(picked),
+            cycles=self.cycles,
+            inputs={
+                name: [list(rows[lane]) for lane in picked]
+                for name, rows in self.inputs.items()
+            },
+            seed=self.seed,
+            origin=f"{self.origin}+lanes{picked}",
+            meta=dict(self.meta),
+        )
+
+    def truncated(self, cycles: int) -> "ReplayArtifact":
+        """A new artifact cut to the first ``cycles`` cycles."""
+        if not 0 < cycles <= self.cycles:
+            raise ValueError(
+                f"cycles must be in 1..{self.cycles}, got {cycles}"
+            )
+        return ReplayArtifact(
+            design=self.design,
+            fingerprint=self.fingerprint,
+            lanes=self.lanes,
+            cycles=cycles,
+            inputs={
+                name: [list(lane[:cycles]) for lane in rows]
+                for name, rows in self.inputs.items()
+            },
+            seed=self.seed,
+            origin=f"{self.origin}+cut{cycles}",
+            meta=dict(self.meta),
+        )
+
+    def digest(self) -> str:
+        """Content digest of the stimulus (corpus file naming/dedup)."""
+        canonical = json.dumps(
+            {
+                "design": self.design,
+                "fingerprint": self.fingerprint,
+                "inputs": self.inputs,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "version": self.version,
+            "design": self.design,
+            "fingerprint": self.fingerprint,
+            "lanes": self.lanes,
+            "cycles": self.cycles,
+            "seed": self.seed,
+            "origin": self.origin,
+            "inputs": self.inputs,
+            "signature": self.signature,
+            "meta": self.meta,
+        }
+        return json.dumps(payload, indent=1, sort_keys=True)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReplayArtifact":
+        payload = json.loads(text)
+        version = payload.get("version")
+        if version != REPLAY_VERSION:
+            raise ValueError(
+                f"replay artifact version {version!r} is not supported "
+                f"(this build reads version {REPLAY_VERSION})"
+            )
+        required = ("design", "fingerprint", "lanes", "cycles", "inputs")
+        missing = [key for key in required if key not in payload]
+        if missing:
+            raise ValueError(f"replay artifact missing keys: {missing}")
+        artifact = cls(
+            design=payload["design"],
+            fingerprint=payload["fingerprint"],
+            lanes=int(payload["lanes"]),
+            cycles=int(payload["cycles"]),
+            inputs={
+                name: [[int(v) for v in lane] for lane in rows]
+                for name, rows in payload["inputs"].items()
+            },
+            signature=dict(payload.get("signature", {})),
+            seed=payload.get("seed"),
+            origin=payload.get("origin", "recorded"),
+            meta=dict(payload.get("meta", {})),
+        )
+        for name, rows in artifact.inputs.items():
+            if len(rows) != artifact.lanes:
+                raise ValueError(
+                    f"input {name!r} has {len(rows)} lanes, artifact "
+                    f"declares {artifact.lanes}"
+                )
+            for lane in rows:
+                if len(lane) != artifact.cycles:
+                    raise ValueError(
+                        f"input {name!r} has a {len(lane)}-cycle lane, "
+                        f"artifact declares {artifact.cycles}"
+                    )
+        return artifact
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ReplayArtifact":
+        return cls.from_json(Path(path).read_text())
+
+    def check_fingerprint(self) -> None:
+        current = design_fingerprint(self.design)
+        if current != self.fingerprint:
+            raise ValueError(
+                f"artifact was recorded against {self.design!r} fingerprint "
+                f"{self.fingerprint}, but the current generator produces "
+                f"{current}; re-record the artifact (the design changed)"
+            )
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+def _input_widths(design: str) -> Dict[str, int]:
+    bundle = compile_named_design(design)
+    return {
+        name: bundle.slot_width[slot]
+        for name, slot in bundle.input_slots.items()
+    }
+
+
+def record_seeded(
+    design: str,
+    lanes: int = 2,
+    cycles: int = 16,
+    seed: int = 0,
+    sign: bool = True,
+) -> ReplayArtifact:
+    """Record the design's Table-3 workload as a dense artifact.
+
+    Evaluates :func:`repro.workloads.batched_workload_for` drivers
+    cycle by cycle -- no simulation needed for the inputs -- then (with
+    ``sign=True``) runs the scalar reference once for the observable
+    output signatures.
+    """
+    from ..workloads.stimulus import batched_workload_for
+
+    workload = batched_workload_for(design, lanes, base_seed=seed)
+    widths = _input_widths(design)
+    inputs: Dict[str, List[List[int]]] = {}
+    for name in workload.lanes[0].drivers:
+        if name not in widths:
+            continue
+        inputs[name] = [
+            [
+                mask(int(workload.lanes[lane].drivers[name](cycle)), widths[name])
+                for cycle in range(cycles)
+            ]
+            for lane in range(lanes)
+        ]
+    artifact = ReplayArtifact(
+        design=design,
+        fingerprint=design_fingerprint(design),
+        lanes=lanes,
+        cycles=cycles,
+        inputs=inputs,
+        seed=seed,
+        origin="seeded",
+    )
+    if sign:
+        sign_artifact(artifact)
+    return artifact
+
+
+def record_stimulus(
+    design: str,
+    stimulus: Dict[str, object],
+    cycles: int,
+    lanes: int = 1,
+    origin: str = "testbench",
+    sign: bool = True,
+) -> ReplayArtifact:
+    """Flatten hand-written :class:`~repro.sim.Testbench`-style stimulus
+    (``{input: [values] | callable(cycle)}``) into a dense artifact.
+
+    Per-cycle values may be ints (broadcast across lanes) or lane
+    vectors; cycles past a list's end hold its last value (matching
+    :meth:`ReplayArtifact.stimulus` replay semantics).  Inputs the
+    stimulus does not drive are recorded as constant 0, which is what
+    the engines default them to -- replay is exact, not approximate.
+    """
+    widths = _input_widths(design)
+    inputs: Dict[str, List[List[int]]] = {}
+
+    def value_at(spec, cycle: int):
+        if callable(spec):
+            return spec(cycle)
+        if isinstance(spec, int):
+            return spec
+        if not len(spec):
+            return 0
+        return spec[cycle] if cycle < len(spec) else spec[-1]
+
+    for name, width in widths.items():
+        spec = stimulus.get(name)
+        rows: List[List[int]] = [[] for _ in range(lanes)]
+        for cycle in range(cycles):
+            raw = 0 if spec is None else value_at(spec, cycle)
+            if isinstance(raw, (list, tuple)):
+                if len(raw) != lanes:
+                    raise ValueError(
+                        f"stimulus {name!r} cycle {cycle}: lane vector of "
+                        f"{len(raw)} values for {lanes} lanes"
+                    )
+                lane_values = [mask(int(v), width) for v in raw]
+            else:
+                lane_values = [mask(int(raw), width)] * lanes
+            for lane in range(lanes):
+                rows[lane].append(lane_values[lane])
+        inputs[name] = rows
+    artifact = ReplayArtifact(
+        design=design,
+        fingerprint=design_fingerprint(design),
+        lanes=lanes,
+        cycles=cycles,
+        inputs=inputs,
+        origin=origin,
+    )
+    if sign:
+        sign_artifact(artifact)
+    return artifact
+
+
+def sign_artifact(artifact: ReplayArtifact) -> ReplayArtifact:
+    """(Re)compute observable output signatures on the scalar reference."""
+    from .differential import ScalarFleet
+
+    fleet = ScalarFleet(compile_named_design(artifact.design), artifact.lanes)
+    watch = observable_outputs(artifact.design)
+    traces = run_lockstep(
+        {"scalar": fleet}, artifact.stimulus(), watch, artifact.cycles
+    )
+    artifact.signature = {
+        name: _trace_digest(rows) for name, rows in traces["scalar"].items()
+    }
+    return artifact
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one artifact on an engine matrix."""
+
+    artifact: ReplayArtifact
+    engines: List[str]
+    divergence: Optional[FleetDiff] = None
+    #: Signals whose reference trace digest no longer matches the
+    #: recorded signature (empty when signatures were not checked).
+    signature_mismatches: List[str] = field(default_factory=list)
+    traces: Optional[Dict[str, Dict[str, list]]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None and not self.signature_mismatches
+
+    def summary(self) -> str:
+        matrix = ", ".join(self.engines)
+        where = (
+            f"{self.artifact.design} origin={self.artifact.origin} "
+            f"lanes={self.artifact.lanes} cycles={self.artifact.cycles}"
+        )
+        if self.ok:
+            return f"replay OK: {where} [{matrix}]"
+        parts = [f"replay FAIL: {where}"]
+        if self.divergence is not None:
+            parts.append(f"  divergence: {self.divergence}")
+        if self.signature_mismatches:
+            parts.append(
+                "  signature drift on: "
+                + ", ".join(self.signature_mismatches)
+            )
+        return "\n".join(parts)
+
+
+def _resolve_engines(
+    artifact: ReplayArtifact,
+    engines: Optional[Sequence[str]],
+) -> List[str]:
+    if engines:
+        return list(engines)
+    recorded = artifact.meta.get("engines")
+    if isinstance(recorded, list) and recorded:
+        return [str(name) for name in recorded]
+    return default_engines()
+
+
+def build_replay_fleet(
+    artifact: ReplayArtifact,
+    engines: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Engines for an artifact: named matrix arms, plus the artifact's
+    recorded injected-bug arm (``meta.inject_bug``) when present."""
+    names = _resolve_engines(artifact, engines)
+    fleet: Dict[str, object] = {}
+    for name in names:
+        if name.startswith("buggy"):
+            continue  # reconstructed from meta below
+        spec: EngineSpec = spec_from_name(name)
+        fleet[name] = build_engine(spec, artifact.design, artifact.lanes)
+    inject = artifact.meta.get("inject_bug")
+    if inject is not None:
+        from .fuzz import build_buggy_engine
+
+        name, engine = build_buggy_engine(
+            artifact.design, artifact.lanes, int(inject)
+        )
+        fleet[name] = engine
+    return fleet
+
+
+def replay(
+    artifact: ReplayArtifact,
+    engines: Optional[Sequence[str]] = None,
+    check_fingerprint: bool = True,
+    check_signature: bool = True,
+    keep_traces: bool = False,
+) -> ReplayResult:
+    """Re-run an artifact on an engine matrix and diff the traces.
+
+    The reference is ``scalar`` when present (else the first engine);
+    with ``check_signature=True`` the reference trace is also diffed
+    against the recorded signatures, catching *semantic* drift of the
+    simulator itself (all engines agreeing on a new wrong answer).
+    """
+    if check_fingerprint:
+        artifact.check_fingerprint()
+    fleet = build_replay_fleet(artifact, engines)
+    names = list(fleet)
+    reference = "scalar" if "scalar" in fleet else names[0]
+    watch = observable_outputs(artifact.design)
+    try:
+        traces = run_lockstep(
+            fleet, artifact.stimulus(), watch, artifact.cycles
+        )
+    finally:
+        for engine in fleet.values():
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+    mismatches: List[str] = []
+    if check_signature and artifact.signature:
+        for name, digest in artifact.signature.items():
+            rows = traces[reference].get(name)
+            if rows is None:
+                continue
+            if _trace_digest(rows) != digest:
+                mismatches.append(name)
+    return ReplayResult(
+        artifact=artifact,
+        engines=names,
+        divergence=first_divergence(traces, reference=reference),
+        signature_mismatches=sorted(mismatches),
+        traces=traces if keep_traces else None,
+    )
+
+
+def repro_command(path: Union[str, Path]) -> str:
+    """The one-line CLI reproducing a saved artifact's replay."""
+    return (
+        "PYTHONPATH=src python -m repro.experiments replay "
+        f"--artifact {path}"
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.experiments replay --artifact path.json
+# ----------------------------------------------------------------------
+def cli(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments replay",
+        description=(
+            "Record seeded workloads as replayable stimulus artifacts, "
+            "and replay artifacts on any engine matrix."
+        ),
+    )
+    parser.add_argument("--artifact", default="",
+                        help="replay this artifact JSON file")
+    parser.add_argument("--engines", default="",
+                        help="comma-separated engine names (default: the "
+                             "artifact's recorded matrix, else "
+                             "scalar+batch)")
+    parser.add_argument("--no-signature", action="store_true",
+                        help="skip the recorded-signature check")
+    parser.add_argument("--record", action="store_true",
+                        help="record a seeded workload instead of replaying")
+    parser.add_argument("--design", default="rocket-1")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--lanes", type=int, default=2)
+    parser.add_argument("--cycles", type=int, default=16)
+    parser.add_argument("--out", default="",
+                        help="output path for --record (default: "
+                             "<design>-seeded-<digest>.json)")
+    args = parser.parse_args(argv)
+
+    if args.record:
+        artifact = record_seeded(
+            args.design, lanes=args.lanes, cycles=args.cycles, seed=args.seed
+        )
+        out = args.out or f"{args.design}-seeded-{artifact.digest()}.json"
+        path = artifact.save(out)
+        print(f"recorded {path} ({artifact.lanes} lanes x "
+              f"{artifact.cycles} cycles, fingerprint {artifact.fingerprint})")
+        print(f"  replay: {repro_command(path)}")
+        return 0
+
+    if not args.artifact:
+        parser.error("--artifact is required (or use --record)")
+    artifact = ReplayArtifact.load(args.artifact)
+    engines = [name for name in args.engines.split(",") if name] or None
+    result = replay(
+        artifact, engines=engines, check_signature=not args.no_signature
+    )
+    print(result.summary())
+    if not result.ok:
+        print(f"  repro: {repro_command(args.artifact)}")
+    return 0 if result.ok else 1

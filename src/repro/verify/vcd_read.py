@@ -1,0 +1,332 @@
+"""VCD readback: parse any VCD dump into a ``compare_traces`` trace dict.
+
+The differential harness (PR 5) cross-checks our own engines against
+each other; this module is what lets *external* waves join the matrix as
+oracles.  :func:`parse_vcd` understands the VCD subset every simulator
+emits -- nested ``$scope`` hierarchies, ``$var`` declarations (including
+aliased identifier codes), scalar and binary-vector value changes, and
+``x``/``z`` unknowns -- and :func:`read_vcd_trace` resamples the change
+events into the lane-major ``{signal: [[values] per lane]}`` (or flat
+rank-0 ``{signal: [values]}``) dicts :func:`repro.sim.compare_traces`
+consumes.
+
+Three dialects are handled:
+
+* our own :class:`~repro.sim.VcdWriter` output -- one timestamp per
+  cycle, per-lane ``lane<i>`` scopes in merged documents.  The
+  round-trip ``VcdWriter -> parse_vcd -> trace`` is value-identical,
+  including the ``x`` dumped for never-poked inputs before the first
+  edge (mapped to :data:`repro.sim.UNKNOWN`);
+* external simulator dumps (Verilator, ESSENT, commercial tools) --
+  real timescales where a *clock signal* toggles inside the dump;
+  ``clock=`` samples at that signal's rising edges so wall-clock
+  timestamps collapse to cycle indices;
+* hand-written fixture dumps in tests.
+
+Unknown (``x``) and high-impedance (``z``) digits anywhere in a value
+map the whole sample to :data:`repro.sim.UNKNOWN`, which
+:func:`~repro.sim.compare_traces` documents as a non-diff -- external
+pre-reset ``x`` never false-positives against our defined 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..sim.testbench import UNKNOWN
+
+#: One value change: the value is an int, a float (``r`` real changes),
+#: or the UNKNOWN sentinel.
+_Change = Tuple[int, object]
+
+
+@dataclass(frozen=True)
+class VcdVar:
+    """One ``$var`` declaration: hierarchical path, width, identifier."""
+
+    name: str
+    width: int
+    ident: str
+    scope: Tuple[str, ...] = ()
+
+    @property
+    def path(self) -> str:
+        return ".".join((*self.scope, self.name))
+
+
+@dataclass
+class VcdDocument:
+    """A parsed VCD: declarations plus per-identifier change streams."""
+
+    timescale: str = "1ns"
+    vars: List[VcdVar] = field(default_factory=list)
+    #: Ascending (time, value) changes per identifier code.  Aliased
+    #: ``$var`` declarations (several names, one code) share a stream.
+    changes: Dict[str, List[_Change]] = field(default_factory=dict)
+    #: Every distinct timestamp seen, ascending.
+    times: List[int] = field(default_factory=list)
+
+    @property
+    def end_time(self) -> int:
+        return self.times[-1] if self.times else 0
+
+    def var_named(self, name: str) -> VcdVar:
+        """Look up a declaration by full path, then by bare name."""
+        for var in self.vars:
+            if var.path == name:
+                return var
+        matches = [var for var in self.vars if var.name == name]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise KeyError(
+                f"no signal {name!r} in VCD; signals: "
+                f"{sorted(v.path for v in self.vars)[:20]}"
+            )
+        raise KeyError(
+            f"signal name {name!r} is ambiguous; use a full path from "
+            f"{sorted(v.path for v in matches)}"
+        )
+
+    def values_at(self, ident: str, sample_times: Sequence[int]) -> List[object]:
+        """The identifier's value at each sample time (change-hold
+        semantics); :data:`UNKNOWN` before its first change."""
+        stream = self.changes.get(ident, [])
+        values: List[object] = []
+        position = 0
+        current: object = UNKNOWN
+        for time in sample_times:
+            while position < len(stream) and stream[position][0] <= time:
+                current = stream[position][1]
+                position += 1
+            values.append(current)
+        return values
+
+    def rising_edges(self, clock: str) -> List[int]:
+        """Timestamps where ``clock`` changes to 1."""
+        ident = self.var_named(clock).ident
+        edges: List[int] = []
+        previous: object = UNKNOWN
+        for time, value in self.changes.get(ident, []):
+            if value == 1 and previous != 1:
+                edges.append(time)
+            previous = value
+        return edges
+
+
+def _parse_value(token: str) -> object:
+    """A binary-vector body (after ``b``) to int, or UNKNOWN on x/z."""
+    lowered = token.lower()
+    if "x" in lowered or "z" in lowered:
+        return UNKNOWN
+    return int(token, 2)
+
+
+def parse_vcd(source: Union[str, Path]) -> VcdDocument:
+    """Parse VCD text (or a file path) into a :class:`VcdDocument`.
+
+    Supports the common subset: ``$timescale``/``$scope``/``$var``
+    declarations, ``$dumpvars``/``$dumpall``/``$dumpon``/``$dumpoff``
+    blocks (contents processed as ordinary changes), ``#`` timestamps,
+    scalar changes (``0!``, ``1!``, ``x!``, ``z!``), binary vectors
+    (``b1010 !``, ``bxxxx !``), and real changes (``r3.14 !``).
+    ``$comment`` sections are skipped.
+    """
+    if isinstance(source, Path):
+        text = source.read_text()
+    elif "\n" not in source and source.endswith(".vcd") and Path(source).exists():
+        text = Path(source).read_text()
+    else:
+        text = source
+
+    document = VcdDocument()
+    scope: List[str] = []
+    time = 0
+    seen_times = set()
+    tokens = text.split()
+    index = 0
+    in_definitions = True
+
+    def skip_to_end(start: int) -> int:
+        while start < len(tokens) and tokens[start] != "$end":
+            start += 1
+        return start + 1
+
+    while index < len(tokens):
+        token = tokens[index]
+        if token == "$timescale":
+            end = skip_to_end(index + 1)
+            document.timescale = " ".join(tokens[index + 1:end - 1])
+            index = end
+        elif token == "$scope":
+            # "$scope module name $end"
+            if index + 2 < len(tokens):
+                scope.append(tokens[index + 2])
+            index = skip_to_end(index + 1)
+        elif token == "$upscope":
+            if scope:
+                scope.pop()
+            index = skip_to_end(index + 1)
+        elif token == "$var":
+            # "$var wire 8 ! name [7:0] $end" -- the optional bit range
+            # rides between name and $end.
+            end = skip_to_end(index + 1)
+            body = tokens[index + 1:end - 1]
+            if len(body) < 4:
+                raise ValueError(f"malformed $var: {' '.join(body)!r}")
+            _, width, ident, name = body[0], body[1], body[2], body[3]
+            document.vars.append(
+                VcdVar(name, int(width), ident, tuple(scope))
+            )
+            document.changes.setdefault(ident, [])
+            index = end
+        elif token in ("$comment", "$date", "$version"):
+            index = skip_to_end(index + 1)
+        elif token == "$enddefinitions":
+            in_definitions = False
+            index = skip_to_end(index + 1)
+        elif token in ("$dumpvars", "$dumpall", "$dumpon", "$dumpoff", "$end"):
+            index += 1
+        elif token.startswith("#"):
+            time = int(token[1:])
+            if time not in seen_times:
+                seen_times.add(time)
+                document.times.append(time)
+            index += 1
+        elif token.startswith("b") or token.startswith("B"):
+            value = _parse_value(token[1:])
+            ident = tokens[index + 1]
+            document.changes.setdefault(ident, []).append((time, value))
+            index += 2
+        elif token.startswith("r") or token.startswith("R"):
+            ident = tokens[index + 1]
+            document.changes.setdefault(ident, []).append(
+                (time, float(token[1:]))
+            )
+            index += 2
+        elif token[0] in "01xXzZ" and len(token) > 1 and not in_definitions:
+            digit = token[0].lower()
+            value: object = UNKNOWN if digit in "xz" else int(digit)
+            document.changes.setdefault(token[1:], []).append((time, value))
+            index += 1
+        else:
+            # Unknown directive or stray token: skip it rather than
+            # refusing the whole dump (real tools emit extensions).
+            index += 1
+
+    document.times.sort()
+    return document
+
+
+def _lane_of(var: VcdVar) -> Optional[int]:
+    """The lane index of a ``lane<i>`` scope component, if any."""
+    for component in var.scope:
+        if component.startswith("lane") and component[4:].isdigit():
+            return int(component[4:])
+    return None
+
+
+def read_vcd_trace(
+    source: Union[str, Path, VcdDocument],
+    signals: Optional[Sequence[str]] = None,
+    clock: Optional[str] = None,
+    sample_times: Optional[Sequence[int]] = None,
+    cycles: Optional[int] = None,
+) -> Dict[str, list]:
+    """Resample a VCD into a ``compare_traces``-ready trace dict.
+
+    Parameters
+    ----------
+    source:
+        VCD text, a ``.vcd`` path, or an already-parsed
+        :class:`VcdDocument`.
+    signals:
+        Signal names to extract (bare names or full dotted paths).
+        Defaults to every declared signal (minus ``clock``).
+    clock:
+        For external dumps with real timescales: sample the other
+        signals at this signal's *rising edges* instead of at every
+        timestamp, collapsing wall-clock time to cycle indices.
+    sample_times:
+        Explicit sample timestamps (overrides both defaults).
+    cycles:
+        Pad/truncate to exactly this many samples -- our writer skips
+        trailing quiet cycles, so a caller comparing against a C-cycle
+        testbench trace passes ``cycles=C`` (pad holds the last value).
+
+    Returns a flat ``{signal: [values]}`` dict, or the lane-major
+    ``{signal: [[values] per lane]}`` form when the document declares
+    ``lane<i>`` scopes (a merged :class:`~repro.sim.VcdWriter` dump).
+    Samples before a signal's first change are :data:`repro.sim.UNKNOWN`.
+    """
+    document = source if isinstance(source, VcdDocument) else parse_vcd(source)
+
+    if sample_times is None:
+        if clock is not None:
+            sample_times = document.rising_edges(clock)
+        else:
+            # One sample per timestamp: our writer's time axis is the
+            # cycle index, but quiet cycles are elided -- fill the gaps
+            # so sample i is cycle i.
+            sample_times = list(range(document.end_time + 1))
+    sample_times = list(sample_times)
+    if cycles is not None:
+        if len(sample_times) >= cycles:
+            sample_times = sample_times[:cycles]
+        else:
+            tail = sample_times[-1] if sample_times else 0
+            sample_times = sample_times + [
+                tail for _ in range(cycles - len(sample_times))
+            ]
+
+    lanes = sorted(
+        {_lane_of(var) for var in document.vars} - {None}  # type: ignore[arg-type]
+    )
+    selected = list(signals) if signals is not None else None
+
+    if not lanes:
+        # Keys are bare names where unique (what testbench traces use);
+        # duplicated bare names fall back to the full dotted path.
+        bare_counts: Dict[str, int] = {}
+        for var in document.vars:
+            bare_counts[var.name] = bare_counts.get(var.name, 0) + 1
+        trace: Dict[str, list] = {}
+        for var in document.vars:
+            name = var.name if bare_counts[var.name] == 1 else var.path
+            if selected is not None:
+                if var.path in selected:
+                    name = var.path
+                elif name not in selected:
+                    continue
+            if clock is not None and name == clock:
+                continue
+            trace[name] = document.values_at(var.ident, sample_times)
+        if selected is not None:
+            missing = set(selected) - set(trace)
+            if missing:
+                raise KeyError(
+                    f"signals not in VCD: {sorted(missing)}; available: "
+                    f"{sorted(v.path for v in document.vars)[:20]}"
+                )
+        return trace
+
+    # Lane-scoped merged document: reconstruct the lane-major dict.
+    lane_index = {lane: position for position, lane in enumerate(lanes)}
+    lane_trace: Dict[str, List[list]] = {}
+    for var in document.vars:
+        lane = _lane_of(var)
+        if lane is None:
+            continue
+        if selected is not None and var.name not in selected:
+            continue
+        rows = lane_trace.setdefault(
+            var.name, [[] for _ in lanes]
+        )
+        rows[lane_index[lane]] = document.values_at(var.ident, sample_times)
+    if selected is not None:
+        missing = set(selected) - set(lane_trace)
+        if missing:
+            raise KeyError(f"signals not in VCD lanes: {sorted(missing)}")
+    return lane_trace

@@ -1,0 +1,238 @@
+"""Coverage-guided fuzzing tests.
+
+The acceptance bar: a seeded injected-bug mutant (a flipped primop
+mask -- one register commit narrowed by a bit) is found by the
+coverage-guided fuzzer within a tier-1 budget and minimised to a replay
+artifact whose saved repro command reproduces the failure, while the
+clean engine matrix stays green on the same stimulus.
+"""
+
+import random
+
+import pytest
+
+from repro.designs.registry import compile_named_design
+from repro.sim import run_lockstep
+from repro.verify.fuzz import (
+    CoverageFleet,
+    build_buggy_engine,
+    fuzz,
+    inject_mask_bug,
+    load_corpus,
+    mutate,
+    mutate_bitflip,
+    mutate_jitter,
+    mutate_splice,
+    pick_buggy_commit,
+)
+from repro.verify.replay import ReplayArtifact, record_seeded, replay
+
+DESIGN = "rocket-1"
+
+
+# ----------------------------------------------------------------------
+# The injected bug: a register commit with its mask narrowed by one bit
+# ----------------------------------------------------------------------
+class TestInjectedBug:
+    def test_inject_mask_bug_narrows_one_commit(self):
+        bundle = compile_named_design(DESIGN)
+        buggy, index = inject_mask_bug(bundle)
+        _, next_slot = bundle.register_commits[index]
+        assert buggy.slot_width[next_slot] == bundle.slot_width[next_slot] - 1
+        # Everything else is untouched (the bundle is a fresh copy).
+        assert sum(
+            a != b for a, b in zip(buggy.slot_width, bundle.slot_width)
+        ) == 1
+        assert bundle.slot_width != buggy.slot_width
+
+    def test_pick_buggy_commit_is_observably_buggy(self):
+        """The picked site diverges on outputs, not just internal state."""
+        bundle = compile_named_design(DESIGN)
+        index = pick_buggy_commit(bundle, design=DESIGN)
+        name, engine = build_buggy_engine(DESIGN, lanes=2, index=index)
+        assert name == f"buggy-mask{index}"
+        artifact = record_seeded(DESIGN, lanes=2, cycles=16, sign=False)
+        clean = CoverageFleet(compile_named_design(DESIGN), 2)
+        from repro.sim import first_divergence
+        from repro.verify.differential import observable_outputs
+
+        traces = run_lockstep(
+            {"scalar": clean, name: engine},
+            artifact.stimulus(),
+            observable_outputs(DESIGN),
+            artifact.cycles,
+        )
+        assert first_divergence(traces, reference="scalar") is not None
+
+
+# ----------------------------------------------------------------------
+# Coverage instrumentation
+# ----------------------------------------------------------------------
+class TestCoverageFleet:
+    def test_features_accumulate_under_stimulus(self):
+        fleet = CoverageFleet(compile_named_design(DESIGN), 2)
+        fleet.begin_run()
+        assert fleet.features() == frozenset()
+        artifact = record_seeded(DESIGN, lanes=2, cycles=8, sign=False)
+        workload = artifact.stimulus()
+        for cycle in range(artifact.cycles):
+            workload.apply(fleet, cycle)
+            fleet.step()
+        features = fleet.features()
+        assert features
+        kinds = {feature[0] for feature in features}
+        assert kinds <= {"reg", "sig"}
+
+    def test_begin_run_resets_accumulated_coverage(self):
+        fleet = CoverageFleet(compile_named_design(DESIGN), 1)
+        fleet.begin_run()
+        fleet.step(4)
+        fleet.reset()
+        fleet.begin_run()
+        assert fleet.features() == frozenset()
+
+
+# ----------------------------------------------------------------------
+# Mutators preserve the artifact's shape
+# ----------------------------------------------------------------------
+class TestMutators:
+    @pytest.fixture()
+    def seed_artifact(self):
+        return record_seeded(DESIGN, lanes=3, cycles=6, sign=False)
+
+    def _widths(self):
+        bundle = compile_named_design(DESIGN)
+        return {
+            name: bundle.slot_width[slot]
+            for name, slot in bundle.input_slots.items()
+        }
+
+    def _assert_shape(self, artifact, lanes, cycles, widths):
+        assert artifact.lanes == lanes and artifact.cycles == cycles
+        for name, rows in artifact.inputs.items():
+            assert len(rows) == lanes
+            for row in rows:
+                assert len(row) == cycles
+                assert all(0 <= v < (1 << widths[name]) for v in row)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mutate_preserves_dimensions_and_widths(self, seed_artifact, seed):
+        widths = self._widths()
+        rng = random.Random(seed)
+        for _ in range(20):
+            child = mutate(seed_artifact, rng, widths)
+            self._assert_shape(child, 3, 6, widths)
+            # The parent is never mutated in place.
+            self._assert_shape(seed_artifact, 3, 6, widths)
+
+    def test_single_lane_splice_keeps_cycle_count(self):
+        artifact = record_seeded(DESIGN, lanes=1, cycles=6, sign=False)
+        rng = random.Random(7)
+        for _ in range(20):
+            mutate_splice(artifact, rng)
+        self._assert_shape(artifact, 1, 6, self._widths())
+
+    def test_named_mutators_run_in_place(self, seed_artifact):
+        widths = self._widths()
+        rng = random.Random(1)
+        mutate_bitflip(seed_artifact, rng, widths)
+        mutate_jitter(seed_artifact, rng)
+        self._assert_shape(seed_artifact, 3, 6, widths)
+
+
+# ----------------------------------------------------------------------
+# Corpus persistence
+# ----------------------------------------------------------------------
+class TestCorpus:
+    def test_fuzz_seeds_and_grows_a_corpus(self, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        result = fuzz(
+            "small-1", runs=6, cycles=8, corpus_dir=corpus_dir,
+            out_dir=tmp_path / "failures",
+        )
+        assert result.ok, result.summary()
+        saved = load_corpus(corpus_dir, "small-1")
+        assert saved, "fuzzing never persisted a corpus entry"
+        assert result.corpus_size >= 1
+
+    def test_load_corpus_filters_stale_fingerprints(self, tmp_path):
+        artifact = record_seeded("small-1", lanes=1, cycles=4, sign=False)
+        artifact.save(tmp_path / "fresh.json")
+        stale = ReplayArtifact.from_json(artifact.to_json())
+        stale.fingerprint = "0" * 16
+        stale.save(tmp_path / "stale.json")
+        other = record_seeded("sha3", lanes=1, cycles=4, sign=False)
+        other.save(tmp_path / "other.json")
+        loaded = load_corpus(tmp_path, "small-1")
+        assert [a.fingerprint for a in loaded] == [artifact.fingerprint]
+
+    def test_checked_in_corpus_is_fresh_and_replays_clean(self):
+        """The starter corpus under tests/corpus matches the current
+        design fingerprints (re-record with repro.experiments replay
+        --record after changing a design) and replays divergence-free
+        with matching signatures."""
+        from pathlib import Path
+
+        corpus_dir = Path(__file__).parent / "corpus"
+        paths = sorted(corpus_dir.glob("seed-*.json"))
+        assert paths, "starter corpus is missing"
+        for path in paths:
+            artifact = ReplayArtifact.load(path)
+            artifact.check_fingerprint()
+            loaded = load_corpus(corpus_dir, artifact.design)
+            assert any(a.digest() == artifact.digest() for a in loaded), (
+                f"{path.name}: stale fingerprint; re-record this artifact"
+            )
+            result = replay(artifact)
+            assert result.ok, result.summary()
+
+    def test_corpus_replay_is_deterministic(self, tmp_path):
+        """Checked-in corpus entries replay to identical traces."""
+        artifact = record_seeded("small-1", lanes=2, cycles=8)
+        path = artifact.save(tmp_path / "seed.json")
+        loaded = ReplayArtifact.load(path)
+        first = replay(loaded, keep_traces=True)
+        second = replay(loaded, keep_traces=True)
+        assert first.ok and second.ok
+        assert first.traces == second.traces
+
+
+# ----------------------------------------------------------------------
+# Acceptance: the injected bug is found, minimised, and reproducible
+# ----------------------------------------------------------------------
+class TestFuzzFindsInjectedBug:
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("fuzz-failures")
+        result = fuzz(
+            DESIGN, runs=24, cycles=12, lanes=2,
+            out_dir=out_dir, inject_bug=-1,
+        )
+        return result
+
+    def test_bug_is_found_within_budget(self, campaign):
+        assert not campaign.ok, campaign.summary()
+        assert campaign.failure is not None
+        assert "buggy-mask" in campaign.failure.divergence.simulator
+
+    def test_failure_is_minimised(self, campaign):
+        artifact = campaign.failure.artifact
+        assert artifact.lanes == 1
+        assert artifact.cycles <= 12
+
+    def test_saved_artifact_reproduces_the_failure(self, campaign):
+        path = campaign.failure.path
+        assert path is not None and path.exists()
+        loaded = ReplayArtifact.load(path)
+        assert loaded.meta.get("inject_bug") is not None
+        result = replay(loaded)
+        assert not result.ok
+        assert result.divergence is not None
+        assert "buggy-mask" in result.divergence.simulator
+
+    def test_clean_matrix_passes_the_same_stimulus(self, campaign):
+        loaded = ReplayArtifact.load(campaign.failure.path)
+        loaded.meta.pop("inject_bug", None)
+        loaded.meta.pop("engines", None)
+        result = replay(loaded, check_signature=False)
+        assert result.ok, result.summary()

@@ -1,0 +1,156 @@
+"""Replayable stimulus artifacts: record, persist, replay, verify.
+
+Covers the artifact life cycle the fuzzer and the corpus depend on:
+seeded recording is deterministic, save/load is lossless, replay across
+the engine matrix is a non-diff with matching signatures, a stale
+fingerprint is refused, and the slicing helpers (``subset``,
+``truncated``) preserve replay semantics.
+"""
+
+import json
+
+import pytest
+
+from repro.verify.replay import (
+    REPLAY_VERSION,
+    ReplayArtifact,
+    design_fingerprint,
+    record_seeded,
+    record_stimulus,
+    replay,
+    repro_command,
+    sign_artifact,
+)
+
+DESIGN = "small-1"
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return record_seeded(DESIGN, lanes=2, cycles=8, seed=3)
+
+
+class TestRecording:
+    def test_seeded_recording_is_deterministic(self, artifact):
+        again = record_seeded(DESIGN, lanes=2, cycles=8, seed=3)
+        assert again.to_json() == artifact.to_json()
+        assert again.digest() == artifact.digest()
+
+    def test_different_seed_changes_the_digest(self, artifact):
+        other = record_seeded(DESIGN, lanes=2, cycles=8, seed=4, sign=False)
+        assert other.digest() != artifact.digest()
+
+    def test_inputs_are_dense_and_lane_major(self, artifact):
+        assert artifact.inputs
+        for rows in artifact.inputs.values():
+            assert len(rows) == artifact.lanes
+            assert all(len(row) == artifact.cycles for row in rows)
+            assert all(isinstance(v, int) for row in rows for v in row)
+
+    def test_recording_is_signed(self, artifact):
+        assert artifact.signature
+        assert artifact.fingerprint == design_fingerprint(DESIGN)
+
+    def test_record_stimulus_broadcast_and_hold(self):
+        recorded = record_stimulus(
+            DESIGN, {"instr": [5, 6], "mem_rdata": 9}, cycles=4, lanes=2,
+            sign=False,
+        )
+        a = recorded.inputs["instr"]
+        # Lists hold their last value; ints broadcast across lanes/cycles.
+        assert a[0] == [5, 6, 6, 6] and a[0] == a[1]
+        assert recorded.inputs["mem_rdata"][1] == [9, 9, 9, 9]
+        # Undriven inputs are recorded explicitly as constant 0.
+        assert recorded.inputs["reset"][0] == [0, 0, 0, 0]
+
+    def test_record_stimulus_lane_vector_shape_checked(self):
+        with pytest.raises(ValueError):
+            record_stimulus(
+                DESIGN, {"instr": [[1, 2, 3]]}, cycles=1, lanes=2, sign=False
+            )
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, artifact, tmp_path):
+        path = artifact.save(tmp_path / "artifact.json")
+        loaded = ReplayArtifact.load(path)
+        assert loaded == artifact
+
+    def test_json_is_versioned(self, artifact):
+        payload = json.loads(artifact.to_json())
+        assert payload["version"] == REPLAY_VERSION
+
+    def test_unsupported_version_is_refused(self, artifact):
+        payload = json.loads(artifact.to_json())
+        payload["version"] = REPLAY_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            ReplayArtifact.from_json(json.dumps(payload))
+
+    def test_malformed_dimensions_are_refused(self, artifact):
+        payload = json.loads(artifact.to_json())
+        name = next(iter(payload["inputs"]))
+        payload["inputs"][name] = payload["inputs"][name][:1]
+        with pytest.raises(ValueError):
+            ReplayArtifact.from_json(json.dumps(payload))
+
+    def test_repro_command_names_the_artifact(self, artifact, tmp_path):
+        path = artifact.save(tmp_path / "artifact.json")
+        command = repro_command(path)
+        assert "repro.experiments replay" in command
+        assert str(path) in command
+
+
+class TestReplay:
+    def test_replay_on_default_matrix_is_ok(self, artifact):
+        result = replay(artifact)
+        assert result.ok, result.summary()
+        assert "scalar" in result.engines and len(result.engines) >= 2
+
+    def test_replay_is_deterministic_across_calls(self, artifact):
+        first = replay(artifact, keep_traces=True)
+        second = replay(artifact, keep_traces=True)
+        assert first.traces == second.traces
+
+    def test_explicit_engine_matrix(self, artifact):
+        result = replay(artifact, engines=["scalar", "shard-serial-greedy"])
+        assert result.ok, result.summary()
+        assert result.engines == ["scalar", "shard-serial-greedy"]
+
+    def test_stale_fingerprint_is_refused(self, artifact):
+        stale = ReplayArtifact.from_json(artifact.to_json())
+        stale.fingerprint = "0" * 16
+        with pytest.raises(ValueError, match="fingerprint"):
+            replay(stale)
+        # ... unless the caller explicitly opts out.
+        result = replay(stale, check_fingerprint=False)
+        assert result.ok, result.summary()
+
+    def test_tampered_signature_is_a_mismatch_not_a_divergence(self, artifact):
+        tampered = ReplayArtifact.from_json(artifact.to_json())
+        name = next(iter(tampered.signature))
+        tampered.signature[name] = "f" * 16
+        result = replay(tampered)
+        assert not result.ok
+        assert result.divergence is None
+        assert result.signature_mismatches == [name]
+
+
+class TestSlicing:
+    def test_subset_keeps_selected_lanes(self, artifact):
+        one = artifact.subset([1])
+        assert one.lanes == 1
+        for name, rows in one.inputs.items():
+            assert rows == [artifact.inputs[name][1]]
+        assert replay(sign_artifact(one)).ok
+
+    def test_truncated_keeps_prefix(self, artifact):
+        short = artifact.truncated(3)
+        assert short.cycles == 3
+        for name, rows in short.inputs.items():
+            assert rows == [row[:3] for row in artifact.inputs[name]]
+        assert replay(sign_artifact(short)).ok
+
+    def test_slicing_invalidates_nothing_but_signature(self, artifact):
+        sliced = artifact.subset([0]).truncated(2)
+        assert sliced.design == artifact.design
+        assert sliced.fingerprint == artifact.fingerprint

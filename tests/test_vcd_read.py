@@ -1,0 +1,224 @@
+"""VCD readback tests: writer->parser round trips and external dumps.
+
+The acceptance bar: ``VcdWriter -> parse_vcd -> read_vcd_trace`` is
+value-identical to the live trace on every registry design (B=8 on the
+acceptance design, a cheaper sweep elsewhere), identifier codes stay
+injective deep into the multi-character base-94 tail, and external-style
+dumps (real timescales, x/z, clock-edge sampling) land on the same
+``compare_traces`` currency as our own engines.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import BatchSimulator
+from repro.designs.registry import compile_named_design, standard_designs
+from repro.sim import Simulator, VcdWriter, compare_traces
+from repro.sim.testbench import UNKNOWN
+from repro.sim.waveform import _identifier
+from repro.verify.differential import observable_outputs
+from repro.verify.vcd_read import VcdVar, parse_vcd, read_vcd_trace
+from repro.workloads.stimulus import batched_workload_for, workload_for
+
+
+def _run_batched(design, lanes, cycles):
+    """A batched run returning (writer, live lane-major trace)."""
+    bundle = compile_named_design(design)
+    watch = observable_outputs(design)
+    signals = {
+        name: bundle.slot_width[bundle.signal_slots[name]] for name in watch
+    }
+    workload = batched_workload_for(design, lanes)
+    simulator = BatchSimulator(bundle, lanes=lanes)
+    writer = VcdWriter(simulator, signals)
+    live = {name: [[] for _ in range(lanes)] for name in watch}
+    for cycle in range(cycles):
+        workload.apply(simulator, cycle)
+        writer.sample()
+        for name in watch:
+            row = simulator.peek(name)
+            for lane in range(lanes):
+                live[name][lane].append(row[lane])
+        simulator.step()
+    return writer, live
+
+
+# ----------------------------------------------------------------------
+# Acceptance: round-trip value identity on every registry design
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_acceptance_b8_merged_document(self):
+        """B=8 merged dump reads back value-identical on rocket-1."""
+        cycles = 12
+        writer, live = _run_batched("rocket-1", 8, cycles)
+        trace = read_vcd_trace(writer.document(), cycles=cycles)
+        assert trace == live
+
+    def test_acceptance_b8_per_lane_documents(self):
+        cycles = 12
+        writer, live = _run_batched("rocket-1", 8, cycles)
+        for lane in range(8):
+            flat = read_vcd_trace(writer.document(lane=lane), cycles=cycles)
+            for name, rows in live.items():
+                assert flat[name] == rows[lane], (name, lane)
+
+    @pytest.mark.parametrize("design", standard_designs())
+    def test_every_registry_design_round_trips(self, design):
+        cycles = 6
+        writer, live = _run_batched(design, 2, cycles)
+        trace = read_vcd_trace(writer.document(), cycles=cycles)
+        assert trace == live, f"{design}: VCD round trip not value-identical"
+
+    def test_rank0_round_trip_matches_scalar_run(self):
+        design = "small-1"
+        cycles = 10
+        bundle = compile_named_design(design)
+        watch = observable_outputs(design)
+        workload = workload_for(design)
+        simulator = Simulator(bundle)
+        writer = VcdWriter(
+            simulator,
+            {n: bundle.slot_width[bundle.signal_slots[n]] for n in watch},
+        )
+        live = {name: [] for name in watch}
+        for cycle in range(cycles):
+            workload.apply(simulator, cycle)
+            writer.sample()
+            for name in watch:
+                live[name].append(simulator.peek(name))
+            simulator.step()
+        trace = read_vcd_trace(writer.document(), cycles=cycles)
+        assert trace == live
+
+    def test_round_trip_is_a_compare_traces_non_diff(self):
+        cycles = 8
+        writer, live = _run_batched("sha3", 2, cycles)
+        trace = read_vcd_trace(writer.document(), cycles=cycles)
+        assert compare_traces(live, trace) == []
+
+
+# ----------------------------------------------------------------------
+# Identifier codes: injective through the multi-character base-94 tail
+# ----------------------------------------------------------------------
+class TestIdentifierCodes:
+    #: Where code length rolls over: 94 one-char codes, then 94**2 more.
+    TAIL = 94 + 94**2
+
+    @given(st.integers(0, 94 + 94**2 + 500))
+    def test_codes_are_printable_non_space(self, index):
+        code = _identifier(index)
+        assert code
+        assert all(33 <= ord(ch) <= 126 for ch in code)
+
+    @given(
+        st.integers(0, 94 + 94**2 + 500),
+        st.integers(0, 94 + 94**2 + 500),
+    )
+    def test_codes_are_injective(self, a, b):
+        assert (a == b) == (_identifier(a) == _identifier(b))
+
+    def test_tail_rollover_is_dense_and_unique(self):
+        window = [
+            _identifier(i) for i in range(self.TAIL - 100, self.TAIL + 100)
+        ]
+        assert len(set(window)) == len(window)
+        assert len(window[0]) == 2 and len(window[-1]) == 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.integers(0, 94 + 94**2 + 200), min_size=1, max_size=8))
+    def test_codes_survive_a_vcd_round_trip(self, indices):
+        """Synthetic dump using deep-tail codes parses back per signal."""
+        idents = {f"s{i}": _identifier(i) for i in sorted(indices)}
+        lines = ["$timescale 1ns $end", "$scope module TOP $end"]
+        lines += [
+            f"$var wire 8 {ident} {name} $end"
+            for name, ident in idents.items()
+        ]
+        lines += ["$upscope $end", "$enddefinitions $end", "#0"]
+        lines += [
+            f"b{value:b} {ident}"
+            for value, ident in zip(range(1, len(idents) + 1), idents.values())
+        ]
+        trace = read_vcd_trace("\n".join(lines))
+        assert trace == {
+            name: [value] for value, name in enumerate(idents, start=1)
+        }
+
+
+# ----------------------------------------------------------------------
+# External dumps: x/z, real timescales, clock-edge sampling
+# ----------------------------------------------------------------------
+EXTERNAL_VCD = """
+$date today $end
+$version an external simulator $end
+$timescale 1ps $end
+$scope module top $end
+$var wire 1 ! clock $end
+$var wire 8 " data [7:0] $end
+$var wire 1 # valid $end
+$upscope $end
+$enddefinitions $end
+$dumpvars
+0!
+bxxxxxxxx "
+x#
+$end
+#500
+1!
+b1010 "
+1#
+#1000
+0!
+#1500
+1!
+b1111 "
+#2000
+0!
+#2500
+1!
+0#
+"""
+
+
+class TestExternalDumps:
+    def test_clock_edge_sampling_collapses_timestamps(self):
+        trace = read_vcd_trace(EXTERNAL_VCD, clock="clock")
+        # Rising edges at #500, #1500, #2500 -> 3 samples per signal.
+        assert trace["data"] == [10, 15, 15]
+        assert trace["valid"] == [1, 1, 0]
+        assert "clock" not in trace
+
+    def test_x_and_z_digits_map_to_unknown(self):
+        trace = read_vcd_trace(EXTERNAL_VCD)
+        assert trace["data"][0] is UNKNOWN
+        assert trace["valid"][0] is UNKNOWN
+        zed = read_vcd_trace(
+            "$var wire 4 ! w $end $enddefinitions $end #0 bz10x !"
+        )
+        assert zed["w"] == [UNKNOWN]
+
+    def test_unknowns_are_compare_traces_non_diffs(self):
+        trace = read_vcd_trace(EXTERNAL_VCD, clock="clock")
+        reference = {"data": [10, 15, 15], "valid": [1, 1, 0]}
+        assert compare_traces(reference, trace) == []
+
+    def test_nested_scopes_and_var_lookup(self):
+        document = parse_vcd(EXTERNAL_VCD)
+        var = document.var_named("top.data")
+        assert var == VcdVar("data", 8, '"', ("top",))
+        assert document.var_named("data") is var
+        with pytest.raises(KeyError):
+            document.var_named("nope")
+
+    def test_signal_selection_and_missing_signal(self):
+        trace = read_vcd_trace(EXTERNAL_VCD, signals=["valid"], clock="clock")
+        assert sorted(trace) == ["valid"]
+        with pytest.raises(KeyError):
+            read_vcd_trace(EXTERNAL_VCD, signals=["ghost"])
+
+    def test_cycles_pads_and_truncates(self):
+        padded = read_vcd_trace(EXTERNAL_VCD, clock="clock", cycles=5)
+        assert padded["data"] == [10, 15, 15, 15, 15]
+        cut = read_vcd_trace(EXTERNAL_VCD, clock="clock", cycles=2)
+        assert cut["data"] == [10, 15]
