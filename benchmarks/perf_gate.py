@@ -38,13 +38,25 @@ from typing import Dict, Tuple
 #: point have deliberately different replication overheads.
 KEY_FIELDS = (
     "mode", "design", "kernel", "lanes", "backend", "partitions",
-    "executor", "strategy", "engine", "sessions",
+    "executor", "strategy", "engine", "sessions", "period",
 )
 #: The gated metric, by preference: sharded rows record ``lane_cps``,
 #: batched rows ``batch_lane_cps``, serve startup rows ``warm_speedup``
 #: (cache effectiveness -- a ratio, but gated the same way: falling more
-#: than ``factor``x below the recorded baseline fails).
-METRIC_FIELDS = ("lane_cps", "batch_lane_cps", "warm_speedup")
+#: than ``factor``x below the recorded baseline fails), activity-sweep
+#: rows ``sparse_speedup`` (dense-vs-sparse on one host, also a ratio).
+METRIC_FIELDS = ("lane_cps", "batch_lane_cps", "warm_speedup",
+                 "sparse_speedup")
+
+#: Floor rule for the activity sweep: at input activity at or below this
+#: factor, *and* where the stimulus actually makes the design quiescent
+#: (measured op skip rate above ``SPARSE_FLOOR_MIN_SKIP``), the sparse
+#: engine's best speedup must exceed 1 -- skipping work may never cost
+#: more than doing it.  Designs whose internal state free-runs under
+#: held inputs (a fetching CPU core) never reach the skip threshold and
+#: are exempt with a notice: there is no sparsity there to exploit.
+SPARSE_FLOOR_ACTIVITY = 0.10
+SPARSE_FLOOR_MIN_SKIP = 0.5
 
 
 def row_key(row: Dict[str, object]) -> Tuple:
@@ -67,6 +79,48 @@ def row_metric(row: Dict[str, object]):
         if value != 0.0:
             return field, value
     return None, None
+
+
+def sparse_floor(current: dict, floor: float = 1.0) -> Tuple[int, list]:
+    """The activity-sweep floor: (checks run, failure labels).
+
+    Per design, among current rows with ``activity_factor`` at or below
+    :data:`SPARSE_FLOOR_ACTIVITY` whose measured ``op_skip_rate``
+    clears :data:`SPARSE_FLOOR_MIN_SKIP`, the best ``sparse_speedup``
+    must be at least ``floor``.  Absolute, not baseline-relative: the
+    dense and sparse arms run on the same host in the same process, so
+    their ratio is host-independent in a way lane-cycles/sec is not.
+    """
+    eligible: Dict[str, float] = {}
+    for row in current.get("rows", []):
+        speedup = row.get("sparse_speedup")
+        activity = row.get("activity_factor")
+        skip = row.get("op_skip_rate")
+        if speedup is None or activity is None:
+            continue
+        if float(activity) > SPARSE_FLOOR_ACTIVITY:
+            continue
+        design = str(row.get("design"))
+        if skip is None or float(skip) < SPARSE_FLOOR_MIN_SKIP:
+            print(
+                f"  [exempt] design={design}, activity={float(activity):.3f}: "
+                f"op_skip_rate {float(skip or 0):.2f} below "
+                f"{SPARSE_FLOOR_MIN_SKIP} -- design never went quiescent"
+            )
+            continue
+        best = eligible.get(design, 0.0)
+        eligible[design] = max(best, float(speedup))
+    failures = []
+    for design, best in sorted(eligible.items()):
+        status = "ok" if best >= floor else "FAIL"
+        print(
+            f"  [{status}] design={design}: best sparse_speedup at "
+            f"activity<={SPARSE_FLOOR_ACTIVITY:.0%} is {best:.2f}x "
+            f"(floor {floor:.2f}x)"
+        )
+        if best < floor:
+            failures.append(f"design={design} (sparse_speedup floor)")
+    return len(eligible), failures
 
 
 def gate(
@@ -129,6 +183,10 @@ def gate(
             )
             if float(rep) > ceiling:
                 failures.append(f"{label} (replication_overhead)")
+    # The absolute floor rules run regardless of baseline matches.
+    floor_checks, floor_failures = sparse_floor(current)
+    failures.extend(floor_failures)
+    compared += floor_checks
     if compared == 0:
         print("perf-gate: no comparable rows between baseline and current")
         return 0
@@ -156,11 +214,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     baseline_path = Path(args.baseline)
-    if not baseline_path.exists():
-        print(f"perf-gate: no baseline at {baseline_path} -- skipping")
-        return 0
-    baseline = json.loads(baseline_path.read_text())
     current = json.loads(Path(args.current).read_text())
+    if not baseline_path.exists():
+        # No trajectory to compare against, but the absolute floor rules
+        # (sparse_speedup) need no baseline -- a brand-new bench is still
+        # gated on the day it lands.
+        print(f"perf-gate: no baseline at {baseline_path} -- "
+              "floor rules only")
+        _, failures = sparse_floor(current)
+        return 1 if failures else 0
+    baseline = json.loads(baseline_path.read_text())
     return gate(baseline, current, args.factor, args.replication_slack)
 
 

@@ -33,6 +33,12 @@ Two batched kernels are lowered from the existing ``OimBundle``
 over the optimized OIM format (kernel names ``RU``/``OU``/``NU``/
 ``PSU``/``IU``), and a straight-line SU/TI-style *codegen* variant whose
 generated statements are NumPy lane-vector expressions (``SU``/``TI``).
+A third style, ``activity`` (``kernel="activity"`` or
+``"activity:PSU"``), drives the walk from the per-cycle toggled-value
+fiber with per-lane activity masks and lane compaction
+(:class:`repro.batch.kernels.BatchActivityKernel`): sparsely-active
+batches gather their active lanes into a dense B' < B sub-plane, and
+quiescent cycles skip the OIM pass entirely.
 Storage (:mod:`repro.batch.backend`) is a batched value plane: ``u64``
 NumPy ``(num_slots, B)`` arrays when every slot fits 64 bits, the
 split-limb ``u64xN`` plane (``ceil(width/64)`` uint64 limb rows per
@@ -52,6 +58,7 @@ designs, kernels, and backends.
 
 from .backend import BACKENDS, HAS_NUMPY, pick_backend
 from .kernels import (
+    BatchActivityKernel,
     BatchCodegenKernel,
     BatchKernel,
     BatchPyKernel,
@@ -62,6 +69,7 @@ from .simulator import BatchSimulator, BatchSnapshot
 
 __all__ = [
     "BACKENDS",
+    "BatchActivityKernel",
     "BatchCodegenKernel",
     "BatchKernel",
     "BatchPyKernel",

@@ -32,9 +32,14 @@ from typing import Callable, Dict, List, Optional
 
 from ..kernels.config import KernelConfig, get_kernel_config
 from ..kernels.expr import LIMB_OP_BASES, numpy_expr, numpy_limb_expr
+from ..kernels.fiberwalk import (
+    PendingLayers,
+    cached_fiber_walk,
+    cached_walk_layer_rows,
+    walk_layer_rows,
+)
 from ..kernels.pykernels import CODEGEN_CHUNK
 from ..oim.builder import OimBundle
-from ..oim.formats import lower_oim_fast
 from .backend import (
     U64_MAX_WIDTH,
     limb_layout,
@@ -46,7 +51,7 @@ from .backend import (
 from .vecsem import make_limb_table, make_vec_table
 
 #: Kernel styles (how the OIM pass is executed), orthogonal to backends.
-WALK, CODEGEN, PYTHON = "walk", "codegen", "python"
+WALK, CODEGEN, PYTHON, ACTIVITY = "walk", "codegen", "python", "activity"
 
 
 def _is_narrow(widths, out_width) -> bool:
@@ -71,69 +76,22 @@ class BatchKernel:
     def eval_comb(self, values) -> None:
         raise NotImplementedError
 
+    def invalidate(self) -> None:
+        """Drop any cached view of the value plane (see
+        :meth:`repro.kernels.pykernels.Kernel.invalidate`).  Stateless
+        kernels ignore it; the activity kernel forgets its leaf snapshot
+        so the next pass re-settles the whole plane."""
+
     @property
     def name(self) -> str:
         return f"{self.config.name}x{self.lanes}[{self.backend}]"
 
 
-def _walk_layer_rows(bundle: OimBundle):
-    """The optimized-format OIM walk as per-layer ``(n, s, rs, ws, ow)``
-    row lists -- the picklable precursor of :func:`_walk_layers` (``n``
-    is the opcode index; entries are rebound from the op table on use,
-    which is what lets the artifact cache store this form).
-
-    The traversal order is the RU kernel's: rank I outermost, rank S
-    concordant within each layer, operands in O order.  Resolving it at
-    build time keeps the per-cycle loop free of format bookkeeping -- the
-    lane rank is where the parallelism now comes from.  Layers are
-    dependence levels, so records within one layer never read each
-    other's outputs (what makes the blocked groups below legal).
-    """
-    lowered = lower_oim_fast(bundle, "optimized")
-    i_payloads = lowered.ranks["I"].payloads
-    s_coords = lowered.ranks["S"].coords
-    n_coords = lowered.ranks["N"].coords
-    r_coords = lowered.ranks["R"].coords
-    width = bundle.slot_width
-    entry_of = bundle.op_table.entry
-
-    layers = []
-    op_index = 0
-    r_index = 0
-    for layer_count in i_payloads:                    # Rank I
-        layer = []
-        for _ in range(layer_count):                  # Rank S
-            s = s_coords[op_index]
-            n = n_coords[op_index]
-            op_index += 1
-            arity = entry_of(n).arity
-            operands = tuple(r_coords[r_index:r_index + arity])
-            r_index += arity                          # Ranks O, R
-            layer.append((
-                n,
-                s,
-                operands,
-                tuple(width[r] for r in operands),
-                width[s],
-            ))
-        layers.append(layer)
-    return layers
-
-
-def _cached_walk_layer_rows(bundle: OimBundle):
-    """:func:`_walk_layer_rows` through the :mod:`repro.serve` artifact
-    cache (kind ``oimwalk``), keyed by the bundle fingerprint.  A warm
-    server start thereby skips ``lower_oim_fast`` and the rank-pointer
-    walk entirely; backend/lane count never enter the key because rows
-    address slots, not planes."""
-    from ..serve import artifacts
-
-    if artifacts.get_cache() is None:
-        return _walk_layer_rows(bundle)
-    digest = artifacts.bundle_fingerprint(bundle, stage="oimwalk")
-    return artifacts.cache_through(
-        "oimwalk", digest, lambda: _walk_layer_rows(bundle)
-    )
+# The walk-row builders now live in :mod:`repro.kernels.fiberwalk`,
+# shared with the scalar activity kernel; the old private names stay
+# bound for callers and tests that reached in.
+_walk_layer_rows = walk_layer_rows
+_cached_walk_layer_rows = cached_walk_layer_rows
 
 
 def _walk_layers(bundle: OimBundle):
@@ -143,7 +101,7 @@ def _walk_layers(bundle: OimBundle):
     return [
         [(entry_of(n), s, operands, widths, out_width)
          for n, s, operands, widths, out_width in layer]
-        for layer in _cached_walk_layer_rows(bundle)
+        for layer in cached_walk_layer_rows(bundle)
     ]
 
 
@@ -337,6 +295,58 @@ def _record_step(fn: Callable, s, operands, widths, out_width) -> Callable:
     return step
 
 
+def _limb_plan(bundle: OimBundle):
+    """The ``u64xN`` schedule in declarative, picklable form.
+
+    Per layer, in execution order: ``("block", op_name, rows)`` for each
+    layer-blocked narrow group, then ``("narrow", None, [row])`` /
+    ``("wide", None, [row])`` per remaining record -- rows in the n-form
+    of :func:`repro.kernels.fiberwalk.walk_layer_rows`.  Closures are
+    rebuilt from this plan at kernel construction (closures themselves
+    do not pickle), so the grouping/classification sweep is what the
+    artifact cache saves.
+    """
+    entry_of = bundle.op_table.entry
+    plan = []
+    for layer in cached_walk_layer_rows(bundle):
+        groups: Dict[str, List] = {}
+        leftovers = []
+        for row in layer:
+            n, _s, _operands, widths, out_width = row
+            name = entry_of(n).name
+            if _is_narrow(widths, out_width) and _blockable(
+                name, widths, out_width
+            ):
+                groups.setdefault(name, []).append(row)
+            else:
+                leftovers.append(row)
+        for name, group in groups.items():
+            if len(group) == 1:
+                leftovers.extend(group)
+            else:
+                plan.append(("block", name, group))
+        for row in leftovers:
+            _n, _s, _operands, widths, out_width = row
+            kind = "narrow" if _is_narrow(widths, out_width) else "wide"
+            plan.append((kind, None, [row]))
+    return plan
+
+
+def _cached_limb_plan(bundle: OimBundle):
+    """:func:`_limb_plan` through the :mod:`repro.serve` artifact cache
+    (kind ``limbplan``), keyed by the bundle fingerprint.  Lane count and
+    the limb layout never enter the key: the plan addresses slots, and
+    the layout is a pure function of the bundle."""
+    from ..serve import artifacts
+
+    if artifacts.get_cache() is None:
+        return _limb_plan(bundle)
+    digest = artifacts.bundle_fingerprint(bundle, stage="limbplan")
+    return artifacts.cache_through(
+        "limbplan", digest, lambda: _limb_plan(bundle)
+    )
+
+
 class BatchWalkKernel(BatchKernel):
     """Vectorised RU-style map/reduce walk over the optimized OIM format."""
 
@@ -370,45 +380,36 @@ class BatchWalkKernel(BatchKernel):
           limb-row slices.
 
         Reordering within a layer is safe -- layers are dependence levels.
+        The schedule is rebuilt from the cached declarative plan
+        (:func:`_cached_limb_plan`); only the closures are per-process.
         """
         layout = limb_layout(bundle)
         narrow_table = make_vec_table(np, "u64")
         limb_table = make_limb_table(np)
         pop = popcount_parity(np)
+        entry_of = bundle.op_table.entry
         steps: List[Callable] = []
-        for layer in _walk_layers(bundle):
-            groups: Dict[str, List] = {}
-            leftovers = []
-            for record in layer:
-                entry, _s, _operands, widths, out_width = record
-                if _is_narrow(widths, out_width) and _blockable(
-                    entry.name, widths, out_width
-                ):
-                    groups.setdefault(entry.name, []).append(record)
-                else:
-                    leftovers.append(record)
-            for name, group in groups.items():
-                if len(group) == 1:
-                    leftovers.extend(group)
-                else:
-                    steps.append(_blocked_step(np, name, group, layout, pop))
-            for entry, s, operands, widths, out_width in leftovers:
-                if _is_narrow(widths, out_width):
-                    steps.append(_record_step(
-                        narrow_table[entry.name],
-                        layout.offsets[s],
-                        tuple(layout.offsets[r] for r in operands),
-                        widths,
-                        out_width,
-                    ))
-                else:
-                    steps.append(_record_step(
-                        limb_table[entry.name],
-                        layout.slices[s],
-                        tuple(layout.slices[r] for r in operands),
-                        widths,
-                        out_width,
-                    ))
+        for kind, name, rows in _cached_limb_plan(bundle):
+            if kind == "block":
+                steps.append(_blocked_step(np, name, rows, layout, pop))
+                continue
+            n, s, operands, widths, out_width = rows[0]
+            if kind == "narrow":
+                steps.append(_record_step(
+                    narrow_table[entry_of(n).name],
+                    layout.offsets[s],
+                    tuple(layout.offsets[r] for r in operands),
+                    widths,
+                    out_width,
+                ))
+            else:
+                steps.append(_record_step(
+                    limb_table[entry_of(n).name],
+                    layout.slices[s],
+                    tuple(layout.slices[r] for r in operands),
+                    widths,
+                    out_width,
+                ))
         return steps
 
     def eval_comb(self, values) -> None:
@@ -439,6 +440,241 @@ class BatchPyKernel(BatchKernel):
                 fn([row[lane] for row in rows], widths, out_width)
                 for lane in lanes
             ]
+
+
+class BatchActivityKernel(BatchKernel):
+    """Box 1's activity cascade, batched: fiber-driven walk + lane
+    compaction.
+
+    Shares the scalar activity kernel's
+    :class:`~repro.kernels.fiberwalk.FiberWalkSchedule`: the per-cycle
+    leaf diff (inputs + register state, compared block-wise across all
+    lanes) seeds a toggled-slot fiber, and only the records downstream of
+    it re-evaluate.  On top of that, the *lane* rank is sparsified too:
+    lanes whose leaves are all unchanged already hold their settled
+    values, so the walk gathers the active lanes into a dense sub-plane
+    of B' < B columns, runs at effective batch B', and scatters back --
+    lifting the old "lanes diverge in activity" restriction at any B.
+
+    Cold passes (construction, reset, restore, state import -- anything
+    that calls :meth:`invalidate`) delegate to the plain walk kernel, so
+    they keep its blocked/limb fast paths.  Works on every backend,
+    including the pure-Python fallback (where compaction is an active-
+    lane loop), so activity-aware batching needs no NumPy.
+    """
+
+    style = ACTIVITY
+
+    def __init__(
+        self, bundle: OimBundle, config: KernelConfig, lanes: int, backend: str
+    ) -> None:
+        super().__init__(bundle, config, lanes, backend)
+        from ..kernels.activity import ActivityStats
+
+        self.stats = ActivityStats()
+        self.schedule = cached_fiber_walk(bundle)
+        inner_cls = BatchPyKernel if backend == "python" else BatchWalkKernel
+        self._inner = inner_cls(bundle, config, lanes, backend)
+        self._np = None if backend == "python" else numpy_or_none()
+        self.layout = limb_layout(bundle) if backend == "u64xN" else None
+        self._record_fns = self._build_record_fns(bundle)
+        self._leaf_rows, self._leaf_row_slot = self._leaf_addressing()
+        #: Leaf block from the last pass (None = cold: full walk next).
+        self._last = None
+
+    @property
+    def name(self) -> str:
+        return f"activity:{self.config.name}x{self.lanes}[{self.backend}]"
+
+    def invalidate(self) -> None:
+        self._last = None
+
+    def reset_activity(self) -> None:
+        """Forget the leaf snapshot *and* zero the counters."""
+        from ..kernels.activity import ActivityStats
+
+        self.invalidate()
+        self.stats = ActivityStats()
+
+    # ------------------------------------------------------------------
+    def _build_record_fns(self, bundle: OimBundle):
+        """Per-layer ``(fn, s_addr, operand_addrs, widths, ow, slot)``
+        evaluators; addresses are plane rows (slots, limb offsets, or
+        limb slices depending on backend), ``slot`` the schedule-space
+        coordinate used for consumer marking."""
+        entry_of = bundle.op_table.entry
+        layers = self.schedule.layers
+        if self.backend == "python":
+            return [
+                [(entry_of(n).semantics, s, operands, widths, ow, s)
+                 for n, s, operands, widths, ow in layer]
+                for layer in layers
+            ]
+        np = self._np
+        if self.backend == "u64xN":
+            narrow = make_vec_table(np, "u64")
+            wide = make_limb_table(np)
+            layout = self.layout
+            built = []
+            for layer in layers:
+                rows = []
+                for n, s, operands, widths, ow in layer:
+                    name = entry_of(n).name
+                    if _is_narrow(widths, ow):
+                        rows.append((
+                            narrow[name], layout.offsets[s],
+                            tuple(layout.offsets[r] for r in operands),
+                            widths, ow, s,
+                        ))
+                    else:
+                        rows.append((
+                            wide[name], layout.slices[s],
+                            tuple(layout.slices[r] for r in operands),
+                            widths, ow, s,
+                        ))
+                built.append(rows)
+            return built
+        table = make_vec_table(
+            np, "object" if self.backend == "object" else "u64"
+        )
+        return [
+            [(table[entry_of(n).name], s, operands, widths, ow, s)
+             for n, s, operands, widths, ow in layer]
+            for layer in layers
+        ]
+
+    def _leaf_addressing(self):
+        """Plane rows holding the leaves, plus each row's source slot
+        (on ``u64xN`` a wide leaf spans several limb rows)."""
+        leaves = self.schedule.leaf_slots
+        if self.backend == "u64xN":
+            rows, slots = [], []
+            for slot in leaves:
+                offset = self.layout.offsets[slot]
+                for row in range(offset, offset + self.layout.limbs[slot]):
+                    rows.append(row)
+                    slots.append(slot)
+            return self._np.array(rows, dtype=self._np.intp), tuple(slots)
+        if self.backend == "python":
+            return list(leaves), tuple(leaves)
+        return self._np.array(leaves, dtype=self._np.intp), tuple(leaves)
+
+    def _leaf_block(self, values):
+        if self.backend == "python":
+            return [list(values[slot]) for slot in self._leaf_rows]
+        return values[self._leaf_rows]  # fancy index: already a copy
+
+    # ------------------------------------------------------------------
+    def eval_comb(self, values) -> None:
+        self.stats.cycles += 1
+        if self._last is None:
+            # Cold pass: unsettled intermediates, run the dense walk.
+            self._inner.eval_comb(values)
+            self.stats.layers_evaluated += self.schedule.num_layers
+            self.stats.ops_evaluated += self.schedule.num_records
+            self.stats.lanes_active += self.lanes
+            self._last = self._leaf_block(values)
+            return
+        if self.backend == "python":
+            self._eval_python(values)
+        else:
+            self._eval_numpy(values)
+
+    def _eval_numpy(self, values) -> None:
+        np = self._np
+        schedule = self.schedule
+        current = values[self._leaf_rows]
+        diff = current != self._last
+        lane_mask = diff.any(axis=0)
+        active = np.flatnonzero(lane_mask)
+        if active.size == 0:
+            self.stats.layers_skipped += schedule.num_layers
+            self.stats.ops_skipped += schedule.num_records
+            self.stats.lanes_skipped += self.lanes
+            return
+        self.stats.lanes_active += int(active.size)
+        self.stats.lanes_skipped += self.lanes - int(active.size)
+        changed_slots = {
+            self._leaf_row_slot[int(i)]
+            for i in np.flatnonzero(diff.any(axis=1))
+        }
+
+        # Lane compaction: gather active columns into a dense B' plane.
+        compact = int(active.size) < self.lanes
+        plane = values[:, active] if compact else values
+
+        pending = PendingLayers(schedule.num_layers, schedule.consumers)
+        for slot in changed_slots:
+            pending.mark(slot)
+        for layer_index, layer in enumerate(self._record_fns):
+            queued = pending.pending(layer_index)
+            if not queued:
+                self.stats.layers_skipped += 1
+                self.stats.ops_skipped += len(layer)
+                continue
+            for record_index in queued:
+                fn, s, operands, widths, ow, slot = layer[record_index]
+                new = fn([plane[r] for r in operands], widths, ow)
+                if (new != plane[s]).any():
+                    plane[s] = new
+                    pending.mark(slot)
+            self.stats.layers_evaluated += 1
+            self.stats.ops_evaluated += len(queued)
+            self.stats.ops_skipped += len(layer) - len(queued)
+
+        if compact:
+            values[:, active] = plane
+        self._last = self._leaf_block(values)
+
+    def _eval_python(self, values) -> None:
+        schedule = self.schedule
+        last = self._last
+        lanes = self.lanes
+        changed_slots = set()
+        lane_active = [False] * lanes
+        for index, slot in enumerate(self._leaf_rows):
+            row, prev = values[slot], last[index]
+            if row == prev:
+                continue
+            changed_slots.add(slot)
+            for lane in range(lanes):
+                if row[lane] != prev[lane]:
+                    lane_active[lane] = True
+        if not changed_slots:
+            self.stats.layers_skipped += schedule.num_layers
+            self.stats.ops_skipped += schedule.num_records
+            self.stats.lanes_skipped += lanes
+            return
+        # Compaction without NumPy: the walk loops over active lanes only.
+        active = [lane for lane in range(lanes) if lane_active[lane]]
+        self.stats.lanes_active += len(active)
+        self.stats.lanes_skipped += lanes - len(active)
+
+        pending = PendingLayers(schedule.num_layers, schedule.consumers)
+        for slot in changed_slots:
+            pending.mark(slot)
+        for layer_index, layer in enumerate(self._record_fns):
+            queued = pending.pending(layer_index)
+            if not queued:
+                self.stats.layers_skipped += 1
+                self.stats.ops_skipped += len(layer)
+                continue
+            for record_index in queued:
+                fn, s, operands, widths, ow, slot = layer[record_index]
+                out_row = values[s]
+                rows = [values[r] for r in operands]
+                record_changed = False
+                for lane in active:
+                    new = fn([row[lane] for row in rows], widths, ow)
+                    if new != out_row[lane]:
+                        out_row[lane] = new
+                        record_changed = True
+                if record_changed:
+                    pending.mark(slot)
+            self.stats.layers_evaluated += 1
+            self.stats.ops_evaluated += len(queued)
+            self.stats.ops_skipped += len(layer) - len(queued)
+        self._last = self._leaf_block(values)
 
 
 class BatchCodegenKernel(BatchKernel):
@@ -581,10 +817,24 @@ def make_batch_kernel(
     when no native uint64 plane is available (an explicit ``object``
     request or no NumPy is a property of the design/environment, not a
     user error).
+
+    ``"activity"`` (or ``"activity:PSU"`` etc.) selects the batched
+    activity cascade (:class:`BatchActivityKernel`) around the named
+    base configuration -- on any backend, including the pure-Python
+    fallback when NumPy is absent.
     """
+    activity = False
     if isinstance(config, str):
-        config = get_kernel_config(config)
+        name = config.strip().lower()
+        if name.startswith("activity"):
+            _, _, base = name.partition(":")
+            config = get_kernel_config(base or "PSU")
+            activity = True
+        else:
+            config = get_kernel_config(config)
     backend = pick_backend(bundle, backend)
+    if activity:
+        return BatchActivityKernel(bundle, config, lanes, backend)
     if backend == "python":
         return BatchPyKernel(bundle, config, lanes, backend)
     style = _STYLE_OF_CONFIG.get(config.name, WALK)

@@ -65,7 +65,12 @@ class BatchSimulator:
     kernel:
         Scalar kernel configuration name or :class:`KernelConfig`;
         RU...IU map onto the vectorised walk kernel, SU/TI onto the
-        straight-line NumPy codegen kernel.
+        straight-line NumPy codegen kernel.  ``"activity"`` (or
+        ``"activity:PSU"`` etc.) selects the batched activity cascade:
+        a fiber-driven walk with per-lane activity masks and lane
+        compaction, valid at any B and on every backend -- without
+        NumPy it rides the pure-Python lane fallback rather than
+        failing (skip rates observable via :attr:`activity_stats`).
     backend:
         ``"auto"`` (default), ``"u64"``, ``"u64xN"``, ``"object"`` or
         ``"python"``; see :mod:`repro.batch.backend`.
@@ -82,11 +87,6 @@ class BatchSimulator:
     ) -> None:
         if lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes}")
-        if isinstance(kernel, str) and kernel.strip().lower().startswith("activity"):
-            raise ValueError(
-                "activity-aware cascades are not batched yet (lanes diverge "
-                "in activity); see ROADMAP open items"
-            )
         self.bundle = compile_design(design, optimize_graph, preserve_signals)
         self.lanes = lanes
         self.backend = pick_backend(self.bundle, backend)
@@ -224,6 +224,9 @@ class BatchSimulator:
             )
         self.cycle = 0
         self._dirty = True
+        # Fresh plane, unsettled intermediates: an activity kernel must
+        # not diff leaves against the pre-reset world.
+        self.kernel.invalidate()
 
     def step(self, cycles: int = 1) -> None:
         """Advance all clock domains of all lanes by ``cycles`` edges."""
@@ -282,6 +285,7 @@ class BatchSimulator:
         self.values = copy_values(values, self.backend)
         self.cycle = snapshot.cycle
         self._dirty = True
+        self.kernel.invalidate()
 
     def export_state(self) -> Tuple[List[List[int]], int]:
         """The value plane as per-slot lane vectors of Python ints, plus
@@ -310,6 +314,7 @@ class BatchSimulator:
             write_slot(self.values, slot, row, self.backend, self.layout)
         self.cycle = cycle
         self._dirty = True
+        self.kernel.invalidate()
 
     # ------------------------------------------------------------------
     # Per-lane state transfer (the repro.serve session checkout path)
@@ -352,6 +357,8 @@ class BatchSimulator:
             row[lane] = value
             write_slot(self.values, slot, row, self.backend, self.layout)
         self._dirty = True
+        # The imported lane carries foreign intermediates; re-settle all.
+        self.kernel.invalidate()
 
     def _check_lane(self, lane: int) -> None:
         if not 0 <= lane < self.lanes:
@@ -360,6 +367,14 @@ class BatchSimulator:
             )
 
     # ------------------------------------------------------------------
+    @property
+    def activity_stats(self):
+        """The kernel's :class:`~repro.kernels.activity.ActivityStats`
+        (layer/op skip rates plus lane-compaction counters), or ``None``
+        for a plain kernel -- the uniform stats surface shared with the
+        scalar/shard/serve engines."""
+        return getattr(self.kernel, "stats", None)
+
     @property
     def clock_domains(self) -> List[str]:
         return sorted(self._commits_by_clock)

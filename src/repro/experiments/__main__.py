@@ -13,6 +13,7 @@ The verification verbs take their own arguments::
     python -m repro.experiments replay --artifact tests/corpus/seed.json
     python -m repro.experiments fuzz --design rocket-1 --runs 64
     python -m repro.experiments claims --all --budget tiny
+    python -m repro.experiments activity-sweep --periods 1 8 32
 """
 
 from __future__ import annotations
@@ -62,6 +63,8 @@ def _verb_cli(name: str):
     """The sub-CLI for an argument-taking verb, imported lazily."""
     if name == "differential":
         from ..verify.differential import cli
+    elif name == "activity-sweep":
+        from .activity_sweep import cli
     elif name == "replay":
         from ..verify.replay import cli
     elif name == "fuzz":
@@ -76,7 +79,8 @@ def _verb_cli(name: str):
 
 
 #: Verbs that consume the rest of the argument vector.
-VERBS = ("claims", "differential", "fuzz", "replay", "serve")
+VERBS = ("activity-sweep", "claims", "differential", "fuzz", "replay",
+         "serve")
 
 
 def main(argv=None) -> int:

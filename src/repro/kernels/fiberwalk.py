@@ -1,0 +1,205 @@
+"""The fiber-driven OIM walk: activity as a first-class tensor dimension.
+
+The repo's sparse-tensor substrate (:mod:`repro.tensor.fiber`, the
+TeAAL lineage) represents tensors as fibers that *omit* empty
+coordinates, so traversal cost scales with occupancy rather than shape.
+This module applies the same idea to simulation time: the per-cycle
+**toggled-value set** -- the slots whose values changed since the last
+combinational pass -- is a compressed :class:`~repro.tensor.fiber.Fiber`
+over the slot rank, and the OIM walk is driven from it instead of from
+the dense layer schedule.  Real RTL workloads have activity factors far
+below 1 (ESSENT's Box-1 observation), so the toggled fiber's occupancy
+is usually a small fraction of ``num_slots`` and the walk touches only
+the operations downstream of it.
+
+Both activity-aware kernels consume the schedule built here: the scalar
+:class:`repro.kernels.activity.ActivityAwareKernel` and the batched
+:class:`repro.batch.kernels.BatchActivityKernel` (which adds per-lane
+masks and lane compaction on top).  Sharing one schedule keeps the two
+paths semantically identical and lets the :mod:`repro.serve` artifact
+cache serve both from the same entry.
+
+Soundness: layers are dependence levels, and every operation is a pure
+function of its operand slots.  A record therefore needs re-evaluation
+only when at least one operand slot is in the toggled fiber, and its
+output joins the fiber only when the recomputed value actually differs
+-- unchanged inputs imply unchanged outputs, transitively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..oim.builder import OimBundle
+from ..oim.formats import lower_oim_fast
+from ..tensor.fiber import Fiber
+
+#: One walk record: ``(n, s, operands, widths, out_width)`` with ``n``
+#: the opcode index (rebound to live op-table entries on use -- what
+#: keeps the rows picklable for the artifact cache).
+WalkRow = Tuple[int, int, Tuple[int, ...], Tuple[int, ...], int]
+
+
+def walk_layer_rows(bundle: OimBundle) -> List[List[WalkRow]]:
+    """The optimized-format OIM walk as per-layer row lists.
+
+    The traversal order is the RU kernel's: rank I outermost, rank S
+    concordant within each layer, operands in O order.  Resolving it at
+    build time keeps the per-cycle loop free of format bookkeeping.
+    Layers are dependence levels, so records within one layer never read
+    each other's outputs.
+    """
+    lowered = lower_oim_fast(bundle, "optimized")
+    i_payloads = lowered.ranks["I"].payloads
+    s_coords = lowered.ranks["S"].coords
+    n_coords = lowered.ranks["N"].coords
+    r_coords = lowered.ranks["R"].coords
+    width = bundle.slot_width
+    entry_of = bundle.op_table.entry
+
+    layers: List[List[WalkRow]] = []
+    op_index = 0
+    r_index = 0
+    for layer_count in i_payloads:                    # Rank I
+        layer: List[WalkRow] = []
+        for _ in range(layer_count):                  # Rank S
+            s = s_coords[op_index]
+            n = n_coords[op_index]
+            op_index += 1
+            arity = entry_of(n).arity
+            operands = tuple(r_coords[r_index:r_index + arity])
+            r_index += arity                          # Ranks O, R
+            layer.append((
+                n,
+                s,
+                operands,
+                tuple(width[r] for r in operands),
+                width[s],
+            ))
+        layers.append(layer)
+    return layers
+
+
+def cached_walk_layer_rows(bundle: OimBundle) -> List[List[WalkRow]]:
+    """:func:`walk_layer_rows` through the :mod:`repro.serve` artifact
+    cache (kind ``oimwalk``), keyed by the bundle fingerprint.  A warm
+    server start thereby skips ``lower_oim_fast`` and the rank-pointer
+    walk entirely; backend/lane count never enter the key because rows
+    address slots, not planes."""
+    from ..serve import artifacts
+
+    if artifacts.get_cache() is None:
+        return walk_layer_rows(bundle)
+    digest = artifacts.bundle_fingerprint(bundle, stage="oimwalk")
+    return artifacts.cache_through(
+        "oimwalk", digest, lambda: walk_layer_rows(bundle)
+    )
+
+
+@dataclass
+class FiberWalkSchedule:
+    """Everything a fiber-driven walk needs, in picklable form.
+
+    ``layers`` is the plain walk (same rows as the dense kernels run);
+    ``consumers[slot]`` lists the ``(layer, record_index)`` pairs that
+    read the slot -- the transpose of the OIM's R rank, which is what
+    turns a toggled-slot fiber into a per-layer pending-record fiber;
+    ``leaf_slots`` are the walk's sources (inputs and register state
+    slots): the only slots whose values change *between* combinational
+    passes, and therefore the only ones an activity tracker must
+    snapshot.  Constants never change and operation outputs are tracked
+    by the walk itself.
+    """
+
+    layers: List[List[WalkRow]]
+    consumers: List[Tuple[Tuple[int, int], ...]]
+    leaf_slots: Tuple[int, ...]
+    num_slots: int
+
+    @property
+    def num_records(self) -> int:
+        return sum(len(layer) for layer in self.layers)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+
+def build_fiber_walk(bundle: OimBundle) -> FiberWalkSchedule:
+    """Lower ``bundle`` to a :class:`FiberWalkSchedule`."""
+    layers = cached_walk_layer_rows(bundle)
+    consumer_map: List[List[Tuple[int, int]]] = [
+        [] for _ in range(bundle.num_slots)
+    ]
+    for layer_index, layer in enumerate(layers):
+        for record_index, (_n, _s, operands, _w, _ow) in enumerate(layer):
+            for r in set(operands):
+                consumer_map[r].append((layer_index, record_index))
+    leaves = set(bundle.input_slots.values())
+    leaves.update(state for state, _next in bundle.register_commits)
+    return FiberWalkSchedule(
+        layers=layers,
+        consumers=[tuple(pairs) for pairs in consumer_map],
+        leaf_slots=tuple(sorted(leaves)),
+        num_slots=bundle.num_slots,
+    )
+
+
+def cached_fiber_walk(bundle: OimBundle) -> FiberWalkSchedule:
+    """:func:`build_fiber_walk` through the artifact cache (its own kind,
+    ``fiberwalk``): the consumer transpose is a full sweep over the R
+    rank, so warm starts skip it along with the walk lowering."""
+    from ..serve import artifacts
+
+    if artifacts.get_cache() is None:
+        return build_fiber_walk(bundle)
+    digest = artifacts.bundle_fingerprint(bundle, stage="fiberwalk")
+    return artifacts.cache_through(
+        "fiberwalk", digest, lambda: build_fiber_walk(bundle)
+    )
+
+
+def toggled_fiber(changed_slots: Iterable[int], num_slots: int) -> Fiber:
+    """The per-cycle toggled-value set as a compressed fiber.
+
+    Coordinates are slot indices; the payload (1) marks presence -- the
+    occupancy/shape ratio *is* the cycle's activity factor.
+    """
+    return Fiber(((slot, 1) for slot in changed_slots), shape=num_slots)
+
+
+class PendingLayers:
+    """Per-layer pending-record fibers, fed by the toggled fiber.
+
+    Marking a slot inserts its consumer records into their layers'
+    fibers; draining a layer iterates its fiber in coordinate order
+    (concordant with the dense walk, so evaluation order -- and thus
+    bit-exactness -- matches the plain kernels record for record).
+    """
+
+    __slots__ = ("_layers", "_consumers")
+
+    def __init__(
+        self,
+        num_layers: int,
+        consumers: Sequence[Tuple[Tuple[int, int], ...]],
+    ) -> None:
+        self._layers = [Fiber() for _ in range(num_layers)]
+        self._consumers = consumers
+
+    def mark(self, slot: int) -> None:
+        """Queue every record reading ``slot`` (idempotent)."""
+        for layer_index, record_index in self._consumers[slot]:
+            self._layers[layer_index].set(record_index, 1)
+
+    def mark_fiber(self, toggled: Fiber) -> None:
+        for slot, _payload in toggled:
+            self.mark(slot)
+
+    def pending(self, layer_index: int) -> List[int]:
+        """The layer's queued record indices, in coordinate order."""
+        return self._layers[layer_index].coords()
+
+    def occupancy(self, layer_index: int) -> int:
+        return self._layers[layer_index].occupancy

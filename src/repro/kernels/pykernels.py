@@ -48,6 +48,15 @@ class Kernel:
     def eval_comb(self, values: List[int]) -> None:
         raise NotImplementedError
 
+    def invalidate(self) -> None:
+        """Drop any cached view of the value plane.
+
+        Called by the simulators whenever they replace the plane
+        wholesale (reset, snapshot restore, state import).  Stateless
+        kernels ignore it; activity-aware kernels drop their leaf
+        snapshots so the next pass re-settles everything.
+        """
+
     @property
     def name(self) -> str:
         return self.config.name

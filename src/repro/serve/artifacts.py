@@ -16,6 +16,13 @@ content-addressed home on disk:
   (P, strategy, max_replication, ...);
 * ``rum``       -- the derived :class:`RegisterUpdateMap`;
 * ``sucodegen`` -- the SU codegen kernel's generated statement list;
+* ``oimwalk``   -- the lowered per-layer walk rows the batch/scalar walk
+  kernels execute;
+* ``fiberwalk`` -- the activity kernels'
+  :class:`~repro.kernels.fiberwalk.FiberWalkSchedule` (walk rows plus the
+  slot-to-consumer transpose and leaf set);
+* ``limbplan``  -- the ``u64xN`` backend's declarative limb evaluation
+  plan (blocked narrow groups + per-row dispatch);
 * ``pgraph``    -- pickled partition graphs the process executor ships
   to workers by key instead of over the spawn pipe.
 
@@ -52,7 +59,7 @@ DEFAULT_MAX_BYTES = 1 << 30
 #: Artifact kinds this schema knows; unknown kinds still round-trip, the
 #: tuple exists for ``ls`` grouping and docs.
 KINDS = ("graph", "bundle", "partition", "rum", "sucodegen", "oimwalk",
-         "pgraph")
+         "fiberwalk", "limbplan", "pgraph")
 
 
 @dataclass

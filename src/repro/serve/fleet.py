@@ -120,6 +120,16 @@ class Session:
     def run(self, cycles: int) -> int:
         return self.step(cycles)
 
+    def activity_stats(self):
+        """The hosting member engine's
+        :class:`~repro.kernels.activity.ActivityStats` (``None`` on a
+        plain kernel).  Member-level, not per-lane: the member's lanes
+        share one kernel pass, so the counters describe the batch this
+        session rides in (its lane's share shows up in ``lanes_active``
+        vs ``lanes_skipped``)."""
+        self._ensure_open()
+        return self.fleet._members[self.member].sim.activity_stats
+
     # -- preemption ----------------------------------------------------
     def checkpoint(self) -> LaneState:
         """Portable snapshot of this session's lane."""
@@ -461,9 +471,22 @@ class LaneFleet:
         """Sessions the fleet can hold at full growth."""
         return self.max_members * self.lanes
 
+    def activity_stats(self):
+        """Aggregate :class:`~repro.kernels.activity.ActivityStats` over
+        all member engines, or ``None`` when the fleet runs a plain
+        kernel -- the fleet arm of the uniform stats surface (scalar,
+        batch, shard, serve)."""
+        from ..kernels.activity import merge_stats
+
+        with self._cond:
+            parts = [m.sim.activity_stats for m in self._members]
+        if all(part is None for part in parts):
+            return None
+        return merge_stats(parts)
+
     def describe(self) -> dict:
         with self._cond:
-            return {
+            description = {
                 "engine": self.engine,
                 "lanes": self.lanes,
                 "members": len(self._members),
@@ -471,6 +494,10 @@ class LaneFleet:
                 "open_sessions": sum(len(m.sessions) for m in self._members),
                 "capacity": self.capacity,
             }
+        stats = self.activity_stats()
+        if stats is not None:
+            description["activity"] = stats.as_dict()
+        return description
 
     def close(self) -> None:
         """Close all sessions and shut down member engines."""

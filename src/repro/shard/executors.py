@@ -122,6 +122,12 @@ class BaseExecutor:
         """Load one lane into every partition from ``export_lane`` output."""
         raise NotImplementedError
 
+    def activity_stats(self) -> List[object]:
+        """Per-partition :class:`~repro.kernels.activity.ActivityStats`
+        (``None`` entries for plain kernels) -- the settle-skipping
+        observability surface when partitions run activity kernels."""
+        raise NotImplementedError
+
     def describe(self) -> List[str]:
         """Per-partition ``backend/style`` strings (reporting only)."""
         raise NotImplementedError
@@ -202,6 +208,9 @@ class SerialExecutor(BaseExecutor):
     def import_lane(self, lane: int, states: Sequence[Sequence[int]]) -> None:
         for sim, state in zip(self.sims, states):
             sim.import_lane(lane, state)
+
+    def activity_stats(self) -> List[object]:
+        return [sim.activity_stats for sim in self.sims]
 
     def describe(self) -> List[str]:
         return [f"{sim.backend}/{sim.kernel.style}" for sim in self.sims]
@@ -321,6 +330,9 @@ def _shard_worker_main(conn, graph_ref, lanes, kernel, backend, export_names):
                 result = sim.export_lane(args)
             elif op == "import_lane":
                 sim.import_lane(*args)
+            elif op == "activity_stats":
+                # ActivityStats is a plain dataclass: pickles as-is.
+                result = sim.activity_stats
             else:
                 raise ValueError(f"unknown shard worker command {op!r}")
             conn.send(("ok", result))
@@ -476,6 +488,9 @@ class ProcessExecutor(BaseExecutor):
             self._conns[i].send(("import_lane", (lane, state)))
         for i in range(len(states)):
             self._recv(self._conns[i])
+
+    def activity_stats(self) -> List[object]:
+        return self._broadcast("activity_stats")
 
     def describe(self) -> List[str]:
         return list(self._styles)

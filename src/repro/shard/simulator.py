@@ -459,6 +459,27 @@ class ShardedBatchSimulator:
         total = self.sync_sent + self.sync_suppressed
         return self.sync_suppressed / total if total else 0.0
 
+    @property
+    def activity_stats(self):
+        """Aggregate :class:`~repro.kernels.activity.ActivityStats` over
+        all partitions, or ``None`` when partitions run plain kernels.
+
+        With ``kernel="activity"`` each partition gets per-partition
+        settle-skipping for free: a partition's replica inputs *are* its
+        leaves, and the differential RUM exchange leaves unchanged rows
+        unpoked, so a quiescent partition's walk full-skips -- the
+        exchange history feeds the activity fiber.  The merged counters
+        make that skipping observable per shard; ``cycles`` reports the
+        max over partitions (they advance in lockstep), the work counters
+        sum.
+        """
+        from ..kernels.activity import merge_stats
+
+        parts = self.executor.activity_stats()
+        if all(part is None for part in parts):
+            return None
+        return merge_stats(parts)
+
     def describe_partitions(self) -> List[str]:
         """Per-partition ``backend/style`` strings."""
         return self.executor.describe()

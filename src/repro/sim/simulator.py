@@ -268,6 +268,9 @@ class Simulator:
             self.values[self.bundle.input_slots[name]] = value
         self.cycle = 0
         self._dirty = True
+        # The fresh plane's intermediates are unsettled: an activity
+        # kernel must not diff leaves against the pre-reset world.
+        self.kernel.invalidate()
 
     def step(self, cycles: int = 1) -> None:
         """Advance all clock domains by ``cycles`` edges."""
@@ -326,6 +329,7 @@ class Simulator:
         self.values = list(snapshot.values)
         self.cycle = snapshot.cycle
         self._dirty = True
+        self.kernel.invalidate()
 
     # ------------------------------------------------------------------
     def _settle(self) -> None:
@@ -341,6 +345,13 @@ class Simulator:
             values[state] = value
 
     # ------------------------------------------------------------------
+    @property
+    def activity_stats(self):
+        """The kernel's :class:`~repro.kernels.activity.ActivityStats`,
+        or ``None`` for a plain (non-activity) kernel -- the uniform
+        stats surface shared with the batch/shard/serve engines."""
+        return getattr(self.kernel, "stats", None)
+
     @property
     def signals(self) -> List[str]:
         return sorted(self.bundle.signal_slots)

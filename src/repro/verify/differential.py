@@ -12,7 +12,10 @@ design and a stimulus seed it builds the whole engine matrix --
   or the pure-Python fallback), plus an SU-codegen arm;
 * ``shard-*`` -- :class:`~repro.shard.ShardedBatchSimulator` across
   executors (serial, optionally process) and partitioner strategies
-  (greedy, refined)
+  (greedy, refined);
+* ``batch-activity`` / ``shard-activity`` -- the sparse engines: the
+  fiber-driven activity walk with lane compaction, and its sharded
+  settle-skipping counterpart, cross-checked on dense stimulus
 
 -- runs them in lockstep on per-lane seeded stimulus
 (:func:`repro.workloads.batched_workload_for`), and asserts bit-exact
@@ -167,6 +170,18 @@ def engine_matrix(
         specs.append(_spec("batch-su", "batch", backend="auto", kernel="SU"))
     else:
         specs.append(_spec("batch-python", "batch", backend="python", kernel=kernel))
+    # Sparse engines: the fiber-driven activity walk must stay bit-exact
+    # with the dense engines on *arbitrary* stimulus, not just the
+    # low-activity streams it is built for -- so it rides in the default
+    # matrix and every fuzz seed cross-checks its skip logic.
+    specs.append(
+        _spec("batch-activity", "batch", backend="auto",
+              kernel=f"activity:{kernel}")
+    )
+    specs.append(
+        _spec("shard-activity", "shard", executor="serial",
+              partitioner="greedy", kernel=f"activity:{kernel}")
+    )
     specs.append(
         _spec("shard-serial-greedy", "shard", executor="serial",
               partitioner="greedy", kernel=kernel)
@@ -199,6 +214,12 @@ def spec_from_name(name: str, kernel: str = "PSU") -> EngineSpec:
         return _spec("scalar", "scalar", kernel=kernel)
     if name == "batch-su":
         return _spec("batch-su", "batch", backend="auto", kernel="SU")
+    if name == "batch-activity":
+        return _spec("batch-activity", "batch", backend="auto",
+                     kernel=f"activity:{kernel}")
+    if name == "shard-activity":
+        return _spec("shard-activity", "shard", executor="serial",
+                     partitioner="greedy", kernel=f"activity:{kernel}")
     if name.startswith("batch-"):
         return _spec(name, "batch", backend=name[len("batch-"):], kernel=kernel)
     if name.startswith("shard-"):
@@ -209,7 +230,8 @@ def spec_from_name(name: str, kernel: str = "PSU") -> EngineSpec:
                          partitioner=partitioner, kernel=kernel)
     raise KeyError(
         f"unknown engine name {name!r}; expected scalar, batch-<backend>, "
-        "batch-su, or shard-<executor>-<partitioner>"
+        "batch-su, batch-activity, shard-activity, or "
+        "shard-<executor>-<partitioner>"
     )
 
 

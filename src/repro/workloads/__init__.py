@@ -14,6 +14,8 @@ from .stimulus import (
     matrix_add_stimulus,
     sha3_rocc_stimulus,
     sim_cycles_for,
+    sparse_batched_workload_for,
+    sparsify,
     workload_for,
 )
 
@@ -26,5 +28,7 @@ __all__ = [
     "matrix_add_stimulus",
     "sha3_rocc_stimulus",
     "sim_cycles_for",
+    "sparse_batched_workload_for",
+    "sparsify",
     "workload_for",
 ]

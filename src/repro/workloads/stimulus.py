@@ -256,6 +256,67 @@ class BatchWorkload:
             )
 
 
+# ----------------------------------------------------------------------
+# Low-activity stimulus: hold each input for N cycles
+# ----------------------------------------------------------------------
+
+#: Drivers never held by :func:`sparsify`: control streams that must hit
+#: the DUT on their exact cycle (reset pulses would otherwise stretch).
+SPARSIFY_PASSTHROUGH = ("reset",)
+
+
+def _held(driver: Callable[[int], int], period: int) -> Callable[[int], int]:
+    # Stateless on purpose: value(c) is a pure function of the cycle, so
+    # held stimulus survives reset()/restore() replays and lane slicing
+    # without hidden generator state.
+    def hold(cycle: int) -> int:
+        return driver(cycle - cycle % period)
+
+    return hold
+
+
+def sparsify(workload, period: int, passthrough=SPARSIFY_PASSTHROUGH):
+    """A low-activity variant of ``workload``: inputs change every
+    ``period`` cycles instead of every cycle.
+
+    Each driver's value for cycle ``c`` is its base value at the start
+    of the current hold window (``c - c % period``) -- a pure function
+    of the cycle, so the sparse stream is deterministic and replayable
+    like every other stimulus here.  Drivers named in ``passthrough``
+    (by default ``reset``) keep their exact per-cycle stream.  With
+    ``period=1`` this is the identity.  Accepts a scalar
+    :class:`Workload` or a :class:`BatchWorkload` (sparsified per lane),
+    and is how the activity benchmarks sweep the input activity factor:
+    a period of ``N`` drives roughly ``1/N`` input-toggle activity into
+    the sparse engines.
+    """
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    if isinstance(workload, BatchWorkload):
+        return BatchWorkload(
+            f"{workload.name}~hold{period}",
+            [sparsify(lane, period, passthrough) for lane in workload.lanes],
+        )
+    drivers = {
+        name: driver if name in passthrough else _held(driver, period)
+        for name, driver in workload.drivers.items()
+    }
+    return Workload(f"{workload.name}~hold{period}", drivers)
+
+
+def sparse_batched_workload_for(
+    design_name: str,
+    lanes: int,
+    period: int,
+    base_seed: int = 0xB47C4,
+) -> BatchWorkload:
+    """Table 3's batched workload, held for ``period`` cycles per value --
+    the low-activity counterpart of :func:`batched_workload_for`."""
+    return sparsify(
+        batched_workload_for(design_name, lanes, base_seed=base_seed), period
+    )
+
+
 def batched_workload_for(
     design_name: str, lanes: int, base_seed: int = 0xB47C4
 ) -> BatchWorkload:

@@ -124,9 +124,15 @@ class TestBatchApi:
         with pytest.raises(ValueError):
             BatchSimulator(counter_src, lanes=0)
 
-    def test_activity_kernel_rejected(self, counter_src):
-        with pytest.raises(ValueError):
-            BatchSimulator(counter_src, lanes=2, kernel="activity:PSU")
+    def test_activity_kernel_accepted(self, counter_src):
+        """The old 'lanes diverge in activity' guard is retired: the
+        batched activity cascade works at any B on any backend."""
+        batch = BatchSimulator(counter_src, lanes=2, kernel="activity:PSU")
+        assert batch.kernel.style == "activity"
+        batch.poke("enable", [1, 0])
+        batch.step(3)
+        assert batch.peek("count") == [3, 0]
+        assert batch.activity_stats.cycles > 0
 
     def test_reset_preserves_per_lane_pokes(self, counter_src):
         batch = BatchSimulator(counter_src, lanes=3)
