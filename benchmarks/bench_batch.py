@@ -27,7 +27,14 @@ if __name__ == "__main__":  # script mode: make src/ and bench_common importable
     sys.path.insert(0, str(root.parent / "src"))
 
 from repro.batch import HAS_NUMPY
-from repro.experiments.batch_throughput import render_rows, throughput_rows
+from repro.batch.backend import supports_u64
+from repro.designs.registry import compile_named_design
+from repro.experiments.batch_throughput import (
+    attach_compiled_speedup,
+    render_rows,
+    throughput_rows,
+)
+from repro.lower.cbackend import has_toolchain
 
 from bench_common import show, warm
 
@@ -67,6 +74,26 @@ def test_batch_speedup(benchmark):
     show(_render(rows))
 
 
+def test_compiled_beats_su_codegen(benchmark):
+    """The compiled C pass beats the SU NumPy codegen it replaces at B=64
+    on rocket-1 (the compiled-backend acceptance bar; also enforced on
+    recorded baselines by perf_gate's compiled floor)."""
+    import pytest
+
+    if not (HAS_NUMPY and has_toolchain()):
+        pytest.skip("compiled backend unavailable (NumPy or C toolchain)")
+    warm("rocket-1")
+    rows = benchmark(
+        throughput_rows, ("rocket-1",), ("SU", "compiled"), (64,), CYCLES
+    )
+    by_kernel = {row.kernel: row for row in rows}
+    assert by_kernel["compiled"].style == "compiled"  # no silent fallback
+    assert (
+        by_kernel["compiled"].batch_lane_cps > by_kernel["SU"].batch_lane_cps
+    )
+    show(_render(rows))
+
+
 def test_batch_lockstep_overhead(benchmark):
     """B=1 batching costs only constant-factor overhead, not asymptotics."""
     warm("rocket-1")
@@ -102,6 +129,23 @@ def main(argv=None) -> int:
 
     warm(*designs)
     rows = throughput_rows(designs, kernels, lanes, cycles)
+    # The compiled C batch backend, wherever it can actually compile:
+    # u64-plane designs on hosts with a toolchain.  An SU arm rides along
+    # when the main sweep lacks one, so compiled_speedup (compiled vs the
+    # SU NumPy codegen it replaces) is always computable.
+    if HAS_NUMPY and has_toolchain():
+        compiled_designs = tuple(
+            d for d in designs if supports_u64(compile_named_design(d))
+        )
+        if compiled_designs:
+            compiled_kernels = (
+                ("compiled",) if "SU" in kernels else ("SU", "compiled")
+            )
+            rows += throughput_rows(
+                compiled_designs, compiled_kernels, lanes, cycles
+            )
+    elif HAS_NUMPY:
+        print("(no C toolchain found: compiled-backend rows skipped)")
     wide_compare = [d for d in designs if d in WIDE_COMPARE_DESIGNS]
     if wide_compare and HAS_NUMPY and not args.tiny and not args.no_wide_compare:
         # The object reference arm at the largest B: BENCH_batch.json then
@@ -121,7 +165,7 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cycles_per_lane": cycles,
-            "rows": [row.as_dict() for row in rows],
+            "rows": attach_compiled_speedup([row.as_dict() for row in rows]),
         }
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote {args.json}")

@@ -58,6 +58,14 @@ METRIC_FIELDS = ("lane_cps", "batch_lane_cps", "warm_speedup",
 SPARSE_FLOOR_ACTIVITY = 0.10
 SPARSE_FLOOR_MIN_SKIP = 0.5
 
+#: Floor rule for the compiled C batch backend: at or above this many
+#: lanes, a row recording ``compiled_speedup`` (compiled vs the SU NumPy
+#: codegen kernel, same host and process) must stay at or above 1x --
+#: the compiled pass may never lose to the kernel it replaces.  Rows
+#: below the lane threshold are informational (tiny batches measure
+#: dispatch overhead, not the pass).
+COMPILED_FLOOR_MIN_LANES = 8
+
 
 def row_key(row: Dict[str, object]) -> Tuple:
     return tuple((field, row[field]) for field in KEY_FIELDS if field in row)
@@ -120,6 +128,40 @@ def sparse_floor(current: dict, floor: float = 1.0) -> Tuple[int, list]:
         )
         if best < floor:
             failures.append(f"design={design} (sparse_speedup floor)")
+    return len(eligible), failures
+
+
+def compiled_floor(current: dict, floor: float = 1.0) -> Tuple[int, list]:
+    """The compiled-backend floor: (checks run, failure labels).
+
+    Per design, among current rows with a ``compiled_speedup`` at
+    :data:`COMPILED_FLOOR_MIN_LANES` lanes or more, the best ratio must
+    be at least ``floor``.  Absolute, not baseline-relative: the
+    compiled and SU arms ran on the same host in the same process, so
+    their ratio is host-independent in a way lane-cycles/sec is not.
+    Hosts without a toolchain record no ``compiled_speedup`` rows and
+    run zero checks here.
+    """
+    eligible: Dict[str, float] = {}
+    for row in current.get("rows", []):
+        speedup = row.get("compiled_speedup")
+        lanes = row.get("lanes")
+        if speedup is None or lanes is None:
+            continue
+        if int(lanes) < COMPILED_FLOOR_MIN_LANES:
+            continue
+        design = str(row.get("design"))
+        eligible[design] = max(eligible.get(design, 0.0), float(speedup))
+    failures = []
+    for design, best in sorted(eligible.items()):
+        status = "ok" if best >= floor else "FAIL"
+        print(
+            f"  [{status}] design={design}: best compiled_speedup at "
+            f"B>={COMPILED_FLOOR_MIN_LANES} is {best:.2f}x "
+            f"(floor {floor:.2f}x)"
+        )
+        if best < floor:
+            failures.append(f"design={design} (compiled_speedup floor)")
     return len(eligible), failures
 
 
@@ -187,6 +229,9 @@ def gate(
     floor_checks, floor_failures = sparse_floor(current)
     failures.extend(floor_failures)
     compared += floor_checks
+    floor_checks, floor_failures = compiled_floor(current)
+    failures.extend(floor_failures)
+    compared += floor_checks
     if compared == 0:
         print("perf-gate: no comparable rows between baseline and current")
         return 0
@@ -222,6 +267,8 @@ def main(argv=None) -> int:
         print(f"perf-gate: no baseline at {baseline_path} -- "
               "floor rules only")
         _, failures = sparse_floor(current)
+        _, compiled_failures = compiled_floor(current)
+        failures.extend(compiled_failures)
         return 1 if failures else 0
     baseline = json.loads(baseline_path.read_text())
     return gate(baseline, current, args.factor, args.replication_slack)

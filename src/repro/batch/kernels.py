@@ -24,10 +24,18 @@ the scalar spectrum of Section 5.2 with the lane rank vectorised away:
 :class:`BatchPyKernel` is the pure-Python list-of-lists fallback used
 when NumPy is absent: the same schedule, evaluated lane by lane with the
 scalar semantics, so the subsystem is always importable and bit-exact.
+
+:class:`CompiledBatchKernel` (``kernel="compiled"``) swaps the NumPy
+pass for the compiled C translation unit of
+:mod:`repro.lower.cbackend`, built from the same shared
+:class:`~repro.lower.program.OimProgram` as every kernel above --
+falling back to the SU codegen kernel when no toolchain (or no native
+uint64 plane) is available.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, List, Optional
 
 from ..kernels.config import KernelConfig, get_kernel_config
@@ -39,6 +47,11 @@ from ..kernels.fiberwalk import (
     walk_layer_rows,
 )
 from ..kernels.pykernels import CODEGEN_CHUNK
+from ..lower.cbackend import CBackendUnavailable, compiled_comb
+from ..lower.plan import blockable as _blockable
+from ..lower.plan import is_narrow as _is_narrow
+from ..lower.plan import limb_plan
+from ..lower.program import cached_program, lower_program
 from ..oim.builder import OimBundle
 from .backend import (
     U64_MAX_WIDTH,
@@ -52,11 +65,7 @@ from .vecsem import make_limb_table, make_vec_table
 
 #: Kernel styles (how the OIM pass is executed), orthogonal to backends.
 WALK, CODEGEN, PYTHON, ACTIVITY = "walk", "codegen", "python", "activity"
-
-
-def _is_narrow(widths, out_width) -> bool:
-    """True when an op never sees a >64-bit operand or result."""
-    return out_width <= U64_MAX_WIDTH and all(w <= U64_MAX_WIDTH for w in widths)
+COMPILED = "compiled"
 
 
 class BatchKernel:
@@ -125,28 +134,10 @@ def _walk_schedule(bundle: OimBundle, semantics_of: Callable):
 #: same vocabulary as the split-limb evaluators (one canonical set, so
 #: the three layers cannot drift apart).  ``mul`` stays per-record only
 #: when wide; ``div``/``rem`` block via the guarded helpers exactly like
-#: the per-record table.
+#: the per-record table.  The classification predicates themselves
+#: (``is_narrow``/``blockable``) live in :mod:`repro.lower.plan` now,
+#: shared with every other executor; the old private names stay bound.
 _BLOCKABLE_BASES = LIMB_OP_BASES
-
-
-def _blockable(name: str, widths, out_width) -> bool:
-    """True when a narrow record can join a layer-blocked group.
-
-    The blocked builders replace the per-record Python-level width
-    branches with broadcast ``(k, 1)`` width columns, so records that
-    would take those branches (zero-width shift sources, a zero-width
-    ``cat`` lhs) stay on the per-record path.
-    """
-    base = name.rstrip("0123456789")
-    if base not in _BLOCKABLE_BASES:
-        return False
-    if base == "cat" and widths[1] >= U64_MAX_WIDTH:
-        return False  # zero-width lhs idiom: per-record table passes rhs through
-    if base in ("bits", "dshr", "shr", "head") and widths[0] <= 0:
-        return False
-    if base in ("dshl", "shl") and out_width <= 0:
-        return False
-    return True
 
 
 def _blocked_step(np, name: str, group: List, layout, pop) -> Callable:
@@ -296,55 +287,18 @@ def _record_step(fn: Callable, s, operands, widths, out_width) -> Callable:
 
 
 def _limb_plan(bundle: OimBundle):
-    """The ``u64xN`` schedule in declarative, picklable form.
-
-    Per layer, in execution order: ``("block", op_name, rows)`` for each
-    layer-blocked narrow group, then ``("narrow", None, [row])`` /
-    ``("wide", None, [row])`` per remaining record -- rows in the n-form
-    of :func:`repro.kernels.fiberwalk.walk_layer_rows`.  Closures are
-    rebuilt from this plan at kernel construction (closures themselves
-    do not pickle), so the grouping/classification sweep is what the
-    artifact cache saves.
-    """
-    entry_of = bundle.op_table.entry
-    plan = []
-    for layer in cached_walk_layer_rows(bundle):
-        groups: Dict[str, List] = {}
-        leftovers = []
-        for row in layer:
-            n, _s, _operands, widths, out_width = row
-            name = entry_of(n).name
-            if _is_narrow(widths, out_width) and _blockable(
-                name, widths, out_width
-            ):
-                groups.setdefault(name, []).append(row)
-            else:
-                leftovers.append(row)
-        for name, group in groups.items():
-            if len(group) == 1:
-                leftovers.extend(group)
-            else:
-                plan.append(("block", name, group))
-        for row in leftovers:
-            _n, _s, _operands, widths, out_width = row
-            kind = "narrow" if _is_narrow(widths, out_width) else "wide"
-            plan.append((kind, None, [row]))
-    return plan
+    """The ``u64xN`` schedule (:func:`repro.lower.plan.limb_plan`) for a
+    bundle's program.  Lane count and the limb layout never enter the
+    derivation: the plan addresses slots, and the layout is a pure
+    function of the bundle."""
+    return limb_plan(lower_program(bundle))
 
 
 def _cached_limb_plan(bundle: OimBundle):
-    """:func:`_limb_plan` through the :mod:`repro.serve` artifact cache
-    (kind ``limbplan``), keyed by the bundle fingerprint.  Lane count and
-    the limb layout never enter the key: the plan addresses slots, and
-    the layout is a pure function of the bundle."""
-    from ..serve import artifacts
-
-    if artifacts.get_cache() is None:
-        return _limb_plan(bundle)
-    digest = artifacts.bundle_fingerprint(bundle, stage="limbplan")
-    return artifacts.cache_through(
-        "limbplan", digest, lambda: _limb_plan(bundle)
-    )
+    """:func:`_limb_plan` over the cached shared program: the lowering
+    sweep persists as the ``program`` artifact, and the (cheap) grouping
+    sweep re-derives from it per process."""
+    return limb_plan(cached_program(bundle))
 
 
 class BatchWalkKernel(BatchKernel):
@@ -722,35 +676,31 @@ class BatchCodegenKernel(BatchKernel):
 
 
 def _codegen_statements(bundle: OimBundle, layout) -> List[str]:
-    """The SU/TI statement list: one generated line per OIM record."""
-    const_values = dict(bundle.const_slots)
+    """The SU/TI statement list: one generated line per program row."""
+    program = cached_program(bundle)
+    const_values = program.const_values()
+    op_names = program.op_names
     statements: List[str] = []
-    for layer in bundle.layers:
-        for record in layer:
-            entry = bundle.op_table.entry(record.n)
-            widths = [bundle.slot_width[r] for r in record.operands]
-            out_width = bundle.slot_width[record.s]
-            if layout is None or _is_narrow(widths, out_width):
-                args = [
-                    str(const_values[r]) if r in const_values else
-                    f"V[{r if layout is None else layout.offsets[r]}]"
-                    for r in record.operands
-                ]
-                expression = numpy_expr(entry.name, args, widths, out_width)
-                target = record.s if layout is None else layout.offsets[record.s]
-                statements.append(f"    V[{target}] = {expression}")
-            else:
-                args = [
-                    f"V[{layout.slices[r].start}:{layout.slices[r].stop}]"
-                    for r in record.operands
-                ]
-                expression = numpy_limb_expr(
-                    entry.name, args, widths, out_width
-                )
-                target = layout.slices[record.s]
-                statements.append(
-                    f"    V[{target.start}:{target.stop}] = {expression}"
-                )
+    for n, s, operands, widths, out_width in program.records():
+        if layout is None or _is_narrow(widths, out_width):
+            args = [
+                str(const_values[r]) if r in const_values else
+                f"V[{r if layout is None else layout.offsets[r]}]"
+                for r in operands
+            ]
+            expression = numpy_expr(op_names[n], args, widths, out_width)
+            target = s if layout is None else layout.offsets[s]
+            statements.append(f"    V[{target}] = {expression}")
+        else:
+            args = [
+                f"V[{layout.slices[r].start}:{layout.slices[r].stop}]"
+                for r in operands
+            ]
+            expression = numpy_limb_expr(op_names[n], args, widths, out_width)
+            target = layout.slices[s]
+            statements.append(
+                f"    V[{target.start}:{target.stop}] = {expression}"
+            )
     return statements
 
 
@@ -758,7 +708,7 @@ def _cached_codegen_statements(
     bundle: OimBundle, layout, backend: str
 ) -> List[str]:
     """Statement generation through the :mod:`repro.serve` artifact
-    cache (kind ``sucodegen``), keyed by the bundle fingerprint and the
+    cache (kind ``sucodegen``), keyed by the program fingerprint and the
     plane backend (the limb layout changes what the statements index).
     Lane count does not enter: statements address rows, not lanes.
     """
@@ -766,8 +716,10 @@ def _cached_codegen_statements(
 
     if artifacts.get_cache() is None:
         return _codegen_statements(bundle, layout)
-    digest = artifacts.bundle_fingerprint(bundle, stage="sucodegen",
-                                          backend=backend)
+    program = cached_program(bundle)
+    digest = hashlib.sha256(
+        f"sucodegen:{program.fingerprint}:{backend}".encode()
+    ).hexdigest()
     return artifacts.cache_through(
         "sucodegen", digest, lambda: _codegen_statements(bundle, layout)
     )
@@ -793,6 +745,38 @@ def _compile_batch_chunks(
         exec(code, namespace)
         functions.append(namespace[name])  # type: ignore[index]
     return functions
+
+
+class CompiledBatchKernel(BatchKernel):
+    """The compiled C pass (``kernel="compiled"``): one shared-object
+    call evaluates the whole straight-line program for every lane.
+
+    Emission, compilation, and the ``cbin`` artifact cache live in
+    :mod:`repro.lower.cbackend`; this class only binds the loaded pass
+    to the kernel interface.  Needs the native ``u64`` plane (slot rows
+    are the C kernel's address space) -- the factory falls back to the
+    NumPy codegen kernel on other backends or when no toolchain is
+    available.
+    """
+
+    style = COMPILED
+
+    def __init__(
+        self, bundle: OimBundle, config: KernelConfig, lanes: int, backend: str
+    ) -> None:
+        if backend != "u64":
+            raise CBackendUnavailable(
+                f"the compiled kernel needs the native 'u64' plane; got {backend!r}"
+            )
+        super().__init__(bundle, config, lanes, backend)
+        self._comb = compiled_comb(bundle)
+
+    @property
+    def name(self) -> str:
+        return f"compiledx{self.lanes}[{self.backend}]"
+
+    def eval_comb(self, values) -> None:
+        self._comb(values)
 
 
 #: Scalar kernel configurations mapped onto batched execution styles.
@@ -822,17 +806,46 @@ def make_batch_kernel(
     activity cascade (:class:`BatchActivityKernel`) around the named
     base configuration -- on any backend, including the pure-Python
     fallback when NumPy is absent.
+
+    ``"compiled"`` selects the compiled C pass
+    (:class:`CompiledBatchKernel`).  When the design needs more than the
+    native ``u64`` plane or no C toolchain (and no cached shared object)
+    is available, the factory degrades to the SU codegen kernel and
+    records why on the returned kernel's ``compiled_fallback``
+    attribute -- like the codegen degrade above, a missing compiler is a
+    property of the environment, not a user error.
     """
     activity = False
+    compiled = False
     if isinstance(config, str):
         name = config.strip().lower()
         if name.startswith("activity"):
             _, _, base = name.partition(":")
             config = get_kernel_config(base or "PSU")
             activity = True
+        elif name == "compiled":
+            config = get_kernel_config("SU")
+            compiled = True
         else:
             config = get_kernel_config(config)
     backend = pick_backend(bundle, backend)
+    if compiled:
+        try:
+            return CompiledBatchKernel(bundle, config, lanes, backend)
+        except CBackendUnavailable as reason:
+            kernel = _dispatch_kernel(bundle, config, lanes, backend, activity)
+            kernel.compiled_fallback = str(reason)
+            return kernel
+    return _dispatch_kernel(bundle, config, lanes, backend, activity)
+
+
+def _dispatch_kernel(
+    bundle: OimBundle,
+    config: KernelConfig,
+    lanes: int,
+    backend: str,
+    activity: bool,
+) -> BatchKernel:
     if activity:
         return BatchActivityKernel(bundle, config, lanes, backend)
     if backend == "python":

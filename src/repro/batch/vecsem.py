@@ -22,9 +22,11 @@ Two single-row modes share the formulas (:func:`make_vec_table`):
 results are ``(limbs, B)`` uint64 matrices (little-endian limb rows of
 the flat plane, :class:`repro.batch.backend.LimbLayout`).  Arithmetic
 propagates carries/borrows limb by limb, multiplication runs schoolbook
-over 32-bit halves, comparisons fold from the most-significant limb, and
-shifts/cat/bits move bits across limb rows -- all still one vectorised
-NumPy expression per limb, so the lane rank stays free on >64-bit slots.
+over 32-bit halves, division runs vectorised restoring long division
+(one compare/subtract vector step per dividend bit), comparisons fold
+from the most-significant limb, and shifts/cat/bits move bits across
+limb rows -- all still vectorised NumPy expressions over the lane rank,
+so the lane rank stays free on >64-bit slots.
 
 Bit-exactness against the scalar table is asserted op-by-op in the tests.
 """
@@ -34,7 +36,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Sequence
 
 from ..graph.opsem import MAX_CHAIN
-from .backend import LIMB_BITS, combine_limbs, limbs_for_width, make_helpers, popcount_parity, split_limbs
+from .backend import LIMB_BITS, limbs_for_width, make_helpers, popcount_parity, split_limbs
 
 #: Vector evaluator signature, mirroring :data:`repro.graph.opsem.Evaluator`.
 VecEvaluator = Callable[[Sequence[object], Sequence[int], int], object]
@@ -276,34 +278,52 @@ def make_limb_table(np) -> Dict[str, VecEvaluator]:
             out[i] = out_halves[2 * i] | (out_halves[2 * i + 1] << HALF)
         return m(out, ow)
 
-    # -- >64-bit div/rem: exact via per-lane unbounded ints -------------
-    # Long division is not worth vectorising for the rare wide divider;
-    # correctness comes first, and the conversion cost is O(limbs * B).
-    def to_ints(x) -> List[int]:
-        rows = [row.tolist() for row in x]
-        return [
-            combine_limbs([rows[i][lane] for i in range(len(rows))])
-            for lane in range(x.shape[1])
-        ]
+    # -- >64-bit div/rem: vectorised restoring division -----------------
+    def ldivmod(a, b, wa: int, wb: int):
+        """Per-lane ``(quotient, remainder)`` of two limb matrices.
 
-    def from_ints(values: Sequence[int], count: int):
-        return np.array(
-            [split_limbs(value, count) for value in values], dtype=np.uint64
-        ).T
+        Classic restoring long division, one compare/subtract step per
+        dividend bit; every step is a handful of ``(B,)``-vector NumPy
+        ops, so the lane rank stays free (the pre-refactor version
+        round-tripped through per-lane Python ints).  Zero-divisor lanes
+        yield ``(0, 0)``, the repo's FIRRTL x/0 convention.
+        """
+        lanes = a.shape[1]
+        count_q = a.shape[0]
+        # Room for ``(rem << 1) | bit`` before the restoring subtract.
+        count_r = nl(wb + 1)
+        b_wide = ext(b, count_r)
+        quotient = np.zeros((count_q, lanes), dtype=np.uint64)
+        remainder = np.zeros((count_r, lanes), dtype=np.uint64)
+        zero_divisor = ~nonzero(b)
+        full = count_r * LIMB_BITS  # lsub mask width; a no-op mask
+        for i in range(min(wa, count_q * LIMB_BITS) - 1, -1, -1):
+            word, offset = divmod(i, LIMB_BITS)
+            bit_i = (a[word] >> u64(offset)) & ONE
+            for j in range(count_r - 1, 0, -1):
+                remainder[j] = (remainder[j] << ONE) | (
+                    remainder[j - 1] >> u64(LIMB_BITS - 1)
+                )
+            remainder[0] = (remainder[0] << ONE) | bit_i
+            less, _equal = compare(remainder, b_wide)
+            fits = ~less  # remainder >= divisor: subtract and set the bit
+            remainder = np.where(
+                fits[None, :], lsub(remainder, b_wide, full), remainder
+            )
+            quotient[word] = quotient[word] | (
+                fits.astype(np.uint64) << u64(offset)
+            )
+        zero = zero_divisor[None, :]
+        return (
+            np.where(zero, ZERO, quotient),
+            np.where(zero, ZERO, remainder),
+        )
 
-    def ldiv(a, b, ow):
-        quotients = [
-            (x // y if y else 0)
-            for x, y in zip(to_ints(a), to_ints(b))
-        ]
-        return m(from_ints(quotients, nl(ow)), ow)
+    def ldiv(a, b, wa, wb, ow):
+        return m(ldivmod(a, b, wa, wb)[0], ow)
 
-    def lrem(a, b, ow):
-        remainders = [
-            (x % y if y else 0)
-            for x, y in zip(to_ints(a), to_ints(b))
-        ]
-        return m(from_ints(remainders, nl(ow)), ow)
+    def lrem(a, b, wa, wb, ow):
+        return m(ldivmod(a, b, wa, wb)[1], ow)
 
     # -- comparisons: fold from the most-significant limb ---------------
     def compare(a, b):
@@ -414,8 +434,8 @@ def make_limb_table(np) -> Dict[str, VecEvaluator]:
     define("add", lambda a, w, ow: ladd(a[0], a[1], ow))
     define("sub", lambda a, w, ow: lsub(a[0], a[1], ow))
     define("mul", lambda a, w, ow: lmul(a[0], a[1], w[0], w[1], ow))
-    define("div", lambda a, w, ow: ldiv(a[0], a[1], ow))
-    define("rem", lambda a, w, ow: lrem(a[0], a[1], ow))
+    define("div", lambda a, w, ow: ldiv(a[0], a[1], w[0], w[1], ow))
+    define("rem", lambda a, w, ow: lrem(a[0], a[1], w[0], w[1], ow))
     define("lt", lless)
     define("leq", lleq)
     define("gt", lambda a, w, ow: bit(compare(a[1], a[0])[0]))

@@ -83,7 +83,10 @@ def measure_backends(
     bundle = compile_named_design(design_name)
     workload = batched_workload_for(design_name, lanes, base_seed=base_seed)
 
-    scalar = Simulator(bundle, kernel=kernel)
+    # The compiled C pass is batch-only; its scalar reference arm is the
+    # SU kernel it was lowered from (same straight-line program).
+    scalar_kernel = "SU" if kernel == "compiled" else kernel
+    scalar = Simulator(bundle, kernel=scalar_kernel)
     start = time.perf_counter()
     for lane in range(lanes):
         scalar.reset()
@@ -146,6 +149,26 @@ def throughput_rows(
                     measure_backends(design, kernel, lanes, cycles, backends=backends)
                 )
     return rows
+
+
+def attach_compiled_speedup(row_dicts: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Annotate compiled-kernel row dicts with ``compiled_speedup``: the
+    ratio over the SU NumPy codegen kernel at the same (design, B,
+    backend) -- the metric the perf gate's compiled floor enforces.
+    Rows whose compiled request fell back (style != "compiled") are left
+    unannotated; they measured the fallback, not the C pass."""
+    su = {
+        (d["design"], d["lanes"], d["backend"]): float(d["batch_lane_cps"])
+        for d in row_dicts
+        if d["kernel"] == "SU" and d["batch_lane_cps"]
+    }
+    for d in row_dicts:
+        if d["kernel"] != "compiled" or d.get("style") != "compiled":
+            continue
+        base = su.get((d["design"], d["lanes"], d["backend"]))
+        if base:
+            d["compiled_speedup"] = float(d["batch_lane_cps"]) / base
+    return row_dicts
 
 
 def render_rows(rows: Sequence[ThroughputRow], title: str) -> str:

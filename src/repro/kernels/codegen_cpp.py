@@ -9,6 +9,13 @@ The returned :class:`CppSource` carries both the text and the statement
 statistics that drive the compile-cost and binary-size models
 (:mod:`repro.perf.compile_model`).  Binary sizes are *estimated from the
 generated statements*, calibrated against the paper's Table 4.
+
+This module is the paper's *modelled* C++ generation; the **executable**
+compiled path is :mod:`repro.lower.cbackend`, which emits a batched,
+guard-exact C translation unit from the same shared
+:class:`~repro.lower.program.OimProgram` these generators now iterate
+(``cpp_expr`` here is the paper's unguarded single-lane rendering and is
+never compiled).
 """
 
 from __future__ import annotations
@@ -17,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..graph.opsem import REDUCE, SELECT, UNARY
-from ..oim.builder import OimBundle, OpRecord
+from ..lower.program import ProgramRow, cached_program
+from ..oim.builder import OimBundle
 from ..oim.formats import oim_storage_bytes
 from .config import (
     KernelConfig,
@@ -197,10 +205,11 @@ def _iu_source(bundle: OimBundle, config: KernelConfig) -> Tuple[str, List[Tuple
     """Per-layer functions; zero-iteration S loops eliminated."""
     functions: List[Tuple[str, int]] = []
     parts: List[str] = []
-    for i, layer in enumerate(bundle.layers):
-        by_code: Dict[int, List[OpRecord]] = {}
-        for record in layer:
-            by_code.setdefault(record.n, []).append(record)
+    program = cached_program(bundle)
+    for i, layer in enumerate(program.layers):
+        by_code: Dict[int, List[ProgramRow]] = {}
+        for row in layer:
+            by_code.setdefault(row[0], []).append(row)
         lines: List[str] = [f"static void layer_{i}() {{"]
         for code in sorted(by_code):
             entry = bundle.op_table.entry(code)
@@ -219,11 +228,11 @@ def _iu_source(bundle: OimBundle, config: KernelConfig) -> Tuple[str, List[Tuple
         functions.append((f"layer_{i}", _count_statements(text)))
     driver = (
         "void eval_cycle() {\n"
-        + "".join(f"  layer_{i}();\n" for i in range(len(bundle.layers)))
+        + "".join(f"  layer_{i}();\n" for i in range(program.num_layers))
         + "}\n"
     )
     parts.append(driver)
-    functions.append(("eval_cycle", len(bundle.layers)))
+    functions.append(("eval_cycle", program.num_layers))
     return "".join(parts), functions
 
 
@@ -232,40 +241,35 @@ def _straight_line_source(
 ) -> Tuple[str, List[Tuple[str, int]]]:
     """SU (array accesses) / TI (local variables): fully unrolled code."""
     tensor_inline = config.tensor_inline
-    const_values = dict(bundle.const_slots)
+    program = cached_program(bundle)
+    const_values = program.const_values()
     lines: List[str] = ["void eval_cycle() {"]
     statements = 0
     if tensor_inline:
         leaf_slots = sorted(
-            set(bundle.input_slots.values())
+            set(program.input_slots.values())
             | {slot for slot, _ in bundle.register_inits}
         )
         for slot in leaf_slots:
             lines.append(f"  const u64 v{slot} = V[{slot}];")
             statements += 1
-    for layer in bundle.layers:
-        for record in layer:
-            entry = bundle.op_table.entry(record.n)
-            args = []
-            widths = []
-            for r in record.operands:
-                if r in const_values:
-                    args.append(f"{const_values[r]}ULL")
-                elif tensor_inline:
-                    args.append(f"v{r}")
-                else:
-                    args.append(f"V[{r}]")
-                widths.append(bundle.slot_width[r])
-            expression = cpp_expr(
-                entry.name, args, widths, bundle.slot_width[record.s]
-            )
-            target = f"const u64 v{record.s}" if tensor_inline else f"V[{record.s}]"
-            lines.append(f"  {target} = {expression};")
-            statements += 1
+    for n, s, operands, widths, out_width in program.records():
+        args = []
+        for r in operands:
+            if r in const_values:
+                args.append(f"{const_values[r]}ULL")
+            elif tensor_inline:
+                args.append(f"v{r}")
+            else:
+                args.append(f"V[{r}]")
+        expression = cpp_expr(program.op_names[n], args, widths, out_width)
+        target = f"const u64 v{s}" if tensor_inline else f"V[{s}]"
+        lines.append(f"  {target} = {expression};")
+        statements += 1
     if tensor_inline:
         externals = sorted(
-            set(bundle.output_slots.values())
-            | {next_slot for _, next_slot in bundle.register_commits}
+            set(program.output_slots.values())
+            | {next_slot for _, next_slot in program.register_commits}
         )
         for slot in externals:
             lines.append(f"  V[{slot}] = v{slot};")

@@ -29,72 +29,37 @@ output joins the fiber only when the recomputed value actually differs
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
+from ..lower.program import ProgramRow, cached_program, lower_program
 from ..oim.builder import OimBundle
-from ..oim.formats import lower_oim_fast
 from ..tensor.fiber import Fiber
 
-#: One walk record: ``(n, s, operands, widths, out_width)`` with ``n``
-#: the opcode index (rebound to live op-table entries on use -- what
-#: keeps the rows picklable for the artifact cache).
-WalkRow = Tuple[int, int, Tuple[int, ...], Tuple[int, ...], int]
+#: One walk record: ``(n, s, operands, widths, out_width)`` -- the
+#: shared :data:`repro.lower.program.ProgramRow` shape (the opcode index
+#: is rebound to live op-table entries on use, which is what keeps the
+#: rows picklable for the artifact cache).
+WalkRow = ProgramRow
 
 
 def walk_layer_rows(bundle: OimBundle) -> List[List[WalkRow]]:
-    """The optimized-format OIM walk as per-layer row lists.
+    """The OIM walk as per-layer row lists (the shared program's layers).
 
     The traversal order is the RU kernel's: rank I outermost, rank S
-    concordant within each layer, operands in O order.  Resolving it at
-    build time keeps the per-cycle loop free of format bookkeeping.
-    Layers are dependence levels, so records within one layer never read
-    each other's outputs.
+    concordant within each layer, operands in O order -- the canonical
+    order of :func:`repro.lower.lower_program`.  Layers are dependence
+    levels, so records within one layer never read each other's outputs.
     """
-    lowered = lower_oim_fast(bundle, "optimized")
-    i_payloads = lowered.ranks["I"].payloads
-    s_coords = lowered.ranks["S"].coords
-    n_coords = lowered.ranks["N"].coords
-    r_coords = lowered.ranks["R"].coords
-    width = bundle.slot_width
-    entry_of = bundle.op_table.entry
-
-    layers: List[List[WalkRow]] = []
-    op_index = 0
-    r_index = 0
-    for layer_count in i_payloads:                    # Rank I
-        layer: List[WalkRow] = []
-        for _ in range(layer_count):                  # Rank S
-            s = s_coords[op_index]
-            n = n_coords[op_index]
-            op_index += 1
-            arity = entry_of(n).arity
-            operands = tuple(r_coords[r_index:r_index + arity])
-            r_index += arity                          # Ranks O, R
-            layer.append((
-                n,
-                s,
-                operands,
-                tuple(width[r] for r in operands),
-                width[s],
-            ))
-        layers.append(layer)
-    return layers
+    return lower_program(bundle).layers
 
 
 def cached_walk_layer_rows(bundle: OimBundle) -> List[List[WalkRow]]:
-    """:func:`walk_layer_rows` through the :mod:`repro.serve` artifact
-    cache (kind ``oimwalk``), keyed by the bundle fingerprint.  A warm
-    server start thereby skips ``lower_oim_fast`` and the rank-pointer
-    walk entirely; backend/lane count never enter the key because rows
-    address slots, not planes."""
-    from ..serve import artifacts
-
-    if artifacts.get_cache() is None:
-        return walk_layer_rows(bundle)
-    digest = artifacts.bundle_fingerprint(bundle, stage="oimwalk")
-    return artifacts.cache_through(
-        "oimwalk", digest, lambda: walk_layer_rows(bundle)
-    )
+    """:func:`walk_layer_rows` via the cached shared program (kind
+    ``program`` in the :mod:`repro.serve` artifact cache).  A warm
+    server start thereby skips the lowering sweep entirely; backend and
+    lane count never enter the key because rows address slots, not
+    planes."""
+    return cached_program(bundle).layers
 
 
 @dataclass
@@ -127,37 +92,28 @@ class FiberWalkSchedule:
 
 
 def build_fiber_walk(bundle: OimBundle) -> FiberWalkSchedule:
-    """Lower ``bundle`` to a :class:`FiberWalkSchedule`."""
-    layers = cached_walk_layer_rows(bundle)
-    consumer_map: List[List[Tuple[int, int]]] = [
-        [] for _ in range(bundle.num_slots)
-    ]
-    for layer_index, layer in enumerate(layers):
-        for record_index, (_n, _s, operands, _w, _ow) in enumerate(layer):
-            for r in set(operands):
-                consumer_map[r].append((layer_index, record_index))
-    leaves = set(bundle.input_slots.values())
-    leaves.update(state for state, _next in bundle.register_commits)
+    """Lower ``bundle`` to a :class:`FiberWalkSchedule`.
+
+    A thin view over the shared program: the walk layers, the consumer
+    transpose, and the leaf table are all carried by
+    :class:`~repro.lower.program.OimProgram` now, so this just rebinds
+    them under the schedule's historical field names.
+    """
+    program = cached_program(bundle)
     return FiberWalkSchedule(
-        layers=layers,
-        consumers=[tuple(pairs) for pairs in consumer_map],
-        leaf_slots=tuple(sorted(leaves)),
-        num_slots=bundle.num_slots,
+        layers=program.layers,
+        consumers=list(program.consumers),
+        leaf_slots=program.leaf_slots,
+        num_slots=program.num_slots,
     )
 
 
 def cached_fiber_walk(bundle: OimBundle) -> FiberWalkSchedule:
-    """:func:`build_fiber_walk` through the artifact cache (its own kind,
-    ``fiberwalk``): the consumer transpose is a full sweep over the R
-    rank, so warm starts skip it along with the walk lowering."""
-    from ..serve import artifacts
-
-    if artifacts.get_cache() is None:
-        return build_fiber_walk(bundle)
-    digest = artifacts.bundle_fingerprint(bundle, stage="fiberwalk")
-    return artifacts.cache_through(
-        "fiberwalk", digest, lambda: build_fiber_walk(bundle)
-    )
+    """:func:`build_fiber_walk` over the cached shared program.  The
+    consumer transpose is a full sweep over the R rank; it persists as
+    part of the ``program`` artifact, so warm starts skip it along with
+    the walk lowering."""
+    return build_fiber_walk(bundle)
 
 
 def toggled_fiber(changed_slots: Iterable[int], num_slots: int) -> Fiber:

@@ -20,6 +20,11 @@ one cycle of combinational logic:
 
 All kernels are bit-exact and are cross-checked against the FIRRTL
 reference interpreter in the tests.
+
+Every kernel builds from the shared lowered program
+(:func:`repro.lower.cached_program`): the rank-array walkers (RU/OU/NU/
+PSU) consume its derived Figure-12 views, IU/SU/TI consume its rows
+directly.  No kernel re-lowers the OIM privately.
 """
 
 from __future__ import annotations
@@ -28,8 +33,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..graph.opsem import REDUCE, SELECT, UNARY
-from ..oim.builder import OimBundle, OpRecord
-from ..oim.formats import lower_oim_fast
+from ..lower.program import ProgramRow, cached_program
+from ..oim.builder import OimBundle
 from .config import KernelConfig, get_kernel_config
 from .expr import python_expr
 
@@ -68,11 +73,11 @@ class Kernel:
 class RUKernel(Kernel):
     def __init__(self, bundle: OimBundle, config: KernelConfig) -> None:
         super().__init__(bundle, config)
-        lowered = lower_oim_fast(bundle, "optimized")
-        self._i_payloads = lowered.ranks["I"].payloads
-        self._s_coords = lowered.ranks["S"].coords
-        self._n_coords = lowered.ranks["N"].coords
-        self._r_coords = lowered.ranks["R"].coords
+        ranks = cached_program(bundle).flat_ranks()
+        self._i_payloads = ranks.i_payloads
+        self._s_coords = ranks.s_coords
+        self._n_coords = ranks.n_coords
+        self._r_coords = ranks.r_coords
         self._entries = [bundle.op_table.entry(c) for c in range(len(bundle.op_table))]
         self._width = bundle.slot_width
 
@@ -122,11 +127,11 @@ class RUKernel(Kernel):
 class OUKernel(Kernel):
     def __init__(self, bundle: OimBundle, config: KernelConfig) -> None:
         super().__init__(bundle, config)
-        lowered = lower_oim_fast(bundle, "optimized")
-        self._i_payloads = lowered.ranks["I"].payloads
-        self._s_coords = lowered.ranks["S"].coords
-        self._n_coords = lowered.ranks["N"].coords
-        self._r_coords = lowered.ranks["R"].coords
+        ranks = cached_program(bundle).flat_ranks()
+        self._i_payloads = ranks.i_payloads
+        self._s_coords = ranks.s_coords
+        self._n_coords = ranks.n_coords
+        self._r_coords = ranks.r_coords
         self._entries = [bundle.op_table.entry(c) for c in range(len(bundle.op_table))]
         self._width = bundle.slot_width
 
@@ -157,10 +162,10 @@ class OUKernel(Kernel):
 class NUKernel(Kernel):
     def __init__(self, bundle: OimBundle, config: KernelConfig) -> None:
         super().__init__(bundle, config)
-        lowered = lower_oim_fast(bundle, "swizzled")
-        self._n_payloads = lowered.ranks["N"].payloads
-        self._s_coords = lowered.ranks["S"].coords
-        self._r_coords = lowered.ranks["R"].coords
+        ranks = cached_program(bundle).swizzled_ranks()
+        self._n_payloads = ranks.n_payloads
+        self._s_coords = ranks.s_coords
+        self._r_coords = ranks.r_coords
         self._num_codes = len(bundle.op_table)
         self._entries = [bundle.op_table.entry(c) for c in range(self._num_codes)]
         self._width = bundle.slot_width
@@ -205,19 +210,18 @@ class IUKernel(Kernel):
 
     def __init__(self, bundle: OimBundle, config: KernelConfig) -> None:
         super().__init__(bundle, config)
-        width = bundle.slot_width
         self._groups: List[Tuple[Callable, int, List[int], List[int]]] = []
-        for layer in bundle.layers:
-            by_code: Dict[int, List[OpRecord]] = {}
-            for record in layer:
-                by_code.setdefault(record.n, []).append(record)
+        for layer in cached_program(bundle).layers:
+            by_code: Dict[int, List[ProgramRow]] = {}
+            for row in layer:
+                by_code.setdefault(row[0], []).append(row)
             for code in sorted(by_code):
-                records = by_code[code]
+                rows = by_code[code]
                 entry = bundle.op_table.entry(code)
-                s_list = [record.s for record in records]
-                r_list = [r for record in records for r in record.operands]
+                s_list = [s for _n, s, *_rest in rows]
+                r_list = [r for _n, _s, operands, *_rest in rows for r in operands]
                 self._groups.append((entry.semantics, entry.arity, s_list, r_list))
-        self._width = width
+        self._width = bundle.slot_width
 
     def eval_comb(self, values: List[int]) -> None:
         width = self._width
@@ -237,20 +241,14 @@ class IUKernel(Kernel):
 # SU / TI: generated straight-line code
 # ----------------------------------------------------------------------
 def _operand_exprs(
-    bundle: OimBundle,
-    record: OpRecord,
+    operands: Sequence[int],
     const_values: Dict[int, int],
     slot_expr: Callable[[int], str],
-) -> Tuple[List[str], List[int]]:
-    args: List[str] = []
-    widths: List[int] = []
-    for r in record.operands:
-        if r in const_values:
-            args.append(str(const_values[r]))
-        else:
-            args.append(slot_expr(r))
-        widths.append(bundle.slot_width[r])
-    return args, widths
+) -> List[str]:
+    return [
+        str(const_values[r]) if r in const_values else slot_expr(r)
+        for r in operands
+    ]
 
 
 def _compile_chunks(
@@ -270,18 +268,15 @@ class SUKernel(Kernel):
 
     def __init__(self, bundle: OimBundle, config: KernelConfig) -> None:
         super().__init__(bundle, config)
-        const_values = dict(bundle.const_slots)
+        program = cached_program(bundle)
+        const_values = program.const_values()
         statements: List[str] = []
-        for layer in bundle.layers:
-            for record in layer:
-                entry = bundle.op_table.entry(record.n)
-                args, widths = _operand_exprs(
-                    bundle, record, const_values, lambda r: f"V[{r}]"
-                )
-                expression = python_expr(
-                    entry.name, args, widths, bundle.slot_width[record.s]
-                )
-                statements.append(f"    V[{record.s}] = {expression}")
+        for n, s, operands, widths, out_width in program.records():
+            args = _operand_exprs(operands, const_values, lambda r: f"V[{r}]")
+            expression = python_expr(
+                program.op_names[n], args, widths, out_width
+            )
+            statements.append(f"    V[{s}] = {expression}")
         self._functions = self._build(statements)
 
     def _build(self, statements: List[str]) -> List[Callable]:
@@ -315,16 +310,14 @@ class TIKernel(Kernel):
         extra_stores: Optional[Set[int]] = None,
     ) -> None:
         super().__init__(bundle, config)
-        const_values = dict(bundle.const_slots)
-        produced_by_op: Set[int] = {
-            record.s for layer in bundle.layers for record in layer
-        }
-        external: Set[int] = set(bundle.output_slots.values())
-        external.update(next_slot for _, next_slot in bundle.register_commits)
+        program = cached_program(bundle)
+        const_values = program.const_values()
+        external: Set[int] = set(program.output_slots.values())
+        external.update(next_slot for _, next_slot in program.register_commits)
         if extra_stores:
             external.update(extra_stores)
 
-        records = [record for layer in bundle.layers for record in layer]
+        records = list(program.records())
         chunks = [
             records[start:start + CODEGEN_CHUNK]
             for start in range(0, max(len(records), 1), CODEGEN_CHUNK)
@@ -333,12 +326,12 @@ class TIKernel(Kernel):
         # A slot must cross V when defined in one chunk and used in another.
         defining_chunk: Dict[int, int] = {}
         for index, chunk in enumerate(chunks):
-            for record in chunk:
-                defining_chunk[record.s] = index
+            for _n, s, *_rest in chunk:
+                defining_chunk[s] = index
         cross_chunk: Set[int] = set()
         for index, chunk in enumerate(chunks):
-            for record in chunk:
-                for r in record.operands:
+            for _n, _s, operands, *_rest in chunk:
+                for r in operands:
                     owner = defining_chunk.get(r)
                     if owner is not None and owner != index:
                         cross_chunk.add(r)
@@ -350,19 +343,16 @@ class TIKernel(Kernel):
             defined_here: Set[int] = set()
             loads: Set[int] = set()
             lines: List[str] = []
-            for record in chunk:
-                entry = bundle.op_table.entry(record.n)
-                for r in record.operands:
+            for n, s, operands, widths, out_width in chunk:
+                for r in operands:
                     if r not in defined_here and r not in const_values:
                         loads.add(r)
-                args, widths = _operand_exprs(
-                    bundle, record, const_values, lambda r: f"v{r}"
-                )
+                args = _operand_exprs(operands, const_values, lambda r: f"v{r}")
                 expression = python_expr(
-                    entry.name, args, widths, bundle.slot_width[record.s]
+                    program.op_names[n], args, widths, out_width
                 )
-                lines.append(f"    v{record.s} = {expression}")
-                defined_here.add(record.s)
+                lines.append(f"    v{s} = {expression}")
+                defined_here.add(s)
             header = [
                 f"    v{r} = V[{r}]" for r in sorted(loads - defined_here)
             ]

@@ -1,0 +1,90 @@
+"""Width classification and the blocked same-op limb plan.
+
+One program, one classification: :func:`is_narrow` and :func:`blockable`
+decide which rows fit the single-``uint64``-row evaluators and which of
+those can join a layer-blocked same-op group, and :func:`limb_plan`
+folds both into the declarative ``u64xN`` schedule.  The batched walk,
+the activity kernel, the SU codegen, and the C backend all consult these
+same predicates, so the narrow/wide split cannot drift between
+executors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..kernels.expr import LIMB_OP_BASES
+from .program import OimProgram, ProgramRow
+
+#: Widths at or below this fit one uint64 plane row.
+U64_MAX_WIDTH = 64
+
+#: Narrow base ops with a blocked builder in the batched walk -- the
+#: same vocabulary as the split-limb evaluators (one canonical set, so
+#: the layers cannot drift apart).
+BLOCKABLE_BASES = LIMB_OP_BASES
+
+
+def is_narrow(widths, out_width) -> bool:
+    """True when an op never sees a >64-bit operand or result."""
+    return out_width <= U64_MAX_WIDTH and all(w <= U64_MAX_WIDTH for w in widths)
+
+
+def blockable(name: str, widths, out_width) -> bool:
+    """True when a narrow record can join a layer-blocked group.
+
+    The blocked builders replace the per-record Python-level width
+    branches with broadcast ``(k, 1)`` width columns, so records that
+    would take those branches (zero-width shift sources, a zero-width
+    ``cat`` lhs) stay on the per-record path.
+    """
+    base = name.rstrip("0123456789")
+    if base not in BLOCKABLE_BASES:
+        return False
+    if base == "cat" and widths[1] >= U64_MAX_WIDTH:
+        return False  # zero-width lhs idiom: per-record table passes rhs through
+    if base in ("bits", "dshr", "shr", "head") and widths[0] <= 0:
+        return False
+    if base in ("dshl", "shl") and out_width <= 0:
+        return False
+    return True
+
+
+PlanStep = Tuple[str, object, List[ProgramRow]]
+
+
+def limb_plan(program: OimProgram) -> List[PlanStep]:
+    """The ``u64xN`` schedule in declarative, picklable form.
+
+    Per layer, in execution order: ``("block", op_name, rows)`` for each
+    layer-blocked narrow group, then ``("narrow", None, [row])`` /
+    ``("wide", None, [row])`` per remaining record.  Closures are
+    rebuilt from this plan at kernel construction (closures themselves
+    do not pickle), so the grouping/classification sweep is what the
+    artifact cache saves -- as part of the cached program's derived
+    state.
+    """
+    op_names = program.op_names
+    plan: List[PlanStep] = []
+    for layer in program.layers:
+        groups: Dict[str, List[ProgramRow]] = {}
+        leftovers: List[ProgramRow] = []
+        for row in layer:
+            n, _s, _operands, widths, out_width = row
+            name = op_names[n]
+            if is_narrow(widths, out_width) and blockable(
+                name, widths, out_width
+            ):
+                groups.setdefault(name, []).append(row)
+            else:
+                leftovers.append(row)
+        for name, group in groups.items():
+            if len(group) == 1:
+                leftovers.extend(group)
+            else:
+                plan.append(("block", name, group))
+        for row in leftovers:
+            _n, _s, _operands, widths, out_width = row
+            kind = "narrow" if is_narrow(widths, out_width) else "wide"
+            plan.append((kind, None, [row]))
+    return plan

@@ -16,20 +16,25 @@ content-addressed home on disk:
   (P, strategy, max_replication, ...);
 * ``rum``       -- the derived :class:`RegisterUpdateMap`;
 * ``sucodegen`` -- the SU codegen kernel's generated statement list;
-* ``oimwalk``   -- the lowered per-layer walk rows the batch/scalar walk
-  kernels execute;
-* ``fiberwalk`` -- the activity kernels'
-  :class:`~repro.kernels.fiberwalk.FiberWalkSchedule` (walk rows plus the
-  slot-to-consumer transpose and leaf set);
-* ``limbplan``  -- the ``u64xN`` backend's declarative limb evaluation
-  plan (blocked narrow groups + per-row dispatch);
+* ``program``   -- the shared lowered :class:`~repro.lower.program.
+  OimProgram` every kernel executes (walk layers, consumer transpose,
+  leaf/commit tables; supersedes the pre-refactor ``oimwalk``/
+  ``fiberwalk``/``limbplan`` kinds);
+* ``cbin``      -- the compiled C batch backend's shared-object bytes,
+  keyed by the program fingerprint plus host triple and compile flags
+  (a warm start loads it without invoking a compiler);
 * ``pgraph``    -- pickled partition graphs the process executor ships
   to workers by key instead of over the spawn pipe.
 
 Entries are pickled with a versioned schema envelope, written atomically
 (temp file + ``os.replace``), loaded corruption-tolerantly (a damaged or
 mismatched entry is dropped and recomputed, never crashes), and bounded
-by an LRU byte cap (eviction by access time).
+by an LRU byte cap (eviction by access time).  Mutating operations
+(store + eviction, clear) serialise across *processes* on an advisory
+file lock (``.lock`` in the cache root), so fleet members and CI jobs
+can share one ``REPRO_CACHE_DIR`` without racing each other's writes
+and evictions; reads stay lock-free (atomic replace keeps every visible
+entry internally consistent).
 
 The cache is **off by default**.  It activates when the
 ``REPRO_CACHE_DIR`` environment variable names a directory, or when
@@ -40,6 +45,7 @@ no cache is active.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
@@ -47,6 +53,11 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: single-writer semantics, no locking
+    fcntl = None
 
 #: Bump when the envelope layout or any cached type changes shape in a
 #: way old payloads cannot satisfy; old-schema entries read as misses.
@@ -58,8 +69,11 @@ DEFAULT_MAX_BYTES = 1 << 30
 
 #: Artifact kinds this schema knows; unknown kinds still round-trip, the
 #: tuple exists for ``ls`` grouping and docs.
-KINDS = ("graph", "bundle", "partition", "rum", "sucodegen", "oimwalk",
-         "fiberwalk", "limbplan", "pgraph")
+KINDS = ("graph", "bundle", "partition", "rum", "sucodegen", "program",
+         "cbin", "pgraph")
+
+#: Name of the advisory lock file serialising mutating operations.
+LOCK_NAME = ".lock"
 
 
 @dataclass
@@ -121,6 +135,38 @@ class ArtifactCache:
     def path_of(self, kind: str, digest: str) -> Path:
         return self.root / f"{kind}-{digest}.pkl"
 
+    @contextlib.contextmanager
+    def _locked(self):
+        """Hold the cache's advisory file lock for a mutating operation.
+
+        Blocks until the lock is free, so concurrent writers (fleet
+        members, parallel CI jobs) serialise their store+evict sequences
+        instead of racing.  Degrades to a no-op wherever locking cannot
+        work (no ``fcntl``, unwritable root, exotic filesystems): the
+        cache must keep functioning -- merely without cross-process
+        exclusion -- per the broken-cache contract above.  Not
+        re-entrant: callers holding the lock use the ``*_locked``
+        internals rather than the public wrappers.
+        """
+        handle = None
+        if fcntl is not None:
+            try:
+                handle = open(self.root / LOCK_NAME, "a+b")
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                if handle is not None:
+                    handle.close()
+                    handle = None
+        try:
+            yield
+        finally:
+            if handle is not None:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                except OSError:
+                    pass
+                handle.close()
+
     def get(self, kind: str, digest: str):
         """The cached payload, or ``None`` on any kind of miss."""
         path = self.path_of(kind, digest)
@@ -150,7 +196,10 @@ class ArtifactCache:
 
     def put(self, kind: str, digest: str, payload) -> Optional[Path]:
         """Store ``payload`` atomically; returns its path, or ``None`` if
-        the payload could not be pickled or written."""
+        the payload could not be pickled or written.  The write and the
+        follow-on eviction happen under the cache lock, so two processes
+        storing into one directory cannot interleave a replace with the
+        other's GC sweep."""
         envelope = {
             "schema": SCHEMA_VERSION,
             "kind": kind,
@@ -160,23 +209,27 @@ class ArtifactCache:
         path = self.path_of(kind, digest)
         try:
             blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
-            fd, tmp_name = tempfile.mkstemp(
-                prefix=f".{kind}-", suffix=".tmp", dir=self.root
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
         except Exception:
             return None
-        self.stats.puts += 1
-        self.gc()
+        with self._locked():
+            try:
+                fd, tmp_name = tempfile.mkstemp(
+                    prefix=f".{kind}-", suffix=".tmp", dir=self.root
+                )
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(blob)
+                    os.replace(tmp_name, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+                    raise
+            except Exception:
+                return None
+            self.stats.puts += 1
+            self._gc_locked()
         return path
 
     # ------------------------------------------------------------------
@@ -208,7 +261,12 @@ class ArtifactCache:
 
     def gc(self, max_bytes: Optional[int] = None) -> int:
         """Evict least-recently-used entries until under the byte cap;
-        returns the number evicted."""
+        returns the number evicted.  Takes the cache lock; callers that
+        already hold it (``put``) use :meth:`_gc_locked`."""
+        with self._locked():
+            return self._gc_locked(max_bytes)
+
+    def _gc_locked(self, max_bytes: Optional[int] = None) -> int:
         cap = self.max_bytes if max_bytes is None else max_bytes
         if cap is None or cap <= 0:
             return 0
@@ -229,14 +287,15 @@ class ArtifactCache:
 
     def clear(self) -> int:
         """Remove every entry; returns the number removed."""
-        removed = 0
-        for entry in self.entries():
-            try:
-                entry.path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        return removed
+        with self._locked():
+            removed = 0
+            for entry in self.entries():
+                try:
+                    entry.path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            return removed
 
     # ------------------------------------------------------------------
     def _touch(self, path: Path) -> None:

@@ -9,7 +9,9 @@ design and a stimulus seed it builds the whole engine matrix --
   behind the batched surface (:class:`ScalarFleet`), the reference;
 * ``batch-*`` -- :class:`~repro.batch.BatchSimulator` on every value-
   plane backend valid for the design (``u64``, ``u64xN``, ``object``,
-  or the pure-Python fallback), plus an SU-codegen arm;
+  or the pure-Python fallback), plus an SU-codegen arm and -- when the
+  design fits u64 planes and a C toolchain is present -- the compiled
+  C batch backend (``batch-compiled``/``shard-compiled``);
 * ``shard-*`` -- :class:`~repro.shard.ShardedBatchSimulator` across
   executors (serial, optionally process) and partitioner strategies
   (greedy, refined);
@@ -36,6 +38,7 @@ from typing import Dict, List, Optional, Sequence
 from ..batch import BatchSimulator, HAS_NUMPY
 from ..batch.backend import supports_u64
 from ..designs.registry import compile_named_design, compiled_graph
+from ..lower.cbackend import has_toolchain
 from ..shard import ShardedBatchSimulator
 from ..sim import FleetDiff, Simulator, first_divergence, run_lockstep
 from ..workloads.stimulus import batched_workload_for
@@ -163,11 +166,25 @@ def engine_matrix(
     """
     specs = [_spec("scalar", "scalar", kernel=kernel)]
     if HAS_NUMPY:
-        if supports_u64(compile_named_design(design)):
+        design_is_u64 = supports_u64(compile_named_design(design))
+        if design_is_u64:
             specs.append(_spec("batch-u64", "batch", backend="u64", kernel=kernel))
         specs.append(_spec("batch-u64xN", "batch", backend="u64xN", kernel=kernel))
         specs.append(_spec("batch-object", "batch", backend="object", kernel=kernel))
         specs.append(_spec("batch-su", "batch", backend="auto", kernel="SU"))
+        # The compiled C batch backend rides the matrix wherever it can
+        # actually compile: u64-plane designs on hosts with a toolchain.
+        # (Elsewhere `kernel="compiled"` falls back to the NumPy walk,
+        # which batch-su already covers.)
+        if design_is_u64 and has_toolchain():
+            specs.append(
+                _spec("batch-compiled", "batch", backend="u64",
+                      kernel="compiled")
+            )
+            specs.append(
+                _spec("shard-compiled", "shard", executor="serial",
+                      partitioner="greedy", kernel="compiled")
+            )
     else:
         specs.append(_spec("batch-python", "batch", backend="python", kernel=kernel))
     # Sparse engines: the fiber-driven activity walk must stay bit-exact
@@ -220,6 +237,12 @@ def spec_from_name(name: str, kernel: str = "PSU") -> EngineSpec:
     if name == "shard-activity":
         return _spec("shard-activity", "shard", executor="serial",
                      partitioner="greedy", kernel=f"activity:{kernel}")
+    if name == "batch-compiled":
+        return _spec("batch-compiled", "batch", backend="u64",
+                     kernel="compiled")
+    if name == "shard-compiled":
+        return _spec("shard-compiled", "shard", executor="serial",
+                     partitioner="greedy", kernel="compiled")
     if name.startswith("batch-"):
         return _spec(name, "batch", backend=name[len("batch-"):], kernel=kernel)
     if name.startswith("shard-"):
@@ -230,8 +253,8 @@ def spec_from_name(name: str, kernel: str = "PSU") -> EngineSpec:
                          partitioner=partitioner, kernel=kernel)
     raise KeyError(
         f"unknown engine name {name!r}; expected scalar, batch-<backend>, "
-        "batch-su, batch-activity, shard-activity, or "
-        "shard-<executor>-<partitioner>"
+        "batch-su, batch-activity, batch-compiled, shard-activity, "
+        "shard-compiled, or shard-<executor>-<partitioner>"
     )
 
 

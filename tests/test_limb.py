@@ -351,6 +351,51 @@ class TestWidthBoundaryFuzz:
             batch.step()
 
 
+@pytest.mark.skipif(not HAS_NUMPY, reason="NumPy not installed")
+class TestVectorisedDivision:
+    """Direct fuzz of the u64xN restoring-division evaluators at mixed
+    operand widths (``wide_alu_src`` only ever divides equals-by-equals),
+    against unbounded Python ints."""
+
+    CASES = (
+        (65, 65), (127, 64), (128, 65), (129, 129), (129, 1), (66, 130),
+    )
+
+    def _matrix(self, np, values, width):
+        count = limbs_for_width(width)
+        return np.array(
+            [split_limbs(value, count) for value in values], dtype=np.uint64
+        ).T
+
+    def _ints(self, matrix):
+        return [
+            combine_limbs([int(matrix[row, lane]) for row in range(matrix.shape[0])])
+            for lane in range(matrix.shape[1])
+        ]
+
+    @pytest.mark.parametrize("wa,wb", CASES)
+    def test_divmod_matches_bigint(self, wa, wb, rng):
+        import numpy as np
+
+        from repro.batch.vecsem import make_limb_table
+
+        table = make_limb_table(np)
+        lanes = 5
+        for _ in range(6):
+            a = [rng.randrange(1 << wa) for _ in range(lanes)]
+            b = [rng.randrange(1 << wb) for _ in range(lanes)]
+            a[0] = (1 << wa) - 1
+            b[1] = 0  # the zero-divisor lane must yield (0, 0)
+            b[2] = 1
+            am, bm = self._matrix(np, a, wa), self._matrix(np, b, wb)
+            quo = table["div"]([am, bm], (wa, wb), wa)
+            rem = table["rem"]([am, bm], (wa, wb), min(wa, wb))
+            want_q = [x // y if y else 0 for x, y in zip(a, b)]
+            want_r = [x % y if y else 0 for x, y in zip(a, b)]
+            assert self._ints(quo) == want_q, (wa, wb, a, b)
+            assert self._ints(rem) == want_r, (wa, wb, a, b)
+
+
 # ----------------------------------------------------------------------
 # Checkpointing on the limb plane
 # ----------------------------------------------------------------------

@@ -38,6 +38,16 @@ from repro.sim import Simulator
 ROCKET = "rocket-1"
 
 
+def _cache_writer_child(root: str, seed: int, cap: int) -> None:
+    """One concurrent-writer process for the shared-directory test
+    (module level so it pickles under the spawn start method)."""
+    writer_rng = random.Random(seed)
+    store = ArtifactCache(root, max_bytes=cap)
+    for index in range(50):
+        payload = bytes(writer_rng.randrange(400, 1200))
+        store.put("program", f"{seed}-{index:03d}", payload)
+
+
 @pytest.fixture()
 def cache(tmp_path):
     """An active cache for the duration of one test, then deactivated."""
@@ -184,6 +194,43 @@ class TestArtifactCache:
         assert active is not None
         assert active.root == tmp_path / "envcache"
         disable_cache()
+
+    def test_concurrent_writers_share_one_directory(self, tmp_path):
+        """Several processes hammering one cache root (the fleet/CI
+        sharing scenario): the advisory file lock serialises store +
+        eviction, so no entry is ever corrupt and the byte cap holds."""
+        import multiprocessing
+
+        cap = 60_000
+        procs = [
+            multiprocessing.Process(
+                target=_cache_writer_child, args=(str(tmp_path), seed, cap)
+            )
+            for seed in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+        assert [proc.exitcode for proc in procs] == [0] * 4
+        store = ArtifactCache(tmp_path, max_bytes=cap)
+        entries = store.entries()
+        assert entries, "every writer evicted everything?"
+        assert sum(entry.size_bytes for entry in entries) <= cap
+        for entry in entries:
+            assert store.get(entry.kind, entry.digest) is not None
+        assert store.stats.corrupt_drops == 0
+
+    def test_gc_and_clear_reenter_safely_under_put(self, tmp_path):
+        """put holds the lock while it evicts; the public gc()/clear()
+        take it themselves -- none of these may deadlock in-process."""
+        store = ArtifactCache(tmp_path, max_bytes=2_000)
+        for index in range(8):
+            store.put("graph", f"d{index}", bytes(600))  # forces GC inside put
+        assert store.total_bytes <= 2_000
+        store.gc()
+        assert store.clear() >= 0
+        assert store.entries() == []
 
 
 # ----------------------------------------------------------------------
