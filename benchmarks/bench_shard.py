@@ -39,14 +39,14 @@ from bench_common import show, warm
 DESIGNS = ("rocket-1", "gemmini-8")
 LANES = (8, 32)
 PARTITIONS = (1, 2, 4)
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "socket")
 STRATEGIES = ("greedy", "refined")
 CYCLES = 12
 
 TINY_DESIGNS = ("rocket-1",)
 TINY_LANES = (8,)
 TINY_PARTITIONS = (1, 2)
-TINY_EXECUTORS = ("serial", "process")
+TINY_EXECUTORS = ("serial", "process", "socket")
 TINY_STRATEGIES = ("greedy", "refined")
 TINY_CYCLES = 6
 
@@ -89,6 +89,30 @@ def test_shard_single_partition_overhead(benchmark):
     )
     assert rows[0].lane_cps > 0
     assert rows[0].replication_overhead == 0.0
+    show(_render(rows))
+
+
+def test_shm_planes_not_slower_than_pipes(benchmark):
+    """Same-host shared-memory lane planes must not lose to the pickled
+    pipe exchange they replace at P>=2 (the perf_gate shm floor: both
+    arms measured back-to-back in one process, so the ratio is
+    host-independent)."""
+    import pytest
+
+    from repro.batch import HAS_NUMPY
+
+    if not HAS_NUMPY:
+        pytest.skip("shm lane planes need NumPy")
+    warm("rocket-1")
+    rows = benchmark(
+        throughput_rows, ("rocket-1",), (8,), (2,), ("process",), "PSU",
+        CYCLES,
+    )
+    shm = [row for row in rows if row.transport == "shm"]
+    assert shm and shm[0].shm_speedup is not None
+    # The gate floors the best-of-grid ratio at 1.0; a single tiny point
+    # gets headroom for scheduler noise.
+    assert shm[0].shm_speedup > 0.7
     show(_render(rows))
 
 

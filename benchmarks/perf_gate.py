@@ -38,7 +38,7 @@ from typing import Dict, Tuple
 #: point have deliberately different replication overheads.
 KEY_FIELDS = (
     "mode", "design", "kernel", "lanes", "backend", "partitions",
-    "executor", "strategy", "engine", "sessions", "period",
+    "executor", "strategy", "transport", "engine", "sessions", "period",
 )
 #: The gated metric, by preference: sharded rows record ``lane_cps``,
 #: batched rows ``batch_lane_cps``, serve startup rows ``warm_speedup``
@@ -57,6 +57,15 @@ METRIC_FIELDS = ("lane_cps", "batch_lane_cps", "warm_speedup",
 #: are exempt with a notice: there is no sparsity there to exploit.
 SPARSE_FLOOR_ACTIVITY = 0.10
 SPARSE_FLOOR_MIN_SKIP = 0.5
+
+#: Floor rule for the shared-memory lane planes: at or above this many
+#: partitions, a sharded row recording ``shm_speedup`` (shm vs the
+#: pickled-pipe process executor, same host and sweep) must keep its
+#: per-design best at or above 1x -- zero-copy index writes may never
+#: lose to the pipe exchange they replace.  Both arms of a pair are
+#: kernel-dominated on small cuts, so single points are noisy; the rule
+#: takes the best over the measured grid, like the other floors.
+SHM_FLOOR_MIN_PARTITIONS = 2
 
 #: Floor rule for the compiled C batch backend: at or above this many
 #: lanes, a row recording ``compiled_speedup`` (compiled vs the SU NumPy
@@ -165,6 +174,40 @@ def compiled_floor(current: dict, floor: float = 1.0) -> Tuple[int, list]:
     return len(eligible), failures
 
 
+def shm_floor(current: dict, floor: float = 1.0) -> Tuple[int, list]:
+    """The shared-memory lane-plane floor: (checks run, failure labels).
+
+    Per design, among current rows with a ``shm_speedup`` at
+    :data:`SHM_FLOOR_MIN_PARTITIONS` partitions or more, the best ratio
+    must be at least ``floor``.  Absolute, not baseline-relative: the
+    shm and pipe arms ran back-to-back on the same host in the same
+    sweep, so their ratio is host-independent in a way lane-cycles/sec
+    is not.  Hosts without NumPy take the pipe path everywhere, record
+    no ``shm_speedup`` rows, and run zero checks here.
+    """
+    eligible: Dict[str, float] = {}
+    for row in current.get("rows", []):
+        speedup = row.get("shm_speedup")
+        partitions = row.get("partitions")
+        if speedup is None or partitions is None:
+            continue
+        if int(partitions) < SHM_FLOOR_MIN_PARTITIONS:
+            continue
+        design = str(row.get("design"))
+        eligible[design] = max(eligible.get(design, 0.0), float(speedup))
+    failures = []
+    for design, best in sorted(eligible.items()):
+        status = "ok" if best >= floor else "FAIL"
+        print(
+            f"  [{status}] design={design}: best shm_speedup at "
+            f"P>={SHM_FLOOR_MIN_PARTITIONS} is {best:.2f}x "
+            f"(floor {floor:.2f}x)"
+        )
+        if best < floor:
+            failures.append(f"design={design} (shm_speedup floor)")
+    return len(eligible), failures
+
+
 def gate(
     baseline: dict,
     current: dict,
@@ -232,6 +275,9 @@ def gate(
     floor_checks, floor_failures = compiled_floor(current)
     failures.extend(floor_failures)
     compared += floor_checks
+    floor_checks, floor_failures = shm_floor(current)
+    failures.extend(floor_failures)
+    compared += floor_checks
     if compared == 0:
         print("perf-gate: no comparable rows between baseline and current")
         return 0
@@ -269,6 +315,8 @@ def main(argv=None) -> int:
         _, failures = sparse_floor(current)
         _, compiled_failures = compiled_floor(current)
         failures.extend(compiled_failures)
+        _, shm_failures = shm_floor(current)
+        failures.extend(shm_failures)
         return 1 if failures else 0
     baseline = json.loads(baseline_path.read_text())
     return gate(baseline, current, args.factor, args.replication_slack)

@@ -209,6 +209,23 @@ class BatchSimulator:
         self._poked.add(name)
         self._dirty = True
 
+    def adopt_row(self, name: str, lane_values) -> None:
+        """Refresh an input slot from an already-valid lane row, without
+        the per-lane width validation of :meth:`poke_row`.
+
+        The zero-copy half of the shared-memory RUM exchange: the row
+        comes straight out of another partition's value plane, where it
+        was already width-correct by construction, and re-validating
+        element-wise would force a NumPy row back through Python ints.
+        Only use with rows read from a plane of the same width.
+        """
+        slot = self.bundle.input_slots.get(name)
+        if slot is None:
+            raise KeyError(f"{name!r} is not an input of {self.bundle.design_name}")
+        write_slot(self.values, slot, lane_values, self.backend, self.layout)
+        self._poked.add(name)
+        self._dirty = True
+
     def reset(self) -> None:
         """Restore registers and constants to their initial values in every
         lane; poked input values are preserved per lane (scalar parity)."""

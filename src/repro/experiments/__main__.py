@@ -14,6 +14,7 @@ The verification verbs take their own arguments::
     python -m repro.experiments fuzz --design rocket-1 --runs 64
     python -m repro.experiments claims --all --budget tiny
     python -m repro.experiments activity-sweep --periods 1 8 32
+    python -m repro.experiments shard-worker --port 9555
 """
 
 from __future__ import annotations
@@ -73,6 +74,8 @@ def _verb_cli(name: str):
         from ..verify.claims import cli
     elif name == "serve":
         from ..serve.cli import cli
+    elif name == "shard-worker":
+        from ..shard.remote import worker_cli as cli
     else:
         return None
     return cli
@@ -80,7 +83,7 @@ def _verb_cli(name: str):
 
 #: Verbs that consume the rest of the argument vector.
 VERBS = ("activity-sweep", "claims", "differential", "fuzz", "replay",
-         "serve")
+         "serve", "shard-worker")
 
 
 def main(argv=None) -> int:

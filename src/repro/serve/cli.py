@@ -186,7 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--port", type=int, default=0)
     run.add_argument("--engine", default="batch", choices=["batch", "shard"])
     run.add_argument("--executor", default="serial",
-                     choices=["serial", "thread", "process"])
+                     choices=["serial", "thread", "process", "socket"])
     run.add_argument("--max-members", type=int, default=4)
     run.add_argument("--step-timeout", type=float, default=30.0)
     run.add_argument("--cache-dir", default=None)

@@ -16,10 +16,17 @@ reset, checkpoint.  Three executors realise it:
   partition, each hosting its own lane-vectorised
   :class:`~repro.batch.BatchSimulator` built from the pickled partition
   graph.  Commands travel over pipes; lane rows cross as plain int lists
-  (pickled lane buffers).  This is the executor that actually buys
-  wall-clock parallelism for heavy partitions.
+  (pickled lane buffers), or -- when every partition fits the u64 plane
+  and NumPy is present -- as index writes into per-partition
+  ``multiprocessing.shared_memory`` lane planes (``transport="shm"``),
+  cutting the per-cycle exchange to zero-copy row assignments.  This is
+  the executor that actually buys wall-clock parallelism for heavy
+  partitions.
+* :class:`~repro.shard.remote.SocketExecutor` -- the same command set as
+  length-prefixed pickle frames over TCP, partitions spread round-robin
+  over ``shard-worker`` hosts (see :mod:`repro.shard.remote`).
 
-All three expose the same interface, so the sharded simulator's exchange
+All four expose the same interface, so the sharded simulator's exchange
 logic is written once.  The per-cycle protocol is two phases: broadcast
 ``step`` to every worker, gather each worker's export rows (its owned
 registers that other partitions read), then scatter the per-reader sync
@@ -31,16 +38,41 @@ from __future__ import annotations
 
 import time
 import traceback
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..batch.backend import HAS_NUMPY, U64_MAX_WIDTH
 from ..batch.simulator import BatchSimulator
 from ..kernels.config import KernelConfig
 from ..repcut.partition import Partition
 
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "socket")
 
 #: One partition's exported register rows: ``{register: [lane values]}``.
 ExportRows = Dict[str, List[int]]
+
+
+def _require_count(executor, op: str, got: int, expected: int) -> None:
+    """Refuse partition-indexed payloads of the wrong length.
+
+    Silently zipping a short ``states`` list against the partition list
+    would leave trailing partitions stale -- a wrong-partition-count
+    snapshot must fail loudly, not corrupt lockstep.
+    """
+    if got != expected:
+        raise ValueError(
+            f"{executor.name} executor {op}() got {got} partition "
+            f"entries, expected {expected} -- was this state captured "
+            "under a different partitioning?"
+        )
+
+
+def _is_pgraph_cache_miss(text) -> bool:
+    """Recognise the one handshake failure worth a respawn: the worker
+    could not resolve a ``pgraph`` cache reference (stale/evicted
+    entry).  Anything else -- a genuine worker-side compile error --
+    would fail identically on retry and must surface as-is."""
+    message = str(text)
+    return "pgraph cache entry" in message and "missing" in message
 
 
 def _make_partition_sim(
@@ -80,6 +112,10 @@ class BaseExecutor:
     """
 
     name = "abstract"
+    #: How lane rows move during the exchange: ``"local"`` (same address
+    #: space), ``"pipe"`` (pickled over multiprocessing pipes), ``"shm"``
+    #: (shared-memory lane planes), or ``"socket"`` (TCP frames).
+    transport = "local"
     step_total_seconds: float = 0.0
     step_max_seconds: float = 0.0
 
@@ -187,6 +223,7 @@ class SerialExecutor(BaseExecutor):
         return results
 
     def apply_sync(self, updates: Sequence[ExportRows]) -> None:
+        _require_count(self, "apply_sync", len(updates), len(self.sims))
         for sim, rows in zip(self.sims, updates):
             for name, row in rows.items():
                 sim.poke_row(name, row)
@@ -199,6 +236,7 @@ class SerialExecutor(BaseExecutor):
         return [sim.snapshot() for sim in self.sims]
 
     def restore(self, states: Sequence[object]) -> None:
+        _require_count(self, "restore", len(states), len(self.sims))
         for sim, state in zip(self.sims, states):
             sim.restore(state)
 
@@ -206,6 +244,7 @@ class SerialExecutor(BaseExecutor):
         return [sim.export_lane(lane) for sim in self.sims]
 
     def import_lane(self, lane: int, states: Sequence[Sequence[int]]) -> None:
+        _require_count(self, "import_lane", len(states), len(self.sims))
         for sim, state in zip(self.sims, states):
             sim.import_lane(lane, state)
 
@@ -273,18 +312,106 @@ def _resolve_graph_ref(graph_ref):
     return graph
 
 
-def _shard_worker_main(conn, graph_ref, lanes, kernel, backend, export_names):
+def _attach_shm(name: str):
+    """Attach an existing shared-memory segment without registering it
+    with the resource tracker -- the creating parent owns the segment's
+    lifetime; a tracked attach would double-unlink it at worker exit."""
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # track= needs Python 3.13
+        # Older interpreters: suppress the tracker registration during
+        # attach.  (Un)registering after the fact is wrong under fork --
+        # the worker shares the parent's tracker process, so an
+        # unregister here would drop the *parent's* entry for the
+        # segment and make its own unlink complain at exit.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class _WorkerPlanes:
+    """Worker-side view of the shared lane planes (lazy attach).
+
+    ``spec`` is the parent's table: ``planes`` names every partition's
+    segment, ``index``/``rows`` locate this worker's own export rows,
+    ``imports`` maps replica-input names to ``(writer, row)`` sources.
+    """
+
+    def __init__(self, spec, lanes: int):
+        self.spec = spec
+        self.lanes = lanes
+        self._segs = {}
+        self._views = {}
+        self._slots = None
+
+    def view(self, index: int):
+        if index not in self._views:
+            import numpy as np
+
+            name, rows = self.spec["planes"][index]
+            seg = _attach_shm(name)
+            self._segs[index] = seg
+            self._views[index] = np.ndarray(
+                (rows, self.lanes), dtype=np.uint64, buffer=seg.buf
+            )
+        return self._views[index]
+
+    def publish(self, sim: BatchSimulator) -> None:
+        """Write this worker's export rows into its own plane (one
+        vectorised gather: row *j* of the plane is export name *j*)."""
+        own = self.view(self.spec["index"])
+        if self._slots is None:
+            import numpy as np
+
+            ordered = sorted(self.spec["rows"].items(), key=lambda kv: kv[1])
+            self._slots = np.array(
+                [sim.bundle.signal_slots[name] for name, _ in ordered],
+                dtype=np.intp,
+            )
+        own[:] = sim.values[self._slots]
+
+    def adopt(self, sim: BatchSimulator, names) -> None:
+        """Refresh replica inputs straight from the writers' planes."""
+        for name in names:
+            writer, row_index = self.spec["imports"][name]
+            sim.adopt_row(name, self.view(writer)[row_index])
+
+    def close(self) -> None:
+        self._views.clear()
+        for seg in self._segs.values():
+            try:
+                seg.close()
+            except (OSError, BufferError):  # pragma: no cover
+                pass
+        self._segs.clear()
+
+
+def _shard_worker_main(conn, graph_ref, lanes, kernel, backend, export_names,
+                       shm_spec=None):
     """One worker process: host a partition's BatchSimulator over a pipe.
 
     Replies ``("ok", payload)`` or ``("err", traceback)`` to every
     command; the first message is the construction handshake carrying the
-    resolved ``backend/style`` string.
+    resolved ``backend/style`` string.  With ``shm_spec`` the exchange
+    goes through shared lane planes: ``step``/``collect`` publish export
+    rows as index writes (the pipe reply carries only the duration) and
+    ``sync_shm`` adopts replica rows straight from the writers' planes.
     """
+    planes = None
     try:
         sim = BatchSimulator(
             _resolve_graph_ref(graph_ref), lanes=lanes, kernel=kernel,
             backend=backend, optimize_graph=False,
         )
+        if shm_spec is not None:
+            planes = _WorkerPlanes(shm_spec, lanes)
     except Exception:
         conn.send(("err", traceback.format_exc()))
         conn.close()
@@ -303,23 +430,32 @@ def _shard_worker_main(conn, graph_ref, lanes, kernel, backend, export_names):
             if op == "step":
                 start = time.perf_counter()
                 _step_one(sim, args)
-                exports = {
-                    name: sim.peek_row(name, settle=False)
-                    for name in export_names
-                }
+                if planes is None:
+                    exports = {
+                        name: sim.peek_row(name, settle=False)
+                        for name in export_names
+                    }
+                else:
+                    planes.publish(sim)
+                    exports = None
                 result = (exports, time.perf_counter() - start)
             elif op == "sync":
                 for name, row in args.items():
                     sim.poke_row(name, row)
+            elif op == "sync_shm":
+                planes.adopt(sim, args)
             elif op == "poke":
                 sim.poke(*args)
             elif op == "peek":
                 result = sim.peek(args)
             elif op == "collect":
-                result = {
-                    name: sim.peek_row(name, settle=False)
-                    for name in export_names
-                }
+                if planes is None:
+                    result = {
+                        name: sim.peek_row(name, settle=False)
+                        for name in export_names
+                    }
+                else:
+                    planes.publish(sim)
             elif op == "reset":
                 sim.reset()
             elif op == "snapshot":
@@ -338,7 +474,25 @@ def _shard_worker_main(conn, graph_ref, lanes, kernel, backend, export_names):
             conn.send(("ok", result))
         except Exception:
             conn.send(("err", traceback.format_exc()))
+    if planes is not None:
+        planes.close()
     conn.close()
+
+
+def _handshake_recv(conn):
+    """Receive a worker's construction handshake, mapping a silent death
+    (EOF before the first reply) onto the same RuntimeError surface as a
+    worker-reported failure."""
+    try:
+        status, payload = conn.recv()
+    except (EOFError, OSError) as exc:
+        raise RuntimeError(
+            "shard worker died during the construction handshake "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+    if status == "err":
+        raise RuntimeError(f"shard worker failed:\n{payload}")
+    return payload
 
 
 def _mp_context():
@@ -352,10 +506,46 @@ def _mp_context():
         return multiprocessing.get_context("spawn")
 
 
+def _shm_eligibility(partitions, backend: str):
+    """Whether shared-memory lane planes can carry the exchange.
+
+    Returns ``(eligible, reason)``: the planes are uint64 rows, so every
+    partition must resolve onto the single-row u64 backend -- NumPy
+    present, no explicit object/limb/python request, and no slot wider
+    than :data:`~repro.batch.backend.U64_MAX_WIDTH` bits anywhere.
+    """
+    if not HAS_NUMPY:
+        return False, "NumPy is unavailable"
+    if backend not in ("auto", "u64"):
+        return False, f"backend {backend!r} does not use u64 planes"
+    for index, partition in enumerate(partitions):
+        widest = max(
+            (node.width for node in partition.graph.nodes), default=0
+        )
+        if widest > U64_MAX_WIDTH:
+            return False, (
+                f"partition {index} has {widest}-bit slots (> "
+                f"{U64_MAX_WIDTH}); the u64 plane cannot hold them"
+            )
+    return True, ""
+
+
 class ProcessExecutor(BaseExecutor):
-    """One worker process per partition, pickled lane buffers over pipes."""
+    """One worker process per partition, lane buffers over pipes or
+    shared-memory planes.
+
+    ``shm_planes=None`` (the default) takes the zero-copy path whenever
+    every partition fits the u64 plane, falling back to pickled pipe
+    rows otherwise; ``True`` requires it (raising when ineligible) and
+    ``False`` forces the pipe path.  ``transport`` reports which one is
+    live.
+    """
 
     name = "process"
+    #: Bounded wait for a worker's close acknowledgement and join; a
+    #: wedged worker (stuck syscall, livelocked kernel) is terminated
+    #: and, failing that, killed, instead of hanging close() forever.
+    close_timeout = 5.0
 
     def __init__(
         self,
@@ -364,6 +554,8 @@ class ProcessExecutor(BaseExecutor):
         kernel,
         backend: str,
         exports: Sequence[Sequence[str]],
+        routes: Sequence[Tuple[str, int, Tuple[int, ...]]] = (),
+        shm_planes: Optional[bool] = None,
     ) -> None:
         # KernelConfig instances carry only data, but the name round-trips
         # through get_kernel_config identically and pickles smaller.
@@ -371,9 +563,28 @@ class ProcessExecutor(BaseExecutor):
         ctx = _mp_context()
         self._conns = []
         self._procs = []
+        self._shm_segs = []
+        self._planes = []
+        self._prev_planes = []
+        self._prev_valid = False
+        self._export_index: List[Dict[str, int]] = []
+        self._imports: List[Dict[str, Tuple[int, int]]] = []
+        self.lanes = lanes
+        self.transport = "pipe"
+        eligible, reason = _shm_eligibility(partitions, backend)
+        if shm_planes is True and not eligible:
+            raise RuntimeError(f"shm_planes=True but {reason}")
+        use_shm = eligible if shm_planes is None else bool(shm_planes)
+        shm_specs: List[Optional[dict]] = [None] * len(partitions)
+        if use_shm:
+            shm_specs = self._create_planes(partitions, lanes, exports,
+                                            routes)
+            self.transport = "shm"
         try:
             self._styles = []
-            for partition, names in zip(partitions, exports):
+            for index, (partition, names) in enumerate(
+                zip(partitions, exports)
+            ):
                 ref = self._graph_ref(partition)
                 refs = [ref]
                 if ref[0] == "cache":
@@ -389,7 +600,7 @@ class ProcessExecutor(BaseExecutor):
                     proc = ctx.Process(
                         target=_shard_worker_main,
                         args=(child, ref, lanes, kernel_arg, backend,
-                              list(names)),
+                              list(names), shm_specs[index]),
                         daemon=True,
                     )
                     proc.start()
@@ -398,11 +609,16 @@ class ProcessExecutor(BaseExecutor):
                         # Construction handshake: surfaces worker-side
                         # compile errors (e.g. an explicit u64 request on
                         # a wide partition) here.
-                        style = self._recv(parent)
-                    except RuntimeError:
+                        style = _handshake_recv(parent)
+                    except RuntimeError as exc:
                         parent.close()
                         proc.join(timeout=5)
-                        if refs:
+                        # Respawn with the inline graph only on the one
+                        # retryable failure (a stale/evicted pgraph
+                        # entry); a genuine worker-side error would fail
+                        # identically on retry, and retrying would bury
+                        # its traceback under the second attempt's.
+                        if refs and _is_pgraph_cache_miss(exc):
                             continue
                         raise
                     self._conns.append(parent)
@@ -412,6 +628,61 @@ class ProcessExecutor(BaseExecutor):
         except Exception:
             self.close()
             raise
+
+    def _create_planes(self, partitions, lanes, exports, routes):
+        """Allocate one shared ``(rows, B)`` uint64 plane per partition
+        and derive the worker-side index tables from the routes."""
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        plane_table = []
+        for names in exports:
+            rows = len(names)
+            seg = shared_memory.SharedMemory(
+                create=True, size=max(1, rows * lanes * 8)
+            )
+            self._shm_segs.append(seg)
+            plane = (
+                np.ndarray((rows, lanes), dtype=np.uint64, buffer=seg.buf)
+                if rows else None
+            )
+            self._planes.append(plane)
+            # A private copy of each plane, for the parent's vectorised
+            # change mask: rows equal to the previous step never
+            # materialise as Python lists.
+            self._prev_planes.append(
+                np.empty_like(plane) if plane is not None else None
+            )
+            self._export_index.append({n: j for j, n in enumerate(names)})
+            plane_table.append((seg.name, rows))
+        self._imports = [{} for _ in partitions]
+        for name, writer, readers in routes:
+            source = (writer, self._export_index[writer][name])
+            for reader in readers:
+                self._imports[reader][name] = source
+        return [
+            {
+                "planes": plane_table,
+                "index": i,
+                "rows": self._export_index[i],
+                "imports": self._imports[i],
+            }
+            for i in range(len(partitions))
+        ]
+
+    def _release_planes(self) -> None:
+        self._planes = []
+        self._prev_planes = []
+        for seg in self._shm_segs:
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._shm_segs = []
 
     @staticmethod
     def _graph_ref(partition: Partition):
@@ -430,21 +701,71 @@ class ProcessExecutor(BaseExecutor):
         return ("cache", str(cache.root), digest)
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _recv(conn):
-        status, payload = conn.recv()
+    def _send(self, index: int, op: str, args=None) -> None:
+        try:
+            self._conns[index].send((op, args))
+        except (OSError, BrokenPipeError) as exc:
+            raise RuntimeError(
+                f"shard worker {index} is gone "
+                f"({type(exc).__name__}: {exc}); close() this executor "
+                "and build a fresh one"
+            ) from exc
+
+    def _recv(self, index: int):
+        try:
+            status, payload = self._conns[index].recv()
+        except (EOFError, OSError) as exc:
+            raise RuntimeError(
+                f"shard worker {index} died mid-command "
+                f"({type(exc).__name__}: {exc}); close() this executor "
+                "and build a fresh one"
+            ) from exc
         if status == "err":
-            raise RuntimeError(f"shard worker failed:\n{payload}")
+            raise RuntimeError(f"shard worker {index} failed:\n{payload}")
         return payload
 
     def _call(self, index: int, op: str, args=None):
-        self._conns[index].send((op, args))
-        return self._recv(self._conns[index])
+        self._send(index, op, args)
+        return self._recv(index)
 
     def _broadcast(self, op: str, args=None) -> List[object]:
-        for conn in self._conns:
-            conn.send((op, args))
-        return [self._recv(conn) for conn in self._conns]
+        for index in range(len(self._conns)):
+            self._send(index, op, args)
+        return [self._recv(index) for index in range(len(self._conns))]
+
+    def _plane_rows(self, index: int) -> ExportRows:
+        """Every export row of one plane, materialised (and remembered
+        as the change-mask baseline)."""
+        view = self._planes[index]
+        if view is None:
+            return {}
+        self._prev_planes[index][:] = view
+        return {
+            name: view[j].tolist()
+            for name, j in self._export_index[index].items()
+        }
+
+    def _changed_rows(self, index: int) -> ExportRows:
+        """Only the export rows that changed since the last report.
+
+        The compare runs vectorised against the parent's private copy of
+        the plane; for a quiescent register nothing crosses into Python.
+        The coordinator counts rows absent from a report as natively
+        suppressed, so the differential-exchange semantics (and its
+        counters) are unchanged."""
+        view = self._planes[index]
+        if view is None:
+            return {}
+        prev = self._prev_planes[index]
+        changed = (view != prev).any(axis=1)
+        if not changed.any():
+            return {}
+        prev[:] = view
+        return {
+            name: view[j].tolist()
+            for name, j in self._export_index[index].items()
+            if changed[j]
+        }
 
     # ------------------------------------------------------------------
     def poke(self, index: int, name: str, value) -> None:
@@ -454,40 +775,79 @@ class ProcessExecutor(BaseExecutor):
         return self._call(index, "peek", name)
 
     def collect(self) -> List[ExportRows]:
-        return self._broadcast("collect")
+        results = self._broadcast("collect")
+        if self.transport == "shm":
+            rows = [self._plane_rows(i) for i in range(len(self._conns))]
+            self._prev_valid = True
+            return rows
+        return results
 
     def step_collect(self, clock: Optional[str] = None) -> List[ExportRows]:
         results = self._broadcast("step", clock)
         self._account([duration for _, duration in results])
+        if self.transport == "shm":
+            if not self._prev_valid:
+                rows = [self._plane_rows(i) for i in range(len(self._conns))]
+                self._prev_valid = True
+                return rows
+            return [self._changed_rows(i) for i in range(len(self._conns))]
         return [exports for exports, _ in results]
 
     def apply_sync(self, updates: Sequence[ExportRows]) -> None:
-        active = [i for i, rows in enumerate(updates) if rows]
-        for i in active:
-            self._conns[i].send(("sync", updates[i]))
-        for i in active:
-            self._recv(self._conns[i])
+        _require_count(self, "apply_sync", len(updates), len(self._conns))
+        if self.transport != "shm":
+            active = [i for i, rows in enumerate(updates) if rows]
+            for i in active:
+                self._send(i, "sync", updates[i])
+            for i in active:
+                self._recv(i)
+            return
+        # Shared-memory path: ship row *names*; each worker adopts the
+        # rows straight from the writers' planes.  Rows the schedule does
+        # not know (an executor driven without routes) fall back to the
+        # pickled form.
+        pending = []
+        for i, rows in enumerate(updates):
+            known = [n for n in rows if n in self._imports[i]]
+            rest = {n: r for n, r in rows.items()
+                    if n not in self._imports[i]}
+            if known:
+                self._send(i, "sync_shm", known)
+                pending.append(i)
+            if rest:
+                self._send(i, "sync", rest)
+                pending.append(i)
+        for i in pending:
+            self._recv(i)
 
     def reset(self) -> None:
+        # Lane state jumped without a publish: the change-mask baseline
+        # is stale, so the next step reports every row (same for
+        # restore/import_lane below).
+        self._prev_valid = False
         self._broadcast("reset")
 
     def snapshot(self) -> List[object]:
         return self._broadcast("snapshot")
 
     def restore(self, states: Sequence[object]) -> None:
+        _require_count(self, "restore", len(states), len(self._conns))
+        self._prev_valid = False
         for i, state in enumerate(states):
-            self._conns[i].send(("restore", state))
+            self._send(i, "restore", state)
         for i in range(len(states)):
-            self._recv(self._conns[i])
+            self._recv(i)
 
     def export_lane(self, lane: int) -> List[List[int]]:
         return self._broadcast("export_lane", lane)
 
     def import_lane(self, lane: int, states: Sequence[Sequence[int]]) -> None:
+        _require_count(self, "import_lane", len(states), len(self._conns))
+        self._prev_valid = False
         for i, state in enumerate(states):
-            self._conns[i].send(("import_lane", (lane, state)))
+            self._send(i, "import_lane", (lane, state))
         for i in range(len(states)):
-            self._recv(self._conns[i])
+            self._recv(i)
 
     def activity_stats(self) -> List[object]:
         return self._broadcast("activity_stats")
@@ -499,16 +859,25 @@ class ProcessExecutor(BaseExecutor):
         for conn in self._conns:
             try:
                 conn.send(("close", None))
-                conn.recv()
+                # A dead or wedged worker never acknowledges; a bare
+                # recv() here would block forever.  poll() bounds the
+                # wait so the join/terminate ladder below actually runs.
+                if conn.poll(self.close_timeout):
+                    conn.recv()
             except (OSError, EOFError, BrokenPipeError):
                 pass
             conn.close()
         for proc in self._procs:
-            proc.join(timeout=5)
+            proc.join(timeout=self.close_timeout)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
+                proc.join(timeout=1)
+            if proc.is_alive():  # pragma: no cover - unkillable worker
+                proc.kill()
+                proc.join(timeout=1)
         self._conns = []
         self._procs = []
+        self._release_planes()
 
 
 # ----------------------------------------------------------------------
@@ -526,8 +895,43 @@ def make_executor(
     kernel,
     backend: str,
     exports: Sequence[Sequence[str]],
+    routes: Sequence[Tuple[str, int, Tuple[int, ...]]] = (),
+    hosts: Optional[Sequence] = None,
+    shm_planes: Optional[bool] = None,
 ) -> BaseExecutor:
-    """Instantiate an executor by name (``serial``/``thread``/``process``)."""
+    """Instantiate an executor by name (one of :data:`EXECUTORS`).
+
+    ``routes`` is the RUM exchange schedule ``(name, writer, readers)``
+    -- the process executor derives its shared-memory import tables from
+    it, the socket executor its static per-host exchange plan.
+    ``hosts`` (socket only) names running ``shard-worker`` endpoints;
+    ``shm_planes`` (process only) requests/forbids the shared-memory
+    lane planes.
+    """
+    if name == "socket":
+        if shm_planes is not None:
+            raise ValueError(
+                "shm_planes= applies to the process executor, not socket"
+            )
+        from .remote import SocketExecutor
+
+        return SocketExecutor(
+            partitions, lanes, kernel, backend, exports,
+            routes=routes, hosts=hosts,
+        )
+    if hosts is not None:
+        raise ValueError(
+            f"hosts= applies to the socket executor, not {name!r}"
+        )
+    if name == "process":
+        return ProcessExecutor(
+            partitions, lanes, kernel, backend, exports,
+            routes=routes, shm_planes=shm_planes,
+        )
+    if shm_planes is not None:
+        raise ValueError(
+            f"shm_planes= applies to the process executor, not {name!r}"
+        )
     cls = _EXECUTOR_CLASSES.get(name)
     if cls is None:
         raise KeyError(

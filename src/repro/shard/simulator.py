@@ -108,9 +108,22 @@ class ShardedBatchSimulator:
         the RUM exchange itself is storage-agnostic (lane rows cross as
         plain ints), so mixed-backend partitions compose freely.
     executor:
-        ``"serial"`` (deterministic reference), ``"thread"``, or
-        ``"process"`` (one worker process per partition, pickled lane
-        buffers); see :mod:`repro.shard.executors`.
+        ``"serial"`` (deterministic reference), ``"thread"``,
+        ``"process"`` (one worker process per partition; pickled lane
+        buffers, or shared-memory lane planes when eligible), or
+        ``"socket"`` (partitions on ``shard-worker`` hosts over TCP);
+        see :mod:`repro.shard.executors` / :mod:`repro.shard.remote`.
+    hosts:
+        Socket executor only: ``"host[:port]"`` strings (or
+        ``(host, port)`` pairs) of running ``shard-worker`` endpoints,
+        assigned partitions round-robin.  ``None`` auto-spawns loopback
+        workers owned by this simulator.
+    shm_planes:
+        Process executor only: ``None`` (default) uses shared-memory
+        lane planes whenever every partition fits the u64 plane,
+        ``True`` requires them (raising when ineligible), ``False``
+        forces the pickled-pipe exchange.  The live choice is reported
+        by :attr:`transport`.
     """
 
     def __init__(
@@ -124,6 +137,8 @@ class ShardedBatchSimulator:
         partitioner: str = "greedy",
         max_replication: Optional[float] = None,
         preserve_signals: bool = False,
+        hosts: Optional[Sequence] = None,
+        shm_planes: Optional[bool] = None,
     ) -> None:
         if lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes}")
@@ -155,7 +170,8 @@ class ShardedBatchSimulator:
         ]
         self.executor: BaseExecutor = make_executor(
             executor, self.result.partitions, lanes, kernel, backend,
-            self._exports,
+            self._exports, routes=self._routes, hosts=hosts,
+            shm_planes=shm_planes,
         )
         self._closed = False
 
@@ -401,6 +417,15 @@ class ShardedBatchSimulator:
             {} for _ in range(len(self.result.partitions))
         ]
         for name, _writer, readers in self._routes:
+            if name not in merged:
+                # The executor handled this row natively.  A name with
+                # sync history was suppressed transport-side (the shm
+                # change mask drops quiescent rows before they reach the
+                # coordinator); one without history never travels here
+                # at all (host-local socket routes).
+                if name in self._last_synced:
+                    self.sync_suppressed += len(readers)
+                continue
             row = tuple(merged[name])
             if self._last_synced.get(name) == row:
                 self.sync_suppressed += len(readers)
@@ -442,6 +467,12 @@ class ShardedBatchSimulator:
     def signal_widths(self) -> Dict[str, int]:
         """``{signal: width}`` of every peekable signal (waveforms)."""
         return dict(self._signal_widths)
+
+    @property
+    def transport(self) -> str:
+        """How lane rows move during the exchange: ``"local"``,
+        ``"pipe"``, ``"shm"``, or ``"socket"``."""
+        return getattr(self.executor, "transport", "local")
 
     @property
     def replication_overhead(self) -> float:

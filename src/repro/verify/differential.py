@@ -212,6 +212,20 @@ def engine_matrix(
             _spec("shard-process-refined", "shard", executor="process",
                   partitioner="refined", kernel=kernel)
         )
+        # Loopback socket workers: the distributed transport must stay
+        # bit-exact with the in-process engines; same spawn cost class
+        # as the process arm, so it rides behind the same flag.
+        specs.append(
+            _spec("shard-socket", "shard", executor="socket",
+                  partitioner="greedy", kernel=kernel)
+        )
+        if HAS_NUMPY and supports_u64(compile_named_design(design)):
+            # Shared-memory lane planes, explicitly required (auto would
+            # silently fall back to pipes and test nothing new here).
+            specs.append(
+                _spec("shard-shm", "shard", executor="process",
+                      partitioner="greedy", shm_planes=True, kernel=kernel)
+            )
         if full:
             specs.append(
                 _spec("shard-process-greedy", "shard", executor="process",
@@ -243,6 +257,12 @@ def spec_from_name(name: str, kernel: str = "PSU") -> EngineSpec:
     if name == "shard-compiled":
         return _spec("shard-compiled", "shard", executor="serial",
                      partitioner="greedy", kernel="compiled")
+    if name == "shard-socket":
+        return _spec("shard-socket", "shard", executor="socket",
+                     partitioner="greedy", kernel=kernel)
+    if name == "shard-shm":
+        return _spec("shard-shm", "shard", executor="process",
+                     partitioner="greedy", shm_planes=True, kernel=kernel)
     if name.startswith("batch-"):
         return _spec(name, "batch", backend=name[len("batch-"):], kernel=kernel)
     if name.startswith("shard-"):
@@ -254,7 +274,8 @@ def spec_from_name(name: str, kernel: str = "PSU") -> EngineSpec:
     raise KeyError(
         f"unknown engine name {name!r}; expected scalar, batch-<backend>, "
         "batch-su, batch-activity, batch-compiled, shard-activity, "
-        "shard-compiled, or shard-<executor>-<partitioner>"
+        "shard-compiled, shard-socket, shard-shm, or "
+        "shard-<executor>-<partitioner>"
     )
 
 

@@ -1,0 +1,373 @@
+"""Tests for the distributed shard transports: the socket executor and
+worker protocol (repro.shard.remote) plus the process executor's
+shared-memory lane planes -- including the hardening paths (killed and
+wedged workers, stale cache refs, mismatched state lengths)."""
+
+import os
+import signal
+import socket
+import time
+
+import pytest
+
+from repro.batch import HAS_NUMPY
+from repro.designs.registry import compiled_graph
+from repro.shard import ShardedBatchSimulator
+from repro.shard.executors import ProcessExecutor, _is_pgraph_cache_miss
+from repro.shard.remote import (
+    MAX_FRAME,
+    _parse_host,
+    recv_frame,
+    send_frame,
+    spawn_local_workers,
+)
+from repro.workloads.stimulus import batched_workload_for
+
+LANES = 2
+CYCLES = 6
+
+
+def _reap(procs):
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5)
+
+
+def _lockstep(design, cycles=CYCLES, lanes=LANES, **shard_kwargs):
+    """Run a sharded sim against a serial-executor reference, bit-exact
+    on every output every cycle; returns the sharded sim's transport."""
+    graph = compiled_graph(design)
+    workload = batched_workload_for(design, lanes)
+    outputs = sorted(graph.outputs)
+    with ShardedBatchSimulator(
+        graph, lanes=lanes, num_partitions=1
+    ) as reference, ShardedBatchSimulator(
+        graph, lanes=lanes, **shard_kwargs
+    ) as shard:
+        for cycle in range(cycles):
+            workload.apply(reference, cycle)
+            workload.apply(shard, cycle)
+            reference.step()
+            shard.step()
+            for name in outputs:
+                assert shard.peek(name) == reference.peek(name), (
+                    f"{design}: divergence on {name!r} at cycle {cycle}"
+                )
+        return shard.transport
+
+
+# ----------------------------------------------------------------------
+# Frame protocol
+# ----------------------------------------------------------------------
+class TestFraming:
+    def _pair(self):
+        left, right = socket.socketpair()
+        left.settimeout(5)
+        right.settimeout(5)
+        return left, right
+
+    def test_roundtrip(self):
+        left, right = self._pair()
+        try:
+            payload = {"rows": [[1, 2**63], [0, 1]], "name": "x"}
+            send_frame(left, payload)
+            assert recv_frame(right) == payload
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        left, right = self._pair()
+        try:
+            left.sendall((MAX_FRAME + 1).to_bytes(4, "big"))
+            with pytest.raises(ConnectionError, match="MAX_FRAME"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_mid_frame(self):
+        left, right = self._pair()
+        try:
+            left.sendall((64).to_bytes(4, "big") + b"short")
+            left.close()
+            with pytest.raises(ConnectionError, match="closed mid-frame"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_parse_host(self):
+        assert _parse_host("10.0.0.2:7001") == ("10.0.0.2", 7001)
+        assert _parse_host(("box", 7002)) == ("box", 7002)
+        host, port = _parse_host("box")
+        assert host == "box" and port > 0  # DEFAULT_PORT
+
+
+# ----------------------------------------------------------------------
+# Socket executor behaviour beyond the shared lockstep matrix
+# ----------------------------------------------------------------------
+class TestSocketExecutor:
+    def test_multiple_partitions_per_worker(self):
+        """P=4 over 2 workers: host-local routes are applied worker-side
+        and the result still matches the serial reference."""
+        hosts, procs = spawn_local_workers(2)
+        try:
+            transport = _lockstep(
+                "gemmini-8", num_partitions=4, executor="socket",
+                hosts=hosts,
+            )
+            assert transport == "socket"
+        finally:
+            _reap(procs)
+
+    def test_snapshot_restore_over_socket(self):
+        graph = compiled_graph("gemmini-8")
+        workload = batched_workload_for("gemmini-8", LANES)
+        outputs = sorted(graph.outputs)
+        with ShardedBatchSimulator(
+            graph, lanes=LANES, num_partitions=2, executor="socket"
+        ) as sim:
+            for cycle in range(3):
+                workload.apply(sim, cycle)
+                sim.step()
+            snap = sim.snapshot()
+            mark = {name: sim.peek(name) for name in outputs}
+            for cycle in range(3, 6):
+                workload.apply(sim, cycle)
+                sim.step()
+            sim.restore(snap)
+            assert sim.cycle == 3
+            assert {name: sim.peek(name) for name in outputs} == mark
+
+    def test_worker_serves_sequential_sessions(self, counter_src):
+        """A worker outlives an executor: after close(), a fresh
+        coordinator can connect to the same host."""
+        hosts, procs = spawn_local_workers(1)
+        try:
+            for _ in range(2):
+                with ShardedBatchSimulator(
+                    counter_src, lanes=LANES, num_partitions=2,
+                    executor="socket", hosts=hosts,
+                ) as sim:
+                    sim.poke("enable", 1)
+                    sim.step(2)
+                    assert sim.peek("count") == [2, 2]
+        finally:
+            _reap(procs)
+
+    def test_killed_worker_is_diagnosed_and_closeable(self, counter_src):
+        sim = ShardedBatchSimulator(
+            counter_src, lanes=LANES, num_partitions=2, executor="socket"
+        )
+        try:
+            sim.poke("enable", 1)
+            sim.step()
+            victim = sim.executor._procs[0]
+            victim.kill()
+            victim.join(timeout=5)
+            with pytest.raises(RuntimeError, match=r"shard worker 127\.0"):
+                sim.step(4)
+        finally:
+            start = time.monotonic()
+            sim.close()
+            assert time.monotonic() - start < 30
+        # The failure does not poison the design: a fresh executor works.
+        with ShardedBatchSimulator(
+            counter_src, lanes=LANES, num_partitions=2, executor="socket"
+        ) as fresh:
+            fresh.poke("enable", 1)
+            fresh.step()
+            assert fresh.peek("count") == [1, 1]
+
+    def test_make_executor_rejects_hosts_elsewhere(self, counter_src):
+        with pytest.raises(ValueError, match="hosts="):
+            ShardedBatchSimulator(
+                counter_src, lanes=LANES, num_partitions=2,
+                executor="process", hosts=["127.0.0.1:1"],
+            )
+
+    def test_make_executor_rejects_shm_planes_on_socket(self, counter_src):
+        with pytest.raises(ValueError, match="shm_planes="):
+            ShardedBatchSimulator(
+                counter_src, lanes=LANES, num_partitions=2,
+                executor="socket", shm_planes=True,
+            )
+
+
+# ----------------------------------------------------------------------
+# Process executor hardening
+# ----------------------------------------------------------------------
+class TestProcessWorkerFaults:
+    def test_sigkilled_worker_mid_run(self, counter_src):
+        sim = ShardedBatchSimulator(
+            counter_src, lanes=LANES, num_partitions=2, executor="process"
+        )
+        try:
+            sim.poke("enable", 1)
+            sim.step()
+            victim = sim.executor._procs[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=5)
+            with pytest.raises(RuntimeError, match="shard worker 1"):
+                sim.step(4)
+        finally:
+            start = time.monotonic()
+            sim.close()
+            assert time.monotonic() - start < 30
+        with ShardedBatchSimulator(
+            counter_src, lanes=LANES, num_partitions=2, executor="process"
+        ) as fresh:
+            fresh.poke("enable", 1)
+            fresh.step()
+            assert fresh.peek("count") == [1, 1]
+
+    def test_wedged_worker_close_is_bounded(self, counter_src):
+        """close() on a SIGSTOPped worker falls through the poll guard
+        to terminate/kill instead of blocking on the ack forever."""
+        sim = ShardedBatchSimulator(
+            counter_src, lanes=LANES, num_partitions=2, executor="process"
+        )
+        sim.executor.close_timeout = 0.5
+        procs = list(sim.executor._procs)
+        os.kill(procs[0].pid, signal.SIGSTOP)
+        try:
+            start = time.monotonic()
+            sim.close()
+            elapsed = time.monotonic() - start
+            assert elapsed < 15, f"close() took {elapsed:.1f}s on a wedge"
+            for proc in procs:
+                assert not proc.is_alive()
+        finally:
+            for proc in procs:  # belt and braces if close() failed
+                if proc.is_alive():
+                    os.kill(proc.pid, signal.SIGCONT)
+            _reap(procs)
+
+
+class TestStateLengthValidation:
+    @pytest.mark.parametrize("executor", ("serial", "process"))
+    def test_mismatched_lengths_raise(self, counter_src, executor):
+        with ShardedBatchSimulator(
+            counter_src, lanes=LANES, num_partitions=2, executor=executor
+        ) as sim:
+            ex = sim.executor
+            with pytest.raises(ValueError, match="expected 2"):
+                ex.apply_sync([{}])
+            with pytest.raises(ValueError, match="restore"):
+                ex.restore(ex.snapshot()[:1])
+            with pytest.raises(ValueError, match="import_lane"):
+                ex.import_lane(0, ex.export_lane(0)[:1])
+
+
+# ----------------------------------------------------------------------
+# Cache-keyed graph shipping
+# ----------------------------------------------------------------------
+class TestGraphShipping:
+    def test_is_pgraph_cache_miss(self):
+        assert _is_pgraph_cache_miss(
+            "RuntimeError: pgraph cache entry ab12cd34ef56 missing from /x"
+        )
+        assert not _is_pgraph_cache_miss("ValueError: genuine failure")
+        assert not _is_pgraph_cache_miss("")
+
+    @pytest.mark.parametrize("executor", ("process", "socket"))
+    def test_stale_cache_ref_respawns_inline(
+        self, counter_src, executor, tmp_path, monkeypatch
+    ):
+        """A pgraph ref no worker can resolve retries with the inline
+        graph instead of failing the build."""
+        monkeypatch.setattr(
+            ProcessExecutor, "_graph_ref",
+            staticmethod(
+                lambda partition: ("cache", str(tmp_path), "0" * 40)
+            ),
+        )
+        with ShardedBatchSimulator(
+            counter_src, lanes=LANES, num_partitions=2, executor=executor
+        ) as sim:
+            sim.poke("enable", 1)
+            sim.step(3)
+            assert sim.peek("count") == [3, 3]
+
+    def test_genuine_worker_error_not_buried(self, counter_src, monkeypatch):
+        """A non-cache-miss worker failure propagates its traceback
+        (no silent retry that would mask the original error)."""
+        monkeypatch.setattr(
+            ProcessExecutor, "_graph_ref",
+            staticmethod(lambda partition: ("graph", None)),
+        )
+        with pytest.raises(RuntimeError, match="Traceback"):
+            ShardedBatchSimulator(
+                counter_src, lanes=LANES, num_partitions=2,
+                executor="process",
+            )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory lane planes
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not HAS_NUMPY, reason="shm lane planes need NumPy")
+class TestShmPlanes:
+    def test_auto_uses_shm_on_u64_design(self):
+        transport = _lockstep(
+            "gemmini-8", num_partitions=2, executor="process"
+        )
+        assert transport == "shm"
+
+    def test_wide_design_falls_back_to_pipes(self):
+        with ShardedBatchSimulator(
+            compiled_graph("sha3"), lanes=LANES, num_partitions=2,
+            executor="process",
+        ) as sim:
+            assert sim.transport == "pipe"
+
+    def test_forcing_shm_on_wide_design_raises(self):
+        with pytest.raises(RuntimeError, match="shm_planes=True but"):
+            ShardedBatchSimulator(
+                compiled_graph("sha3"), lanes=LANES, num_partitions=2,
+                executor="process", shm_planes=True,
+            )
+
+    def test_forcing_pipes_is_honoured(self, counter_src):
+        with ShardedBatchSimulator(
+            counter_src, lanes=LANES, num_partitions=2,
+            executor="process", shm_planes=False,
+        ) as sim:
+            assert sim.transport == "pipe"
+            sim.poke("enable", 1)
+            sim.step(3)
+            assert sim.peek("count") == [3, 3]
+
+    def test_restore_invalidates_change_mask(self, counter_src):
+        """After restore() the next exchange reports every row, even
+        rows whose plane value happens to equal the pre-restore value
+        (the change mask must not suppress against stale history)."""
+        with ShardedBatchSimulator(
+            counter_src, lanes=LANES, num_partitions=2, executor="process"
+        ) as sim:
+            assert sim.transport == "shm"
+            sim.poke("enable", 1)
+            sim.step(2)
+            snap = sim.snapshot()
+            mark = sim.peek("count")
+            sim.step(3)
+            sim.restore(snap)
+            assert sim.peek("count") == mark
+            sim.step()
+            assert sim.peek("count") == [v + 1 for v in mark]
+
+    def test_differential_counters_still_track(self):
+        """Plane rows suppressed by the parent-side change mask count as
+        suppressed traffic, as they did over pipes."""
+        with ShardedBatchSimulator(
+            compiled_graph("gemmini-8"), lanes=LANES, num_partitions=2,
+            executor="process",
+        ) as sim:
+            assert sim.transport == "shm"
+            workload = batched_workload_for("gemmini-8", LANES)
+            for cycle in range(6):
+                workload.apply(sim, cycle)
+                sim.step()
+            assert sim.sync_sent > 0
+            assert 0.0 <= sim.differential_savings <= 1.0
